@@ -1,0 +1,70 @@
+//! Shared hyper-parameters for the learned baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// Training configuration shared by NCF, AGREE and SIGR-like. Matches
+/// the main model's setup (§III-E) so comparisons are apples-to-apples.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// Embedding width (paper: 32 everywhere).
+    pub embed_dim: usize,
+    /// Negatives per positive in BPR training.
+    pub num_negatives: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Gradient-accumulation mini-batch (examples per optimizer step).
+    pub batch_size: usize,
+    /// Epochs over the user-item pairs (methods that use them).
+    pub user_epochs: usize,
+    /// Epochs over the group-item pairs.
+    pub group_epochs: usize,
+    /// Parameter-init / sampling seed.
+    pub seed: u64,
+}
+
+impl BaselineConfig {
+    /// The defaults used by the experiment harness.
+    pub fn paper() -> Self {
+        Self {
+            embed_dim: 32,
+            num_negatives: 3,
+            learning_rate: 0.01,
+            weight_decay: 1e-6,
+            batch_size: 16,
+            user_epochs: 24,
+            group_epochs: 30,
+            seed: 0xBA5E,
+        }
+    }
+
+    /// A small fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            embed_dim: 8,
+            num_negatives: 1,
+            learning_rate: 0.02,
+            weight_decay: 0.0,
+            batch_size: 4,
+            user_epochs: 3,
+            group_epochs: 5,
+            seed: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = BaselineConfig::paper();
+        assert_eq!(c.embed_dim, 32);
+        assert!(c.learning_rate > 0.0);
+        assert!(c.num_negatives >= 1);
+        let t = BaselineConfig::tiny();
+        assert!(t.embed_dim < c.embed_dim);
+    }
+}

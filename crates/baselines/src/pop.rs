@@ -1,0 +1,103 @@
+//! Non-personalised popularity ranking (paper §III-D "Pop",
+//! Cremonesi et al. 2010).
+
+use groupsa_eval::Scorer;
+use groupsa_graph::Bipartite;
+use serde::{Deserialize, Serialize};
+
+/// Ranks every candidate by its *training* interaction count,
+/// identically for every user or group.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pop {
+    scores: Vec<f32>,
+}
+
+impl Pop {
+    /// Builds the popularity table from a training interaction graph
+    /// (items on the right).
+    pub fn fit(train: &Bipartite) -> Self {
+        let scores = (0..train.num_items()).map(|i| train.item_popularity(i) as f32).collect();
+        Self { scores }
+    }
+
+    /// Builds from several interaction relations (e.g. user-item and
+    /// group-item training data combined), summing the counts.
+    ///
+    /// # Panics
+    /// If the graphs disagree on the item count or none are given.
+    pub fn fit_many(graphs: &[&Bipartite]) -> Self {
+        let num_items = graphs.first().expect("at least one graph").num_items();
+        let mut scores = vec![0.0f32; num_items];
+        for g in graphs {
+            assert_eq!(g.num_items(), num_items, "item universes differ");
+            for (i, s) in scores.iter_mut().enumerate() {
+                *s += g.item_popularity(i) as f32;
+            }
+        }
+        Self { scores }
+    }
+
+    /// The popularity score of one item.
+    pub fn popularity(&self, item: usize) -> f32 {
+        self.scores[item]
+    }
+}
+
+impl Scorer for Pop {
+    fn score(&self, _entity: usize, items: &[usize]) -> Vec<f32> {
+        items.iter().map(|&i| self.scores[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupsa_eval::{evaluate, EvalTask};
+
+    #[test]
+    fn scores_are_training_counts() {
+        let g = Bipartite::from_pairs(3, 4, &[(0, 1), (1, 1), (2, 1), (0, 2)]);
+        let pop = Pop::fit(&g);
+        assert_eq!(pop.popularity(1), 3.0);
+        assert_eq!(pop.popularity(2), 1.0);
+        assert_eq!(pop.popularity(0), 0.0);
+        assert_eq!(pop.score(99, &[1, 2, 0]), vec![3.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn fit_many_sums_relations() {
+        let a = Bipartite::from_pairs(2, 3, &[(0, 0), (1, 0)]);
+        let b = Bipartite::from_pairs(1, 3, &[(0, 0), (0, 2)]);
+        let pop = Pop::fit_many(&[&a, &b]);
+        assert_eq!(pop.popularity(0), 3.0);
+        assert_eq!(pop.popularity(2), 1.0);
+    }
+
+    #[test]
+    fn ranking_is_entity_independent() {
+        let g = Bipartite::from_pairs(2, 5, &[(0, 3), (1, 3), (0, 4)]);
+        let pop = Pop::fit(&g);
+        assert_eq!(pop.score(0, &[3, 4]), pop.score(1, &[3, 4]));
+    }
+
+    #[test]
+    fn pop_beats_nothing_when_test_items_are_popular() {
+        // Entities whose held-out positive IS the popular item rank it first.
+        let pairs: Vec<(usize, usize)> = (0..20).map(|e| (e, 0)).collect();
+        let mut train: Vec<(usize, usize)> = pairs.clone();
+        train.extend((0..20).map(|e| (e, 1 + e % 3))); // scatter some noise
+        let g = Bipartite::from_pairs(20, 50, &train);
+        let pop = Pop::fit(&g);
+        let task = EvalTask { test_pairs: &pairs, full_interactions: &g, num_candidates: 10, ks: vec![5], seed: 2 };
+        let res = evaluate(&pop, &task);
+        assert!(res.hr(5) > 0.9, "popular positives must rank highly: {}", res.hr(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "item universes differ")]
+    fn fit_many_rejects_mismatched_universes() {
+        let a = Bipartite::from_pairs(1, 3, &[]);
+        let b = Bipartite::from_pairs(1, 4, &[]);
+        let _ = Pop::fit_many(&[&a, &b]);
+    }
+}

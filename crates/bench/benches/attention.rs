@@ -1,0 +1,76 @@
+//! Criterion B2 (DESIGN.md §5): scaling of the social self-attention
+//! kernel — forward and backward cost as a function of group size `l`
+//! and stack depth `N_X`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use groupsa_nn::attention::social_bias_mask;
+use groupsa_nn::{ParamStore, TransformerLayer};
+use groupsa_tensor::rng::seeded;
+use groupsa_tensor::{Graph, Matrix};
+use std::hint::black_box;
+
+const D: usize = 32;
+
+fn build_layer(store: &mut ParamStore, name: &str) -> TransformerLayer {
+    let mut rng = seeded(1);
+    TransformerLayer::new(store, &mut rng, name, D, D, D, 0.0)
+}
+
+fn members(l: usize) -> Matrix {
+    Matrix::from_fn(l, D, |r, c| ((r * D + c) as f32 * 0.13).sin())
+}
+
+fn ring_mask(l: usize) -> Matrix {
+    let allowed: Vec<Vec<bool>> = (0..l)
+        .map(|i| (0..l).map(|j| j == (i + 1) % l || i == (j + 1) % l).collect())
+        .collect();
+    social_bias_mask(&allowed)
+}
+
+fn bench_forward_by_group_size(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let layer = build_layer(&mut store, "t");
+    let mut group = c.benchmark_group("social_self_attention_forward");
+    for l in [2usize, 4, 8, 15] {
+        let x = members(l);
+        let mask = ring_mask(l);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| black_box(layer.forward_inference(&store, black_box(&x), Some(&mask))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward_by_depth(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let layers: Vec<TransformerLayer> = (0..3).map(|i| build_layer(&mut store, &format!("t{i}"))).collect();
+    let x0 = members(5);
+    let mask = ring_mask(5);
+    let mut group = c.benchmark_group("voting_stack_train_step");
+    for depth in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut rng = seeded(0);
+                let mut g = Graph::new();
+                let mut x = g.leaf(x0.clone());
+                for layer in &layers[..depth] {
+                    x = layer.forward(&mut g, &store, &mut rng, x, Some(&mask), false);
+                }
+                let loss = g.mean_all(x);
+                black_box(g.backward(loss));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench_forward_by_group_size, bench_forward_backward_by_depth
+}
+criterion_main!(benches);

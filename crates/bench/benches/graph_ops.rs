@@ -1,0 +1,73 @@
+//! Criterion B4 (DESIGN.md §5): graph substrate costs — CSR
+//! construction, PageRank, TF-IDF neighbour ranking, and the per-group
+//! social mask build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use groupsa_graph::social::{group_mask, Closeness};
+use groupsa_graph::{centrality, tfidf, CsrGraph};
+use std::hint::black_box;
+
+fn world() -> groupsa_data::Dataset {
+    generate(&SyntheticConfig {
+        name: "bench-graph".into(),
+        seed: 8,
+        num_users: 1000,
+        num_items: 800,
+        num_groups: 400,
+        num_topics: 8,
+        latent_dim: 6,
+        avg_items_per_user: 12.0,
+        avg_friends_per_user: 8.0,
+        avg_items_per_group: 1.2,
+        mean_group_size: 4.5,
+        zipf_exponent: 0.8,
+        homophily: 0.5,
+        social_influence: 0.2,
+        expertise_sharpness: 3.0,
+        taste_temperature: 0.3,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+    })
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let dataset = world();
+
+    c.bench_function("csr_build_social_1k_users", |b| {
+        b.iter(|| black_box(CsrGraph::from_edges(dataset.num_users, black_box(&dataset.social))))
+    });
+
+    let social = dataset.social_graph();
+    c.bench_function("pagerank_1k_users", |b| {
+        b.iter(|| black_box(centrality::pagerank(&social, 0.85, 1e-8, 100)))
+    });
+
+    let ui = dataset.user_item_graph();
+    c.bench_function("tfidf_top5_items_all_users", |b| {
+        b.iter(|| {
+            for u in 0..dataset.num_users {
+                black_box(tfidf::top_items(&ui, u, 5));
+            }
+        })
+    });
+
+    c.bench_function("group_masks_all_groups", |b| {
+        b.iter(|| {
+            for members in &dataset.groups {
+                black_box(group_mask(&social, members, Closeness::Direct));
+            }
+        })
+    });
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench_graph_ops
+}
+criterion_main!(benches);

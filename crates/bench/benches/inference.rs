@@ -1,0 +1,75 @@
+//! Criterion B1 (DESIGN.md §5): the §II-F trade-off — latency of the
+//! full voting path vs the fast average mode as group size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use groupsa_core::{DataContext, GroupSa, GroupSaConfig, ScoreAggregation};
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use std::hint::black_box;
+
+fn world() -> (groupsa_data::Dataset, DataContext, GroupSa) {
+    let mut dataset = generate(&SyntheticConfig {
+        name: "bench-inference".into(),
+        seed: 4,
+        num_users: 200,
+        num_items: 150,
+        num_groups: 50,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.2,
+        mean_group_size: 4.0,
+        zipf_exponent: 0.8,
+        homophily: 0.5,
+        social_influence: 0.2,
+        expertise_sharpness: 3.0,
+        taste_temperature: 0.3,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+    });
+    // Append groups of exactly 2, 5, 10 members for controlled scaling.
+    for &l in &[2usize, 5, 10] {
+        dataset.groups.push((0..l).collect());
+    }
+    let cfg = GroupSaConfig::paper();
+    let ctx = DataContext::from_train_view(&dataset, &cfg);
+    let model = GroupSa::new(cfg, dataset.num_users, dataset.num_items);
+    (dataset, ctx, model)
+}
+
+fn bench_full_vs_fast(c: &mut Criterion) {
+    let (dataset, ctx, model) = world();
+    let items: Vec<usize> = (0..101).collect();
+    let base = dataset.num_groups() - 3;
+
+    let mut group = c.benchmark_group("group_scoring_101_candidates");
+    for (i, l) in [2usize, 5, 10].into_iter().enumerate() {
+        let t = base + i;
+        group.bench_with_input(BenchmarkId::new("full_voting", l), &t, |b, &t| {
+            b.iter(|| black_box(model.score_group_items(&ctx, t, black_box(&items))))
+        });
+        group.bench_with_input(BenchmarkId::new("fast_average", l), &t, |b, &t| {
+            b.iter(|| black_box(model.fast_group_scores(&ctx, t, black_box(&items), ScoreAggregation::Average)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_user_scoring(c: &mut Criterion) {
+    let (_, ctx, model) = world();
+    let items: Vec<usize> = (0..101).collect();
+    c.bench_function("user_scoring_101_candidates", |b| {
+        b.iter(|| black_box(model.score_user_items(&ctx, black_box(7), &items)))
+    });
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench_full_vs_fast, bench_user_scoring
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion B3 (DESIGN.md §5): BPR training throughput — cost of one
+//! epoch on the user-item task vs the group-item task.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use groupsa_core::{DataContext, GroupSa, GroupSaConfig, Trainer};
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use std::hint::black_box;
+
+fn world() -> (groupsa_data::Dataset, GroupSaConfig) {
+    let dataset = generate(&SyntheticConfig {
+        name: "bench-training".into(),
+        seed: 6,
+        num_users: 150,
+        num_items: 120,
+        num_groups: 120,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.2,
+        mean_group_size: 4.0,
+        zipf_exponent: 0.8,
+        homophily: 0.5,
+        social_influence: 0.2,
+        expertise_sharpness: 3.0,
+        taste_temperature: 0.3,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+    });
+    (dataset, GroupSaConfig::paper())
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let (dataset, cfg) = world();
+    let ctx = DataContext::from_train_view(&dataset, &cfg);
+
+    c.bench_function("user_task_epoch", |b| {
+        b.iter_batched(
+            || (GroupSa::new(cfg.clone(), dataset.num_users, dataset.num_items), Trainer::new(cfg.clone())),
+            |(mut model, mut trainer)| black_box(trainer.user_epoch(&mut model, &ctx)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("group_task_epoch", |b| {
+        b.iter_batched(
+            || (GroupSa::new(cfg.clone(), dataset.num_users, dataset.num_items), Trainer::new(cfg.clone())),
+            |(mut model, mut trainer)| black_box(trainer.group_epoch(&mut model, &ctx)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5))
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench_epochs
+}
+criterion_main!(benches);

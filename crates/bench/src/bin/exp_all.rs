@@ -1,0 +1,20 @@
+//! Runs the complete experiment suite — every table and figure of the
+//! paper — in order. Results are printed and persisted to `results/`.
+
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    groupsa_bench::experiments::table1();
+    groupsa_bench::experiments::table2();
+    groupsa_bench::experiments::table3();
+    groupsa_bench::experiments::table4();
+    groupsa_bench::experiments::fig3();
+    groupsa_bench::experiments::table5();
+    groupsa_bench::experiments::table6();
+    groupsa_bench::experiments::table7();
+    groupsa_bench::experiments::table8();
+    groupsa_bench::experiments::table9();
+    groupsa_bench::experiments::fast_vs_full();
+    println!("\n[exp_all finished in {:?}]", t0.elapsed());
+}

@@ -1,0 +1,6 @@
+//! Extension ablations beyond the paper: closeness function (Eq. 5
+//! alternatives), voting input, and group-head variants.
+
+fn main() {
+    groupsa_bench::experiments::extra_ablations();
+}

@@ -1,0 +1,5 @@
+//! Reproduces the §II-F fast-recommendation comparison.
+
+fn main() {
+    groupsa_bench::experiments::fast_vs_full();
+}

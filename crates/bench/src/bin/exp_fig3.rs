@@ -1,0 +1,5 @@
+//! Regenerates paper Figure 3 (component ablations).
+
+fn main() {
+    groupsa_bench::experiments::fig3();
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table 5 (see DESIGN.md §5).
+
+fn main() {
+    groupsa_bench::experiments::table5();
+}

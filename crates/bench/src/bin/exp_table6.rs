@@ -1,0 +1,5 @@
+//! Regenerates paper Table 6 (see DESIGN.md §5).
+
+fn main() {
+    groupsa_bench::experiments::table6();
+}

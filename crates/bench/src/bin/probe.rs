@@ -1,0 +1,76 @@
+//! Calibration probe (not part of the paper reproduction): times one
+//! GroupSA training run and prints headline metrics, to size the
+//! experiment configurations.
+
+use groupsa_bench::methods::{eval_groupsa, train_groupsa};
+use groupsa_bench::ExperimentEnv;
+use groupsa_core::GroupSaConfig;
+use groupsa_data::synthetic::yelp_sim;
+use std::time::Instant;
+
+fn main() {
+    let mut synth = yelp_sim();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(scale) = args.get(1).and_then(|s| s.parse::<f64>().ok()) {
+        synth.num_users = (synth.num_users as f64 * scale) as usize;
+        synth.num_items = (synth.num_items as f64 * scale) as usize;
+        synth.num_groups = (synth.num_groups as f64 * scale) as usize;
+    }
+    if let Some(groups) = args.get(4).and_then(|s| s.parse::<usize>().ok()) {
+        synth.num_groups = groups;
+    }
+    if let Some(sharp) = args.get(5).and_then(|s| s.parse::<f64>().ok()) {
+        synth.expertise_sharpness = sharp;
+    }
+    if let Some(temp) = args.get(6).and_then(|s| s.parse::<f64>().ok()) {
+        synth.taste_temperature = temp;
+    }
+    if let Some(h) = args.get(8).and_then(|s| s.parse::<f64>().ok()) {
+        synth.homophily = h;
+    }
+    if let Some(si) = args.get(9).and_then(|s| s.parse::<f64>().ok()) {
+        synth.social_influence = si;
+    }
+    let t0 = Instant::now();
+    let env = ExperimentEnv::prepare(&synth);
+    println!("{}", env.stats());
+    println!("[gen {:?}] train ui={} gi={} test ui={} gi={}",
+        t0.elapsed(),
+        env.split.train_user_item.len(),
+        env.split.train_group_item.len(),
+        env.split.test_user_item.len(),
+        env.split.test_group_item.len());
+
+    let mut cfg = GroupSaConfig::paper();
+    if let Some(ue) = args.get(2).and_then(|s| s.parse::<usize>().ok()) {
+        cfg.user_epochs = ue;
+    }
+    if let Some(ge) = args.get(3).and_then(|s| s.parse::<usize>().ok()) {
+        cfg.group_epochs = ge;
+    }
+    if let Some(wu) = args.get(7).and_then(|s| s.parse::<f32>().ok()) {
+        cfg.w_u = wu;
+    }
+    if let Some(n) = args.get(10).and_then(|s| s.parse::<usize>().ok()) {
+        cfg.num_negatives = n;
+    }
+    if let Some(sh) = args.get(11).and_then(|s| s.parse::<u8>().ok()) {
+        cfg.lean_group_head = sh != 0;
+    }
+    let t1 = Instant::now();
+    let trained = train_groupsa(&env, cfg);
+    println!("[train {:?}] user loss {:?} group loss {:?}",
+        t1.elapsed(),
+        trained.report.final_user_loss(),
+        trained.report.final_group_loss());
+
+    let t2 = Instant::now();
+    let (user, group) = eval_groupsa(&env, &trained);
+    println!("[eval {:?}]", t2.elapsed());
+    println!("user : HR@5={:.4} NDCG@5={:.4} HR@10={:.4} NDCG@10={:.4}", user.hr(5), user.ndcg(5), user.hr(10), user.ndcg(10));
+    println!("group: HR@5={:.4} NDCG@5={:.4} HR@10={:.4} NDCG@10={:.4}", group.hr(5), group.ndcg(5), group.hr(10), group.ndcg(10));
+
+    for (label, res) in groupsa_bench::methods::eval_static_aggregations(&env, &trained) {
+        println!("{label}: HR@5={:.4} NDCG@5={:.4} HR@10={:.4} NDCG@10={:.4}", res.hr(5), res.ndcg(5), res.hr(10), res.ndcg(10));
+    }
+}

@@ -1,0 +1,39 @@
+//! Micro-calibration: times the pieces of one training step to find
+//! the bottleneck (not part of the paper reproduction).
+
+use groupsa_core::{DataContext, GroupSa, GroupSaConfig, Trainer};
+use groupsa_data::synthetic::{generate, yelp_sim};
+use std::time::Instant;
+
+fn main() {
+    let mut synth = yelp_sim();
+    synth.num_users = 360;
+    synth.num_items = 270;
+    synth.num_groups = 240;
+    let d = generate(&synth);
+    let cfg = GroupSaConfig::paper();
+    let split = groupsa_data::split_dataset(&d, 0.2, 0.1, 42);
+    let ctx = DataContext::build(&d, &split, &cfg);
+    let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
+    println!("params: {}", model.num_parameters());
+
+    // Time a full user epoch.
+    let mut trainer = Trainer::new(cfg.clone());
+    let t = Instant::now();
+    let loss = trainer.user_epoch(&mut model, &ctx);
+    let n = ctx.train_user_item.len();
+    println!("user epoch: {:?} for {} steps = {:.1}us/step (loss {loss})", t.elapsed(), n, t.elapsed().as_micros() as f64 / n as f64);
+
+    let t = Instant::now();
+    let loss = trainer.group_epoch(&mut model, &ctx);
+    let n = ctx.train_group_item.len();
+    println!("group epoch: {:?} for {} steps = {:.1}us/step (loss {loss})", t.elapsed(), n, t.elapsed().as_micros() as f64 / n as f64);
+
+    // Forward-only timing.
+    let t = Instant::now();
+    let mut acc = 0.0f32;
+    for i in 0..1000 {
+        acc += model.score_user_items(&ctx, i % d.num_users, &[0, 1])[0];
+    }
+    println!("user fwd x1000: {:?} (acc {acc})", t.elapsed());
+}

@@ -1,0 +1,34 @@
+//! Calibration probe: GroupSA vs the attention baselines on the group
+//! task (not part of the paper reproduction).
+
+use groupsa_baselines::BaselineConfig;
+use groupsa_bench::methods;
+use groupsa_bench::ExperimentEnv;
+use groupsa_core::GroupSaConfig;
+use groupsa_data::synthetic::yelp_sim;
+use std::time::Instant;
+
+fn main() {
+    let env = ExperimentEnv::prepare(&yelp_sim());
+    let t = Instant::now();
+    let mut cfg = GroupSaConfig::paper();
+    if std::env::args().nth(1).as_deref() == Some("emb") {
+        cfg.voting_input = groupsa_core::VotingInput::Embedding;
+    }
+    let trained = methods::train_groupsa(&env, cfg);
+    let (gu, gg) = methods::eval_groupsa(&env, &trained);
+    println!("[GroupSA {:?}] user HR@5={:.4}  group HR@5={:.4} NDCG@5={:.4} HR@10={:.4}", t.elapsed(), gu.hr(5), gg.hr(5), gg.ndcg(5), gg.hr(10));
+    println!("valid curve: {:?}", trained.report.valid_hr.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!("group losses: {:?}", trained.report.group_losses.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    for (label, res) in methods::eval_static_aggregations(&env, &trained) {
+        println!("[{label}] group HR@5={:.4} NDCG@5={:.4} HR@10={:.4}", res.hr(5), res.ndcg(5), res.hr(10));
+    }
+    let t = Instant::now();
+    let (su, sg) = methods::run_sigr(&env, BaselineConfig::paper());
+    println!("[SIGR {:?}] user HR@5={:.4}  group HR@5={:.4} NDCG@5={:.4} HR@10={:.4}", t.elapsed(), su.hr(5), sg.hr(5), sg.ndcg(5), sg.hr(10));
+    let t = Instant::now();
+    let (au, ag) = methods::run_agree(&env, BaselineConfig::paper());
+    println!("[AGREE {:?}] user HR@5={:.4}  group HR@5={:.4} NDCG@5={:.4} HR@10={:.4}", t.elapsed(), au.hr(5), ag.hr(5), ag.ndcg(5), ag.hr(10));
+    let (pu, pg) = methods::run_pop(&env);
+    println!("[Pop] user HR@5={:.4}  group HR@5={:.4}", pu.hr(5), pg.hr(5));
+}

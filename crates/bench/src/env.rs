@@ -1,0 +1,60 @@
+//! Shared experiment environment: dataset, split, evaluation tasks.
+
+use groupsa_data::{split_dataset, synthetic::SyntheticConfig, Dataset, DatasetStats, Split};
+use groupsa_eval::{EvalResult, EvalTask, Scorer};
+use groupsa_graph::Bipartite;
+
+/// The evaluation seed shared by every method so all of them rank the
+/// *same* candidate sets.
+pub const EVAL_SEED: u64 = 0xE7A1;
+
+/// Everything an experiment needs about one dataset: the generated
+/// data, its 80/10/10 split, and full-interaction graphs for clean
+/// negative sampling at evaluation time.
+pub struct ExperimentEnv {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// Its train/valid/test split (paper ratios, seed 42).
+    pub split: Split,
+    /// All user–item interactions (train ∪ valid ∪ test) — negatives
+    /// sampled for the user task must avoid these.
+    pub full_user_item: Bipartite,
+    /// All group–item interactions.
+    pub full_group_item: Bipartite,
+}
+
+impl ExperimentEnv {
+    /// Generates the dataset and prepares the evaluation graphs.
+    pub fn prepare(cfg: &SyntheticConfig) -> Self {
+        let dataset = groupsa_data::synthetic::generate(cfg);
+        let split = split_dataset(&dataset, 0.2, 0.1, 42);
+        let full_user_item = dataset.user_item_graph();
+        let full_group_item = dataset.group_item_graph();
+        Self { dataset, split, full_user_item, full_group_item }
+    }
+
+    /// Table-I statistics of the generated dataset.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(&self.dataset)
+    }
+
+    /// The user-task evaluation task (100 negatives, K ∈ {5, 10}).
+    pub fn user_task(&self) -> EvalTask<'_> {
+        EvalTask::paper(&self.split.test_user_item, &self.full_user_item, EVAL_SEED)
+    }
+
+    /// The group-task evaluation task.
+    pub fn group_task(&self) -> EvalTask<'_> {
+        EvalTask::paper(&self.split.test_group_item, &self.full_group_item, EVAL_SEED)
+    }
+
+    /// Evaluates a scorer on the user task.
+    pub fn eval_user(&self, scorer: &dyn Scorer) -> EvalResult {
+        groupsa_eval::evaluate(scorer, &self.user_task())
+    }
+
+    /// Evaluates a scorer on the group task.
+    pub fn eval_group(&self, scorer: &dyn Scorer) -> EvalResult {
+        groupsa_eval::evaluate(scorer, &self.group_task())
+    }
+}

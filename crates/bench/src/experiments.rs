@@ -1,0 +1,330 @@
+//! One function per paper table/figure, shared by the `exp_*` binaries
+//! and `exp_all`.
+
+use crate::env::ExperimentEnv;
+use crate::methods;
+use crate::output;
+use groupsa_baselines::BaselineConfig;
+use groupsa_core::{Ablation, GroupSaConfig, ScoreAggregation};
+use groupsa_data::synthetic::{douban_sim, yelp_sim, SyntheticConfig};
+use groupsa_eval::report::Row;
+use groupsa_eval::stats::paired_t_test;
+use groupsa_eval::{EvalResult, Leaderboard};
+use std::time::Instant;
+
+/// Reduced-epoch configuration for the hyper-parameter sweeps
+/// (Tables VI–VIII) and the ablation figure, so the whole suite runs in
+/// reasonable wall-clock on one core. The comparisons within each sweep
+/// are still apples-to-apples (every arm uses the same budget).
+pub fn sweep_config() -> GroupSaConfig {
+    GroupSaConfig { user_epochs: 10, group_epochs: 40, ..GroupSaConfig::paper() }
+}
+
+fn banner(what: &str) {
+    println!("\n######## {what} ########");
+}
+
+/// **Table I** — dataset statistics of both synthetic datasets.
+pub fn table1() {
+    banner("Table I: dataset statistics");
+    for cfg in [yelp_sim(), douban_sim()] {
+        let env = ExperimentEnv::prepare(&cfg);
+        println!("{}", env.stats());
+        let _ = output::save_json(&format!("table1_{}", cfg.name), &env.stats());
+    }
+}
+
+/// One overall-comparison table (Tables II and III): every method on
+/// the user and group tasks. Returns the two leaderboards
+/// `(user, group)`.
+pub fn overall_comparison(synth: &SyntheticConfig, label: &str) -> (Leaderboard, Leaderboard) {
+    banner(&format!("{label}: overall Top-K comparison on {}", synth.name));
+    let env = ExperimentEnv::prepare(&synth.clone());
+    let mut user_lb = Leaderboard::new(format!("{label} — user task ({})", synth.name));
+    let mut group_lb = Leaderboard::new(format!("{label} — group task ({})", synth.name));
+
+    let t = Instant::now();
+    let (pop_u, pop_g) = methods::run_pop(&env);
+    println!("[Pop {:?}]", t.elapsed());
+    let t = Instant::now();
+    let (ncf_u, ncf_g) = methods::run_ncf(&env, BaselineConfig::paper());
+    println!("[NCF {:?}]", t.elapsed());
+    let t = Instant::now();
+    let (agree_u, agree_g) = methods::run_agree(&env, BaselineConfig::paper());
+    println!("[AGREE {:?}]", t.elapsed());
+    let t = Instant::now();
+    let (sigr_u, sigr_g) = methods::run_sigr(&env, BaselineConfig::paper());
+    println!("[SIGR {:?}]", t.elapsed());
+
+    let t = Instant::now();
+    let trained = methods::train_groupsa(&env, GroupSaConfig::paper());
+    let (gsa_u, gsa_g) = methods::eval_groupsa(&env, &trained);
+    let statics = methods::eval_static_aggregations(&env, &trained);
+    println!("[GroupSA {:?}]", t.elapsed());
+
+    user_lb.push("NCF", &ncf_u);
+    user_lb.push("Pop", &pop_u);
+    user_lb.push("AGREE", &agree_u);
+    user_lb.push("SIGR", &sigr_u);
+    user_lb.push("GroupSA", &gsa_u);
+
+    group_lb.push("NCF", &ncf_g);
+    group_lb.push("Pop", &pop_g);
+    group_lb.push("AGREE", &agree_g);
+    group_lb.push("SIGR", &sigr_g);
+    for (name, res) in &statics {
+        group_lb.push(*name, res);
+    }
+    group_lb.push("GroupSA", &gsa_g);
+
+    // Significance of GroupSA over the strongest learned baseline
+    // (the paper reports p < 0.01 everywhere).
+    let strongest: &EvalResult = &statics[0].1; // Group+avg
+    let tt = paired_t_test(&gsa_g.hr_vector(5), &strongest.hr_vector(5));
+    println!(
+        "paired t-test GroupSA vs Group+avg (group HR@5): t={:.3}, p≈{:.4}, mean Δ={:.4}",
+        tt.t, tt.p_two_sided, tt.mean_diff
+    );
+
+    output::emit(&format!("{}_user", slug(label)), &user_lb);
+    output::emit(&format!("{}_group", slug(label)), &group_lb);
+    (user_lb, group_lb)
+}
+
+fn slug(label: &str) -> String {
+    label.to_ascii_lowercase().replace([' ', ':'], "_")
+}
+
+/// **Table II** — overall comparison on the Yelp-like dataset.
+pub fn table2() -> (Leaderboard, Leaderboard) {
+    overall_comparison(&yelp_sim(), "Table II")
+}
+
+/// **Table III** — overall comparison on the Douban-like dataset.
+pub fn table3() -> (Leaderboard, Leaderboard) {
+    overall_comparison(&douban_sim(), "Table III")
+}
+
+/// **Table IV** — case study: member attention weights of GroupSA vs
+/// Group-S for positive and negative items of one sampled group.
+pub fn table4() {
+    banner("Table IV: case study (member weights, GroupSA vs Group-S)");
+    let synth = yelp_sim();
+    let env = ExperimentEnv::prepare(&synth);
+    let cfg = sweep_config();
+    let full = methods::train_groupsa(&env, cfg.clone());
+    let group_s = methods::train_groupsa(&env, cfg.with_ablation(Ablation::group_s()));
+
+    // A test group with ≥3 members and a held-out positive.
+    let (group, positive) = env
+        .split
+        .test_group_item
+        .iter()
+        .copied()
+        .find(|&(t, _)| env.dataset.groups[t].len() >= 3)
+        .expect("some test group has ≥3 members");
+    // A training positive of the same group, if any, plus two random negatives.
+    let mut items = vec![positive];
+    if let Some(&(_, other)) = env.split.train_group_item.iter().find(|&&(t, _)| t == group) {
+        items.push(other);
+    }
+    let negatives: Vec<usize> = (0..env.dataset.num_items)
+        .filter(|&i| !env.full_group_item.has_interaction(group, i))
+        .take(2)
+        .collect();
+    items.extend(negatives);
+
+    println!("group #{group} members: {:?}", env.dataset.groups[group]);
+    let mut rows = Vec::new();
+    for (which, trained) in [("GroupSA", &full), ("Group-S", &group_s)] {
+        for (idx, &item) in items.items_iter() {
+            let e = trained.model.explain_group_prediction(&trained.ctx, group, item);
+            let kind = if idx == 0 { "pos(test)" } else if idx == 1 && items.len() == 4 { "pos(train)" } else { "neg" };
+            println!(
+                "{which:8} item #{item:4} [{kind:10}] weights {:?} -> r̂={:.4}",
+                e.member_weights.iter().map(|w| format!("{w:.3}")).collect::<Vec<_>>(),
+                e.probability
+            );
+            rows.push((which.to_string(), item, kind.to_string(), e));
+        }
+    }
+    let _ = output::save_json("table4_case_study", &rows.iter().map(|(w, i, k, e)| {
+        serde_json::json!({"model": w, "item": i, "kind": k, "weights": e.member_weights, "probability": e.probability})
+    }).collect::<Vec<_>>());
+}
+
+trait ItemsIter {
+    fn items_iter(&self) -> std::iter::Enumerate<std::slice::Iter<'_, usize>>;
+}
+impl ItemsIter for Vec<usize> {
+    fn items_iter(&self) -> std::iter::Enumerate<std::slice::Iter<'_, usize>> {
+        self.iter().enumerate()
+    }
+}
+
+/// **Figure 3** — ablation study: GroupSA vs Group-A/S/I/F on the group
+/// task of both datasets.
+pub fn fig3() -> Vec<Leaderboard> {
+    banner("Figure 3: component ablations (group task)");
+    let mut boards = Vec::new();
+    for synth in [yelp_sim(), douban_sim()] {
+        let env = ExperimentEnv::prepare(&synth);
+        let mut lb = Leaderboard::new(format!("Figure 3 — group task ({})", synth.name));
+        let variants = [
+            ("Group-A", Ablation::group_a()),
+            ("Group-S", Ablation::group_s()),
+            ("Group-I", Ablation::group_i()),
+            ("Group-F", Ablation::group_f()),
+            ("GroupSA", Ablation::full()),
+        ];
+        for (name, ablation) in variants {
+            let t = Instant::now();
+            let trained = methods::train_groupsa(&env, sweep_config().with_ablation(ablation));
+            let (_, group) = methods::eval_groupsa(&env, &trained);
+            println!("[{name} on {} {:?}] HR@5={:.4}", synth.name, t.elapsed(), group.hr(5));
+            lb.push(name, &group);
+        }
+        output::emit(&format!("fig3_{}", synth.name), &lb);
+        boards.push(lb);
+    }
+    boards
+}
+
+/// **Table V** — importance of the user-item data: NCF vs Group-G vs
+/// GroupSA on the group task of both datasets.
+pub fn table5() -> Vec<Leaderboard> {
+    banner("Table V: importance of user-item interaction data");
+    let mut boards = Vec::new();
+    for synth in [yelp_sim(), douban_sim()] {
+        let env = ExperimentEnv::prepare(&synth);
+        let mut lb = Leaderboard::new(format!("Table V — group task ({})", synth.name));
+        let (_, ncf_g) = methods::run_ncf(&env, BaselineConfig::paper());
+        lb.push("NCF", &ncf_g);
+        let gg = methods::train_groupsa(&env, GroupSaConfig::paper().with_ablation(Ablation::group_g()));
+        let (_, gg_res) = methods::eval_groupsa(&env, &gg);
+        lb.push("Group-G", &gg_res);
+        let full = methods::train_groupsa(&env, GroupSaConfig::paper());
+        let (_, full_res) = methods::eval_groupsa(&env, &full);
+        lb.push("GroupSA", &full_res);
+        output::emit(&format!("table5_{}", synth.name), &lb);
+        boards.push(lb);
+    }
+    boards
+}
+
+/// A one-parameter sweep on the Yelp-like dataset's group task.
+fn sweep<T: std::fmt::Display + Copy>(
+    title: &str,
+    file: &str,
+    values: &[T],
+    mut configure: impl FnMut(GroupSaConfig, T) -> GroupSaConfig,
+) -> Leaderboard {
+    banner(title);
+    let env = ExperimentEnv::prepare(&yelp_sim());
+    let mut lb = Leaderboard::new(title.to_string());
+    for &v in values {
+        let cfg = configure(sweep_config(), v);
+        let t = Instant::now();
+        let trained = methods::train_groupsa(&env, cfg);
+        let (_, group) = methods::eval_groupsa(&env, &trained);
+        println!("[{v} {:?}] {}", t.elapsed(), output::fmt_per_k(&group.per_k));
+        lb.push_row(Row { method: v.to_string(), per_k: group.per_k.clone() });
+    }
+    output::emit(file, &lb);
+    lb
+}
+
+/// **Table VI** — impact of the number of voting layers `N_X`.
+pub fn table6() -> Leaderboard {
+    sweep("Table VI: impact of N_X (yelp-sim, group task)", "table6_nx", &[1usize, 2, 3, 4, 5], |cfg, nx| {
+        GroupSaConfig { num_voting_layers: nx, ..cfg }
+    })
+}
+
+/// **Table VII** — impact of the blend weight `wᵘ`.
+pub fn table7() -> Leaderboard {
+    sweep(
+        "Table VII: impact of w_u (yelp-sim, group task)",
+        "table7_wu",
+        &[0.1f32, 0.3, 0.5, 0.7, 0.9, 1.0],
+        |cfg, wu| GroupSaConfig { w_u: wu, ..cfg },
+    )
+}
+
+/// **Table VIII** — impact of the number of negatives `N`.
+pub fn table8() -> Leaderboard {
+    sweep("Table VIII: impact of N (yelp-sim, group task)", "table8_n", &[1usize, 2, 3, 4, 5], |cfg, n| {
+        GroupSaConfig { num_negatives: n, ..cfg }
+    })
+}
+
+/// **Table IX** — performance by group size (`l < 3`, `3 ≤ l ≤ 7`,
+/// `l > 7`) on the Yelp-like dataset.
+pub fn table9() -> Leaderboard {
+    banner("Table IX: performance by group size (yelp-sim)");
+    let env = ExperimentEnv::prepare(&yelp_sim());
+    let trained = methods::train_groupsa(&env, GroupSaConfig::paper());
+    let (_, group) = methods::eval_groupsa(&env, &trained);
+    let sizes: Vec<usize> = env.dataset.groups.iter().map(Vec::len).collect();
+    let mut lb = Leaderboard::new("Table IX — GroupSA by group size (yelp-sim, group task)");
+    let bins: [(&str, Box<dyn Fn(usize) -> bool>); 3] = [
+        ("l<3", Box::new(|l| l < 3)),
+        ("3<=l<=7", Box::new(|l| (3..=7).contains(&l))),
+        ("l>7", Box::new(|l| l > 7)),
+    ];
+    for (name, pred) in &bins {
+        match group.filtered(&[5, 10], |o| pred(sizes[o.entity])) {
+            Some(res) => {
+                println!("{name:8} ({} groups): {}", res.outcomes.len(), output::fmt_per_k(&res.per_k));
+                lb.push_row(Row { method: name.to_string(), per_k: res.per_k.clone() });
+            }
+            None => println!("{name:8}: no test groups in this bin"),
+        }
+    }
+    output::emit("table9_group_size", &lb);
+    lb
+}
+
+/// Extension ablations beyond the paper (DESIGN.md §3's implementation
+/// choices and Eq. 5's alternative closeness functions), on the
+/// Yelp-like group task.
+pub fn extra_ablations() -> Leaderboard {
+    banner("Extra ablations: closeness / voting input / group head (yelp-sim, group task)");
+    use groupsa_core::VotingInput;
+    use groupsa_graph::social::Closeness;
+    let env = ExperimentEnv::prepare(&yelp_sim());
+    let mut lb = Leaderboard::new("Extra ablations — group task (yelp-sim)");
+    let variants: Vec<(&str, GroupSaConfig)> = vec![
+        ("closeness=common-nbrs", GroupSaConfig { closeness: Closeness::CommonNeighbors { min_common: 1 }, ..sweep_config() }),
+        ("closeness=all(no-mask)", GroupSaConfig { closeness: Closeness::All, ..sweep_config() }),
+        ("input=enhanced", GroupSaConfig { voting_input: VotingInput::Enhanced, ..sweep_config() }),
+        ("head=paper-literal", GroupSaConfig { lean_group_head: false, ..sweep_config() }),
+        ("default", sweep_config()),
+    ];
+    for (name, cfg) in variants {
+        let t = Instant::now();
+        let trained = methods::train_groupsa(&env, cfg);
+        let (_, group) = methods::eval_groupsa(&env, &trained);
+        println!("[{name} {:?}] {}", t.elapsed(), output::fmt_per_k(&group.per_k));
+        lb.push(name, &group);
+    }
+    output::emit("extra_ablations", &lb);
+    lb
+}
+
+/// Fast vs full inference quality (§II-F): the fast average mode should
+/// be competitive with the full voting path, at a fraction of the cost.
+pub fn fast_vs_full() {
+    banner("§II-F: fast vs full group recommendation");
+    let env = ExperimentEnv::prepare(&yelp_sim());
+    let trained = methods::train_groupsa(&env, GroupSaConfig::paper());
+    let (_, full) = methods::eval_groupsa(&env, &trained);
+    let t = Instant::now();
+    let fast = env.eval_group(&trained.model.fast_group_scorer(&trained.ctx, ScoreAggregation::Average));
+    let fast_time = t.elapsed();
+    let t = Instant::now();
+    let _ = env.eval_group(&trained.model.group_scorer(&trained.ctx));
+    let full_time = t.elapsed();
+    println!("full : {} ({full_time:?})", output::fmt_per_k(&full.per_k));
+    println!("fast : {} ({fast_time:?})", output::fmt_per_k(&fast.per_k));
+}

@@ -1,0 +1,69 @@
+//! Result persistence and paper-style table rendering.
+
+use groupsa_eval::Leaderboard;
+use serde::Serialize;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the workspace root / current dir) where
+/// experiment binaries drop their JSON artifacts.
+pub const RESULTS_DIR: &str = "results";
+
+/// Ensures `results/` exists and returns the path for `name.json`.
+pub fn results_path(name: &str) -> io::Result<PathBuf> {
+    let dir = Path::new(RESULTS_DIR);
+    std::fs::create_dir_all(dir)?;
+    Ok(dir.join(format!("{name}.json")))
+}
+
+/// Serialises any result payload to `results/<name>.json` (pretty).
+pub fn save_json<T: Serialize>(name: &str, payload: &T) -> io::Result<PathBuf> {
+    let path = results_path(name)?;
+    let json = serde_json::to_string_pretty(payload).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Prints a leaderboard with a separating banner, and persists it.
+pub fn emit(name: &str, lb: &Leaderboard) {
+    println!("==================================================================");
+    println!("{lb}");
+    match save_json(name, lb) {
+        Ok(path) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warn] could not save {name}: {e}"),
+    }
+}
+
+/// Formats a `(K, HR, NDCG)` triple list compactly, e.g. for sweep
+/// tables (Tables VI–IX).
+pub fn fmt_per_k(per_k: &[(usize, f64, f64)]) -> String {
+    per_k
+        .iter()
+        .map(|&(k, hr, ndcg)| format!("HR@{k}={hr:.4} NDCG@{k}={ndcg:.4}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_per_k_renders_all_cutoffs() {
+        let s = fmt_per_k(&[(5, 0.8339, 0.6886), (10, 0.9257, 0.7186)]);
+        assert!(s.contains("HR@5=0.8339"));
+        assert!(s.contains("NDCG@10=0.7186"));
+    }
+
+    #[test]
+    fn save_json_roundtrips() {
+        let dir = std::env::temp_dir().join("groupsa-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = save_json("unit", &vec![1, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert!(text.contains('1') && text.contains('3'));
+    }
+}

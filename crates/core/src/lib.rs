@@ -1,0 +1,72 @@
+//! # groupsa-core
+//!
+//! The GroupSA model of *"Group Recommendation with Latent Voting
+//! Mechanism"* (ICDE 2020), built from scratch on the workspace's
+//! autodiff substrate.
+//!
+//! GroupSA addresses **occasional group recommendation** — suggesting
+//! items to ad-hoc groups with almost no group-item history — with three
+//! components (paper §II):
+//!
+//! 1. **Voting scheme** ([`voting`]): the group decision process is
+//!    simulated as stacked rounds of *social self-attention* — scaled
+//!    dot-product attention among the group's members, masked so that
+//!    only socially connected members exchange opinions (Eq. 1–6) —
+//!    followed by an item-conditioned vanilla attention that weights
+//!    each member's voice per candidate item (Eq. 7–10).
+//! 2. **User modeling** ([`user_model`]): each user's representation is
+//!    enriched by attention-aggregating their Top-H TF-IDF interacted
+//!    items (Eq. 11–14) and Top-H friends (Eq. 15–18), fused by an MLP
+//!    (Eq. 19).
+//! 3. **Joint optimization** ([`train`]): the user-item and group-item
+//!    BPR ranking tasks share user/item embeddings and are trained in
+//!    two stages (user-item first, then group fine-tuning, §II-E),
+//!    letting the plentiful user-item data compensate for the sparse
+//!    group-item data.
+//!
+//! The ablation variants of paper §V (Group-A/S/I/F/G) are plain
+//! configuration ([`config::Ablation`]), and the fast inference mode of
+//! §II-F (score members individually, aggregate statically) lives in
+//! [`fast`].
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use groupsa_core::{GroupSa, GroupSaConfig, train::Trainer, context::DataContext};
+//! use groupsa_data::{synthetic, split_dataset};
+//! use groupsa_eval::{evaluate, EvalTask};
+//!
+//! let dataset = synthetic::generate(&synthetic::yelp_sim());
+//! let split = split_dataset(&dataset, 0.2, 0.1, 42);
+//! let ctx = DataContext::build(&dataset, &split, &GroupSaConfig::paper());
+//!
+//! let mut model = GroupSa::new(GroupSaConfig::paper(), dataset.num_users, dataset.num_items);
+//! Trainer::new(GroupSaConfig::paper()).fit(&mut model, &ctx);
+//!
+//! let full = dataset.group_item_graph();
+//! let task = EvalTask::paper(&split.test_group_item, &full, 7);
+//! let result = evaluate(&model.group_scorer(&ctx), &task);
+//! println!("group HR@5 = {:.4}", result.hr(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+#[cfg(test)]
+pub(crate) mod test_fixtures;
+pub mod explain;
+pub mod fast;
+pub mod model;
+pub mod persist;
+pub mod recommend;
+pub mod train;
+pub mod user_model;
+pub mod voting;
+
+pub use config::{Ablation, GroupSaConfig, VotingInput};
+pub use context::DataContext;
+pub use fast::ScoreAggregation;
+pub use model::GroupSa;
+pub use recommend::{GroupMode, Recommendation};
+pub use train::{TrainReport, Trainer};

@@ -1,0 +1,148 @@
+//! High-level Top-K recommendation facade.
+//!
+//! The scorers in [`crate::model`] rank *given* candidate lists (the
+//! evaluation protocol's shape); downstream users mostly want "give me
+//! the Top-K items for this group, excluding what it already did" —
+//! this module provides that.
+
+use crate::context::DataContext;
+use crate::fast::ScoreAggregation;
+use crate::model::GroupSa;
+use serde::{Deserialize, Serialize};
+
+/// One recommendation: an item and its ranking score.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Recommended item id.
+    pub item: usize,
+    /// Raw ranking score (higher = better; comparable within one list).
+    pub score: f32,
+}
+
+/// Which inference path produces group recommendations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupMode {
+    /// The full voting-scheme path (Eq. 1–10, 20).
+    Voting,
+    /// The fast §II-F path with the given member-score aggregation.
+    Fast(ScoreAggregation),
+}
+
+fn top_k(mut scored: Vec<Recommendation>, k: usize) -> Vec<Recommendation> {
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then(a.item.cmp(&b.item))
+    });
+    scored.truncate(k);
+    scored
+}
+
+impl GroupSa {
+    /// Top-K items for a user, excluding their training interactions.
+    ///
+    /// # Panics
+    /// If `user` is out of range.
+    pub fn recommend_for_user(&self, ctx: &DataContext, user: usize, k: usize) -> Vec<Recommendation> {
+        let candidates: Vec<usize> = (0..ctx.num_items)
+            .filter(|&i| !ctx.user_item_graph.has_interaction(user, i))
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.score_user_items(ctx, user, &candidates);
+        top_k(
+            candidates
+                .into_iter()
+                .zip(scores)
+                .map(|(item, score)| Recommendation { item, score })
+                .collect(),
+            k,
+        )
+    }
+
+    /// Top-K items for a group, excluding its training interactions.
+    ///
+    /// # Panics
+    /// If `group` is out of range.
+    pub fn recommend_for_group(&self, ctx: &DataContext, group: usize, k: usize, mode: GroupMode) -> Vec<Recommendation> {
+        let candidates: Vec<usize> = (0..ctx.num_items)
+            .filter(|&i| !ctx.group_item_graph.has_interaction(group, i))
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let scores = match mode {
+            GroupMode::Voting => self.score_group_items(ctx, group, &candidates),
+            GroupMode::Fast(agg) => self.fast_group_scores(ctx, group, &candidates, agg),
+        };
+        top_k(
+            candidates
+                .into_iter()
+                .zip(scores)
+                .map(|(item, score)| Recommendation { item, score })
+                .collect(),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GroupSaConfig;
+    use crate::test_fixtures::tiny_world;
+
+    #[test]
+    fn user_recommendations_exclude_history_and_are_sorted() {
+        let (d, ctx) = tiny_world(51);
+        let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+        let recs = model.recommend_for_user(&ctx, 0, 5);
+        assert_eq!(recs.len(), 5);
+        for r in &recs {
+            assert!(!ctx.user_item_graph.has_interaction(0, r.item), "history must be excluded");
+        }
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score, "descending scores");
+        }
+    }
+
+    #[test]
+    fn group_recommendations_work_in_both_modes() {
+        let (d, ctx) = tiny_world(52);
+        let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+        let voting = model.recommend_for_group(&ctx, 0, 3, GroupMode::Voting);
+        let fast = model.recommend_for_group(&ctx, 0, 3, GroupMode::Fast(ScoreAggregation::Average));
+        assert_eq!(voting.len(), 3);
+        assert_eq!(fast.len(), 3);
+        for r in voting.iter().chain(&fast) {
+            assert!(!ctx.group_item_graph.has_interaction(0, r.item));
+            assert!(r.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_all() {
+        let (d, ctx) = tiny_world(53);
+        let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+        let known = ctx.user_item_graph.user_activity(0);
+        let recs = model.recommend_for_user(&ctx, 0, 10_000);
+        assert_eq!(recs.len(), d.num_items - known);
+    }
+
+    #[test]
+    fn ties_break_by_item_id_for_determinism() {
+        let recs = top_k(
+            vec![
+                Recommendation { item: 9, score: 1.0 },
+                Recommendation { item: 2, score: 1.0 },
+                Recommendation { item: 5, score: 2.0 },
+            ],
+            3,
+        );
+        assert_eq!(recs[0].item, 5);
+        assert_eq!(recs[1].item, 2, "tied scores order by ascending item id");
+        assert_eq!(recs[2].item, 9);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared test fixtures for the core crate's unit tests.
+
+use crate::config::GroupSaConfig;
+use crate::context::DataContext;
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use groupsa_data::Dataset;
+
+/// A small but structurally complete synthetic world (users, items,
+/// groups, social ties) plus a context built with the tiny model
+/// configuration.
+pub(crate) fn tiny_world(seed: u64) -> (Dataset, DataContext) {
+    let dataset = generate(&SyntheticConfig {
+        name: format!("tiny-world-{seed}"),
+        seed,
+        num_users: 60,
+        num_items: 40,
+        num_groups: 25,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.5,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.8,
+        social_influence: 0.3,
+        expertise_sharpness: 2.0,
+        taste_temperature: 0.3,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+    });
+    let ctx = DataContext::from_train_view(&dataset, &GroupSaConfig::tiny());
+    (dataset, ctx)
+}

@@ -1,0 +1,226 @@
+//! Negative sampling for BPR training and for the evaluation protocol.
+//!
+//! Training (paper §II-E): "At each gradient step, we randomly sample a
+//! positive user-item example and N negative examples."
+//!
+//! Evaluation (paper §III-C): "we randomly select 100 items that have
+//! never been interacted by the tested user or group as the candidate
+//! set."
+
+use groupsa_graph::Bipartite;
+use rand::{Rng, RngExt};
+
+/// Samples `n` items the entity has never interacted with (according
+/// to `interactions`, with the entity on the left side). Sampling is
+/// with replacement across calls but without replacement within one
+/// call when `distinct` is set.
+///
+/// # Panics
+/// If the entity has interacted with every item (no negatives exist),
+/// or if `distinct` negatives are requested but fewer exist.
+pub fn sample_negatives(
+    rng: &mut impl Rng,
+    interactions: &Bipartite,
+    entity: usize,
+    n: usize,
+    distinct: bool,
+) -> Vec<usize> {
+    let num_items = interactions.num_items();
+    let known = interactions.user_activity(entity);
+    assert!(
+        num_items > known,
+        "entity {entity} interacted with all {num_items} items; no negatives exist"
+    );
+    if distinct {
+        assert!(
+            num_items - known >= n,
+            "entity {entity}: requested {n} distinct negatives but only {} exist",
+            num_items - known
+        );
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut taken = std::collections::HashSet::new();
+    while out.len() < n {
+        let cand = rng.random_range(0..num_items);
+        if interactions.has_interaction(entity, cand) {
+            continue;
+        }
+        if distinct && !taken.insert(cand) {
+            continue;
+        }
+        out.push(cand);
+    }
+    out
+}
+
+/// One BPR training example: an observed positive pair plus `n`
+/// sampled negatives for the same left-hand entity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BprExample {
+    /// The user (or group) id.
+    pub entity: usize,
+    /// The observed positive item.
+    pub positive: usize,
+    /// `n` unobserved items.
+    pub negatives: Vec<usize>,
+}
+
+/// Draws one uniformly random positive pair from `pairs` and attaches
+/// `n` negatives sampled against `interactions`.
+///
+/// # Panics
+/// If `pairs` is empty (there is nothing to train on).
+pub fn sample_bpr_example(
+    rng: &mut impl Rng,
+    pairs: &[(usize, usize)],
+    interactions: &Bipartite,
+    n: usize,
+) -> BprExample {
+    assert!(!pairs.is_empty(), "sample_bpr_example: no positive pairs");
+    let (entity, positive) = pairs[rng.random_range(0..pairs.len())];
+    let negatives = sample_negatives(rng, interactions, entity, n, false);
+    BprExample { entity, positive, negatives }
+}
+
+/// An epoch-style iterator: visits every positive pair once, in a
+/// shuffled order, attaching fresh negatives to each. Collecting it
+/// gives one full BPR epoch.
+pub fn bpr_epoch<'a, R: Rng>(
+    rng: &'a mut R,
+    pairs: &'a [(usize, usize)],
+    interactions: &'a Bipartite,
+    n: usize,
+) -> impl Iterator<Item = BprExample> + 'a {
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    order.into_iter().map(move |idx| {
+        let (entity, positive) = pairs[idx];
+        let negatives = sample_negatives(rng, interactions, entity, n, false);
+        BprExample { entity, positive, negatives }
+    })
+}
+
+/// The paper's evaluation candidate set: the held-out positive plus
+/// `num_candidates` distinct items never interacted by the entity in
+/// *either* split (`full_interactions` should therefore be built from
+/// train ∪ test). The positive is placed at index 0.
+///
+/// On small item universes the request is capped at the number of
+/// negatives that actually exist for the entity, so the protocol stays
+/// total (an entity that interacted with almost everything is simply
+/// ranked against fewer candidates).
+pub fn eval_candidates(
+    rng: &mut impl Rng,
+    full_interactions: &Bipartite,
+    entity: usize,
+    positive: usize,
+    num_candidates: usize,
+) -> Vec<usize> {
+    let available = full_interactions.num_items() - full_interactions.user_activity(entity);
+    let n = num_candidates.min(available);
+    let mut c = Vec::with_capacity(n + 1);
+    c.push(positive);
+    c.extend(sample_negatives(rng, full_interactions, entity, n, true));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupsa_tensor::rng::seeded;
+
+    fn graph() -> Bipartite {
+        // user 0: items {0,1}; user 1: item {2} out of 6 items.
+        Bipartite::from_pairs(2, 6, &[(0, 0), (0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn negatives_never_collide_with_positives() {
+        let b = graph();
+        let mut rng = seeded(1);
+        for _ in 0..200 {
+            for neg in sample_negatives(&mut rng, &b, 0, 3, false) {
+                assert!(!b.has_interaction(0, neg));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_negatives_are_distinct() {
+        let b = graph();
+        let mut rng = seeded(2);
+        let negs = sample_negatives(&mut rng, &b, 0, 4, true);
+        let set: std::collections::HashSet<_> = negs.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct negatives")]
+    fn too_many_distinct_negatives_panics() {
+        let b = graph();
+        let mut rng = seeded(3);
+        let _ = sample_negatives(&mut rng, &b, 0, 5, true); // only 4 exist
+    }
+
+    #[test]
+    fn bpr_example_is_well_formed() {
+        let b = graph();
+        let pairs = vec![(0, 0), (0, 1), (1, 2)];
+        let mut rng = seeded(4);
+        for _ in 0..50 {
+            let ex = sample_bpr_example(&mut rng, &pairs, &b, 2);
+            assert!(b.has_interaction(ex.entity, ex.positive));
+            assert_eq!(ex.negatives.len(), 2);
+            for &n in &ex.negatives {
+                assert!(!b.has_interaction(ex.entity, n));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_visits_every_positive_once() {
+        let b = graph();
+        let pairs = vec![(0, 0), (0, 1), (1, 2)];
+        let mut rng = seeded(5);
+        let examples: Vec<_> = bpr_epoch(&mut rng, &pairs, &b, 1).collect();
+        assert_eq!(examples.len(), pairs.len());
+        let mut seen: Vec<_> = examples.iter().map(|e| (e.entity, e.positive)).collect();
+        seen.sort_unstable();
+        let mut expected = pairs.clone();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn eval_candidates_have_positive_first_and_clean_negatives() {
+        let b = graph();
+        let mut rng = seeded(6);
+        let cands = eval_candidates(&mut rng, &b, 0, 1, 3);
+        assert_eq!(cands.len(), 4);
+        assert_eq!(cands[0], 1);
+        for &c in &cands[1..] {
+            assert!(!b.has_interaction(0, c));
+        }
+    }
+
+    #[test]
+    fn eval_candidates_cap_at_available_negatives() {
+        // Entity 0 has interacted with 2 of 6 items → only 4 negatives
+        // exist; a request for 100 candidates must not panic.
+        let b = graph();
+        let mut rng = seeded(7);
+        let cands = eval_candidates(&mut rng, &b, 0, 1, 100);
+        assert_eq!(cands.len(), 5); // positive + the 4 existing negatives
+        assert_eq!(cands[0], 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let b = graph();
+        let a: Vec<_> = sample_negatives(&mut seeded(9), &b, 0, 5, false);
+        let c: Vec<_> = sample_negatives(&mut seeded(9), &b, 0, 5, false);
+        assert_eq!(a, c);
+    }
+}

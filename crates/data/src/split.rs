@@ -1,0 +1,177 @@
+//! Train / validation / test splitting (paper §III-C).
+//!
+//! "We randomly select 80% of the group-item and user-item interactions
+//! for training, and the remaining are used for testing. In the training
+//! dataset, we randomly choose 10% records as the validation set."
+
+use crate::dataset::{Dataset, GroupId, ItemId, UserId};
+use groupsa_tensor::rng::seeded;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// An 80/10/10-style split of both interaction relations. Group
+/// membership and the social network are side information, not
+/// interactions, and are left intact.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training user–item interactions.
+    pub train_user_item: Vec<(UserId, ItemId)>,
+    /// Validation user–item interactions (carved out of train).
+    pub valid_user_item: Vec<(UserId, ItemId)>,
+    /// Held-out user–item interactions.
+    pub test_user_item: Vec<(UserId, ItemId)>,
+    /// Training group–item interactions.
+    pub train_group_item: Vec<(GroupId, ItemId)>,
+    /// Validation group–item interactions (carved out of train).
+    pub valid_group_item: Vec<(GroupId, ItemId)>,
+    /// Held-out group–item interactions.
+    pub test_group_item: Vec<(GroupId, ItemId)>,
+}
+
+impl Split {
+    /// A training-view [`Dataset`]: identical side information, but only
+    /// the training interactions (validation excluded). This is what
+    /// models are allowed to see.
+    pub fn train_view(&self, base: &Dataset) -> Dataset {
+        Dataset {
+            name: format!("{}-train", base.name),
+            user_item: self.train_user_item.clone(),
+            group_item: self.train_group_item.clone(),
+            ..base.clone()
+        }
+    }
+}
+
+/// Splits `dataset` with the paper's ratios: `test_frac` held out
+/// (paper: 0.2), then `valid_frac` of the remaining training records
+/// (paper: 0.1) carved out for validation. Deterministic in `seed`.
+///
+/// # Panics
+/// If the fractions are outside `[0, 1)` or sum to ≥ 1 of the data.
+pub fn split_dataset(dataset: &Dataset, test_frac: f64, valid_frac: f64, seed: u64) -> Split {
+    assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1), got {test_frac}");
+    assert!((0.0..1.0).contains(&valid_frac), "valid_frac must be in [0,1), got {valid_frac}");
+    let mut rng = seeded(seed);
+    let (train_user_item, valid_user_item, test_user_item) =
+        three_way(&dataset.user_item, test_frac, valid_frac, &mut rng);
+    let (train_group_item, valid_group_item, test_group_item) =
+        three_way(&dataset.group_item, test_frac, valid_frac, &mut rng);
+    Split {
+        train_user_item,
+        valid_user_item,
+        test_user_item,
+        train_group_item,
+        valid_group_item,
+        test_group_item,
+    }
+}
+
+type Pairs = Vec<(usize, usize)>;
+
+fn three_way(pairs: &[(usize, usize)], test_frac: f64, valid_frac: f64, rng: &mut impl Rng) -> (Pairs, Pairs, Pairs) {
+    let mut shuffled = pairs.to_vec();
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, rng.random_range(0..=i));
+    }
+    let n = shuffled.len();
+    let n_test = (n as f64 * test_frac).round() as usize;
+    let test = shuffled.split_off(n - n_test);
+    let n_valid = (shuffled.len() as f64 * valid_frac).round() as usize;
+    let valid = shuffled.split_off(shuffled.len() - n_valid);
+    (shuffled, valid, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    fn cfg() -> SyntheticConfig {
+        SyntheticConfig {
+            name: "split-test".into(),
+            seed: 11,
+            num_users: 100,
+            num_items: 60,
+            num_groups: 50,
+            num_topics: 4,
+            latent_dim: 4,
+            avg_items_per_user: 10.0,
+            avg_friends_per_user: 5.0,
+            avg_items_per_group: 1.5,
+            mean_group_size: 4.0,
+            zipf_exponent: 0.8,
+            homophily: 0.8,
+            social_influence: 0.3,
+            expertise_sharpness: 2.0,
+            taste_temperature: 0.35,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_complete() {
+        let d = generate(&cfg());
+        let s = split_dataset(&d, 0.2, 0.1, 42);
+        let mut all: Vec<_> = s
+            .train_user_item
+            .iter()
+            .chain(&s.valid_user_item)
+            .chain(&s.test_user_item)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut orig = d.user_item.clone();
+        orig.sort_unstable();
+        assert_eq!(all, orig, "partitions must reassemble the original data");
+        // Pairwise disjoint by construction (they partition a shuffle);
+        // verify counts instead of set ops.
+        assert_eq!(
+            s.train_user_item.len() + s.valid_user_item.len() + s.test_user_item.len(),
+            d.user_item.len()
+        );
+    }
+
+    #[test]
+    fn ratios_respected() {
+        let d = generate(&cfg());
+        let s = split_dataset(&d, 0.2, 0.1, 42);
+        let n = d.user_item.len() as f64;
+        let test_frac = s.test_user_item.len() as f64 / n;
+        assert!((test_frac - 0.2).abs() < 0.02, "test fraction {test_frac}");
+        let valid_frac = s.valid_user_item.len() as f64 / (n - s.test_user_item.len() as f64);
+        assert!((valid_frac - 0.1).abs() < 0.02, "valid fraction {valid_frac}");
+        // Group-item relation split too.
+        assert!(!s.test_group_item.is_empty());
+        assert!(!s.train_group_item.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = generate(&cfg());
+        assert_eq!(split_dataset(&d, 0.2, 0.1, 7), split_dataset(&d, 0.2, 0.1, 7));
+        assert_ne!(split_dataset(&d, 0.2, 0.1, 7), split_dataset(&d, 0.2, 0.1, 8));
+    }
+
+    #[test]
+    fn train_view_masks_held_out_data() {
+        let d = generate(&cfg());
+        let s = split_dataset(&d, 0.2, 0.1, 42);
+        let view = s.train_view(&d);
+        assert_eq!(view.user_item, s.train_user_item);
+        assert_eq!(view.group_item, s.train_group_item);
+        // Side information preserved.
+        assert_eq!(view.groups, d.groups);
+        assert_eq!(view.social, d.social);
+        assert_eq!(view.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_fractions_keep_everything_in_train() {
+        let d = generate(&cfg());
+        let s = split_dataset(&d, 0.0, 0.0, 1);
+        assert_eq!(s.train_user_item.len(), d.user_item.len());
+        assert!(s.test_user_item.is_empty());
+        assert!(s.valid_user_item.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Dataset statistics — the columns of paper Table I.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The summary statistics reported in paper Table I.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `# Users`.
+    pub num_users: usize,
+    /// `# Items/Events`.
+    pub num_items: usize,
+    /// `# Groups`.
+    pub num_groups: usize,
+    /// `Avg. group size`.
+    pub avg_group_size: f64,
+    /// `Avg. # interactions per user`.
+    pub avg_interactions_per_user: f64,
+    /// `Avg. # friends per user`.
+    pub avg_friends_per_user: f64,
+    /// `Avg. # interactions per group`.
+    pub avg_interactions_per_group: f64,
+}
+
+impl DatasetStats {
+    /// Computes the Table-I statistics of a dataset.
+    pub fn compute(d: &Dataset) -> Self {
+        let groups = d.num_groups().max(1) as f64;
+        let users = d.num_users.max(1) as f64;
+        Self {
+            name: d.name.clone(),
+            num_users: d.num_users,
+            num_items: d.num_items,
+            num_groups: d.num_groups(),
+            avg_group_size: d.groups.iter().map(Vec::len).sum::<usize>() as f64 / groups,
+            avg_interactions_per_user: d.user_item.len() as f64 / users,
+            avg_friends_per_user: 2.0 * d.social.len() as f64 / users,
+            avg_interactions_per_group: d.group_item.len() as f64 / groups,
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Statistics ({}):", self.name)?;
+        writeln!(f, "  # Users                        {:>8}", self.num_users)?;
+        writeln!(f, "  # Items/Events                 {:>8}", self.num_items)?;
+        writeln!(f, "  # Groups                       {:>8}", self.num_groups)?;
+        writeln!(f, "  Avg. group size                {:>8.2}", self.avg_group_size)?;
+        writeln!(f, "  Avg. # interactions per user   {:>8.2}", self.avg_interactions_per_user)?;
+        writeln!(f, "  Avg. # friends per user        {:>8.2}", self.avg_friends_per_user)?;
+        write!(f, "  Avg. # interactions per group  {:>8.2}", self.avg_interactions_per_group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_table1_columns() {
+        let d = Dataset {
+            name: "t".into(),
+            num_users: 4,
+            num_items: 5,
+            groups: vec![vec![0, 1], vec![1, 2, 3], vec![0]],
+            user_item: vec![(0, 0), (0, 1), (1, 2), (2, 3)],
+            group_item: vec![(0, 1), (1, 2), (1, 3)],
+            social: vec![(0, 1), (1, 2)],
+        };
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.num_users, 4);
+        assert_eq!(s.num_items, 5);
+        assert_eq!(s.num_groups, 3);
+        assert!((s.avg_group_size - 2.0).abs() < 1e-12);
+        assert!((s.avg_interactions_per_user - 1.0).abs() < 1e-12);
+        assert!((s.avg_friends_per_user - 1.0).abs() < 1e-12);
+        assert!((s.avg_interactions_per_group - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let d = Dataset {
+            name: "disp".into(),
+            num_users: 1,
+            num_items: 1,
+            groups: vec![vec![0]],
+            user_item: vec![],
+            group_item: vec![],
+            social: vec![],
+        };
+        let text = DatasetStats::compute(&d).to_string();
+        for needle in ["# Users", "# Items/Events", "# Groups", "group size", "per user", "friends", "per group"] {
+            assert!(text.contains(needle), "missing row {needle}: {text}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_does_not_divide_by_zero() {
+        let d = Dataset {
+            name: "empty".into(),
+            num_users: 0,
+            num_items: 0,
+            groups: vec![],
+            user_item: vec![],
+            group_item: vec![],
+            social: vec![],
+        };
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.avg_group_size, 0.0);
+        assert_eq!(s.avg_interactions_per_user, 0.0);
+    }
+}

@@ -1,0 +1,736 @@
+//! Seeded synthetic dataset generators standing in for Yelp and
+//! Douban-Event (paper Table I).
+//!
+//! The generators plant a *latent voting ground truth*:
+//!
+//! 1. **Topics.** Users and items belong to latent topic clusters with
+//!    Gaussian latent vectors around each topic centre.
+//! 2. **Homophilous social network.** Most friendships form inside a
+//!    topic cluster; a user's effective taste is pulled towards their
+//!    friends' ([`SyntheticConfig::social_influence`]) — the social
+//!    correlation the paper's social aggregation (Eq. 15–18) exploits.
+//! 3. **Zipf popularity.** Item exposure follows a Zipf law, so
+//!    popularity is a meaningful (but beatable) baseline signal.
+//! 4. **User–item interactions.** Each user samples items from a
+//!    popularity-biased candidate pool by softmax affinity to their
+//!    taste vector.
+//! 5. **Groups.** Grown by random walks on the social graph — mirroring
+//!    how SIGR extracted groups ("users connected on the social network
+//!    attending the same event", §III-B).
+//! 6. **Group–item interactions (the latent vote).** For each decision,
+//!    every member gets a weight proportional to
+//!    `exp(sharpness · expertise(member, topic(candidate)))` — the
+//!    domain expert dominates restaurant picks but not movie picks —
+//!    and the group chooses by the weighted-average taste. Recovering
+//!    these *item-conditioned member weights* is precisely GroupSA's
+//!    claim, so methods that learn per-item member weighting should win
+//!    here, static aggregation should trail, and member-blind methods
+//!    (NCF/Pop on the group task) should trail badly — the shape of
+//!    paper Tables II/III.
+//!
+//! Scale is reduced ~20× from Table I so the full benchmark suite runs
+//! on one CPU in minutes; all comparisons are relative (DESIGN.md §1).
+
+use crate::dataset::Dataset;
+use groupsa_tensor::rng::{seeded, standard_normal};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Everything that controls a synthetic dataset. See the module docs
+/// for the role of each knob.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Dataset name (appears in reports).
+    pub name: String,
+    /// Master seed; every derived quantity is deterministic in it.
+    pub seed: u64,
+    /// Number of users `m`.
+    pub num_users: usize,
+    /// Number of items `n`.
+    pub num_items: usize,
+    /// Number of groups `k`.
+    pub num_groups: usize,
+    /// Number of latent topic clusters.
+    pub num_topics: usize,
+    /// Ground-truth latent dimensionality (independent of model width).
+    pub latent_dim: usize,
+    /// Target mean of interactions per user (Table I: 13.98 / 25.22).
+    pub avg_items_per_user: f64,
+    /// Target mean of friends per user (Table I: 20.77 / 40.86, scaled).
+    pub avg_friends_per_user: f64,
+    /// Target mean of interactions per group (Table I: 1.12 / 1.47).
+    pub avg_items_per_group: f64,
+    /// Target mean group size (Table I: 4.45 / 4.84).
+    pub mean_group_size: f64,
+    /// Zipf exponent of item exposure.
+    pub zipf_exponent: f64,
+    /// Probability that a friendship forms within a topic cluster.
+    pub homophily: f64,
+    /// Blend factor pulling a user's taste towards the mean of their
+    /// friends' (0 = independent tastes).
+    pub social_influence: f64,
+    /// Vote sharpness β: how strongly a member's topic expertise
+    /// dominates the group decision for items of that topic.
+    pub expertise_sharpness: f64,
+    /// Softmax temperature of item choices (lower = more deterministic
+    /// taste, easier signal).
+    pub taste_temperature: f64,
+    /// Discussion/consensus strength ρ: before a group votes, each
+    /// member's effective taste is blended with the mean taste of their
+    /// *in-group friends* (paper Fig. 2: members "exchange opinions with
+    /// friends to reach a consensus"). Only models that see the
+    /// intra-group social structure (GroupSA's social self-attention)
+    /// can capture this.
+    pub consensus_blend: f64,
+    /// Connectedness boost δ: a member's vote weight is multiplied by
+    /// `(1 + in-group degree)^δ` — socially connected members are heard
+    /// more (§I: "users usually appreciate and value the suggestions
+    /// from their friends").
+    pub connectedness_boost: f64,
+}
+
+/// Scaled-down analogue of the paper's Yelp dataset (Table I column 1).
+pub fn yelp_sim() -> SyntheticConfig {
+    SyntheticConfig {
+        name: "yelp-sim".into(),
+        seed: 0x59454c50, // "YELP"
+        num_users: 1200,
+        num_items: 900,
+        num_groups: 4800,
+        num_topics: 12,
+        latent_dim: 8,
+        avg_items_per_user: 14.0,
+        avg_friends_per_user: 8.0,
+        avg_items_per_group: 1.12,
+        mean_group_size: 4.45,
+        zipf_exponent: 0.8,
+        homophily: 0.45,
+        social_influence: 0.15,
+        expertise_sharpness: 3.5,
+        taste_temperature: 0.25,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    }
+}
+
+/// Scaled-down analogue of the paper's Douban-Event dataset
+/// (Table I column 2): denser user histories and social ties, more
+/// items than users, slightly larger groups.
+pub fn douban_sim() -> SyntheticConfig {
+    SyntheticConfig {
+        name: "douban-sim".into(),
+        seed: 0x444f5542, // "DOUB"
+        num_users: 1000,
+        num_items: 1400,
+        num_groups: 4000,
+        num_topics: 12,
+        latent_dim: 8,
+        avg_items_per_user: 25.0,
+        avg_friends_per_user: 13.0,
+        avg_items_per_group: 1.47,
+        mean_group_size: 4.84,
+        zipf_exponent: 0.75,
+        homophily: 0.45,
+        social_influence: 0.2,
+        expertise_sharpness: 3.5,
+        taste_temperature: 0.25,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    }
+}
+
+/// The planted ground truth behind a generated dataset — exposed for
+/// tests and diagnostics, never for training.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// Per-user effective taste vector (after social blending).
+    pub user_latent: Vec<Vec<f32>>,
+    /// Per-item latent vector.
+    pub item_latent: Vec<Vec<f32>>,
+    /// Topic cluster of every user.
+    pub user_cluster: Vec<usize>,
+    /// Topic cluster of every item.
+    pub item_topic: Vec<usize>,
+    /// Per-user per-topic expertise (drives the latent vote).
+    pub expertise: Vec<Vec<f32>>,
+}
+
+/// Generates a dataset from `cfg` (ground truth discarded).
+pub fn generate(cfg: &SyntheticConfig) -> Dataset {
+    generate_with_truth(cfg).0
+}
+
+/// Generates a dataset and its planted ground truth.
+pub fn generate_with_truth(cfg: &SyntheticConfig) -> (Dataset, GroundTruth) {
+    assert!(cfg.num_topics > 0 && cfg.latent_dim > 0, "topics and latent_dim must be positive");
+    assert!(cfg.num_users > 1 && cfg.num_items > 1, "need at least two users and items");
+    let mut rng = seeded(cfg.seed);
+    let d = cfg.latent_dim;
+
+    // 1. Topic centres.
+    let centers: Vec<Vec<f32>> = (0..cfg.num_topics)
+        .map(|_| (0..d).map(|_| standard_normal(&mut rng)).collect())
+        .collect();
+
+    // 2. Users: cluster, base taste, expertise.
+    let user_cluster: Vec<usize> = (0..cfg.num_users).map(|_| rng.random_range(0..cfg.num_topics)).collect();
+    let base_taste: Vec<Vec<f32>> = user_cluster
+        .iter()
+        .map(|&c| {
+            centers[c]
+                .iter()
+                .map(|&x| x + 0.6 * standard_normal(&mut rng))
+                .collect()
+        })
+        .collect();
+    // Expertise is *observable*: a user is an expert on a topic to the
+    // degree their taste aligns with the topic centre (plus mild
+    // noise). This makes the planted vote weights recoverable from
+    // behaviour — the structure GroupSA's item-conditioned member
+    // attention is designed to learn.
+    let center_norms: Vec<f32> = centers
+        .iter()
+        .map(|c| c.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6))
+        .collect();
+    let expertise: Vec<Vec<f32>> = base_taste
+        .iter()
+        .map(|taste| {
+            (0..cfg.num_topics)
+                .map(|k| {
+                    let align: f32 =
+                        taste.iter().zip(&centers[k]).map(|(&t, &c)| t * c).sum::<f32>() / center_norms[k];
+                    align + 0.15 * standard_normal(&mut rng)
+                })
+                .collect()
+        })
+        .collect();
+
+    // 3. Items: topic, latent, Zipf exposure.
+    let item_topic: Vec<usize> = (0..cfg.num_items).map(|_| rng.random_range(0..cfg.num_topics)).collect();
+    let item_latent: Vec<Vec<f32>> = item_topic
+        .iter()
+        .map(|&c| {
+            centers[c]
+                .iter()
+                .map(|&x| x + 0.5 * standard_normal(&mut rng))
+                .collect()
+        })
+        .collect();
+    // Random rank assignment → Zipf weights → sampling CDF.
+    let mut ranks: Vec<usize> = (1..=cfg.num_items).collect();
+    shuffle(&mut ranks, &mut rng);
+    let pop_weights: Vec<f64> = ranks.iter().map(|&r| 1.0 / (r as f64).powf(cfg.zipf_exponent)).collect();
+    let pop_cdf = cumulative(&pop_weights);
+
+    // 4. Social network (homophilous).
+    let mut cluster_members: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_topics];
+    for (u, &c) in user_cluster.iter().enumerate() {
+        cluster_members[c].push(u);
+    }
+    let target_edges = (cfg.num_users as f64 * cfg.avg_friends_per_user / 2.0) as usize;
+    let mut edge_set: HashSet<(usize, usize)> = HashSet::with_capacity(target_edges * 2);
+    let mut attempts = 0usize;
+    let max_attempts = target_edges * 50;
+    while edge_set.len() < target_edges && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.random_range(0..cfg.num_users);
+        let b = if rng.random::<f64>() < cfg.homophily {
+            let peers = &cluster_members[user_cluster[a]];
+            peers[rng.random_range(0..peers.len())]
+        } else {
+            rng.random_range(0..cfg.num_users)
+        };
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        edge_set.insert(key);
+    }
+    let social: Vec<(usize, usize)> = {
+        let mut v: Vec<_> = edge_set.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+
+    // 5. Social influence: blend each taste towards the friend mean.
+    let mut friends: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_users];
+    for &(a, b) in &social {
+        friends[a].push(b);
+        friends[b].push(a);
+    }
+    let user_latent: Vec<Vec<f32>> = (0..cfg.num_users)
+        .map(|u| {
+            if friends[u].is_empty() || cfg.social_influence == 0.0 {
+                return base_taste[u].clone();
+            }
+            let mut mean = vec![0.0f32; d];
+            for &f in &friends[u] {
+                for (m, &x) in mean.iter_mut().zip(&base_taste[f]) {
+                    *m += x;
+                }
+            }
+            let inv = 1.0 / friends[u].len() as f32;
+            let w = cfg.social_influence as f32;
+            base_taste[u]
+                .iter()
+                .zip(&mean)
+                .map(|(&own, &fm)| (1.0 - w) * own + w * fm * inv)
+                .collect()
+        })
+        .collect();
+
+    // 6. User–item interactions.
+    const CANDIDATES: usize = 24;
+    let mut user_item: Vec<(usize, usize)> = Vec::new();
+    for u in 0..cfg.num_users {
+        // Log-normal-ish activity spread around the target mean.
+        let mult = (0.4 * standard_normal(&mut rng) as f64).exp();
+        let count = ((cfg.avg_items_per_user * mult).round() as usize).clamp(3, cfg.num_items / 2);
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(count);
+        let mut guard = 0;
+        while chosen.len() < count && guard < count * 20 {
+            guard += 1;
+            let pick = pick_by_taste(
+                &mut rng,
+                &pop_cdf,
+                CANDIDATES,
+                cfg.taste_temperature,
+                |v| dot(&user_latent[u], &item_latent[v]),
+            );
+            chosen.insert(pick);
+        }
+        let mut items: Vec<usize> = chosen.into_iter().collect();
+        items.sort_unstable();
+        user_item.extend(items.into_iter().map(|i| (u, i)));
+    }
+
+    // 7. Groups: random walks on the social graph.
+    let groups: Vec<Vec<usize>> = (0..cfg.num_groups)
+        .map(|_| {
+            let size = sample_group_size(&mut rng, cfg.mean_group_size);
+            grow_group(&mut rng, &friends, &cluster_members, &user_cluster, size, cfg.num_users)
+        })
+        .collect();
+
+    // 8. Group–item interactions: the latent vote with in-group
+    // discussion. Group choices are drawn from a flatter popularity pool
+    // than individual choices (a group event is less exposure-driven
+    // than an individual visit).
+    let group_pop_weights: Vec<f64> = pop_weights.iter().map(|w| w.sqrt()).collect();
+    let group_pop_cdf = cumulative(&group_pop_weights);
+    let mut group_item: Vec<(usize, usize)> = Vec::new();
+    for (t, members) in groups.iter().enumerate() {
+        let vote = GroupVote::new(members, &friends, &user_latent, &expertise, cfg);
+        let count = sample_shifted_geometric(&mut rng, cfg.avg_items_per_group);
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(count);
+        let mut guard = 0;
+        while chosen.len() < count && guard < count * 20 {
+            guard += 1;
+            let pick = pick_by_taste(&mut rng, &group_pop_cdf, CANDIDATES, cfg.taste_temperature, |v| {
+                vote.score(v, &item_latent, &item_topic)
+            });
+            chosen.insert(pick);
+        }
+        let mut items: Vec<usize> = chosen.into_iter().collect();
+        items.sort_unstable();
+        group_item.extend(items.into_iter().map(|i| (t, i)));
+    }
+
+    let dataset = Dataset {
+        name: cfg.name.clone(),
+        num_users: cfg.num_users,
+        num_items: cfg.num_items,
+        groups,
+        user_item,
+        group_item,
+        social,
+    };
+    debug_assert_eq!(dataset.validate(), Ok(()));
+    let truth = GroundTruth { user_latent, item_latent, user_cluster, item_topic, expertise };
+    (dataset, truth)
+}
+
+/// The planted decision rule of one group — the "latent voting
+/// mechanism" the paper's model is built to recover:
+///
+/// 1. **Discussion** (Fig. 2): each member's effective taste is blended
+///    with the mean taste of their in-group friends
+///    (`consensus_blend`), so opinions shift along social edges before
+///    the vote.
+/// 2. **Vote**: member `i` gets weight
+///    `softmax(sharpness · expertise_i[topic(v)] + connectedness_boost
+///    · ln(1 + in-group degree))` — topic experts and socially
+///    well-connected members are heard more.
+/// 3. The group's score for item `v` is the weight-averaged affinity of
+///    the post-discussion tastes.
+pub(crate) struct GroupVote {
+    members: Vec<usize>,
+    /// Post-discussion effective tastes, parallel to `members`.
+    effective: Vec<Vec<f32>>,
+    /// `ln(1 + in-group degree) · δ` bias per member.
+    conn_bias: Vec<f64>,
+    sharpness: f64,
+    expertise: Vec<Vec<f32>>,
+}
+
+impl GroupVote {
+    pub(crate) fn new(
+        members: &[usize],
+        friends: &[Vec<usize>],
+        user_latent: &[Vec<f32>],
+        expertise: &[Vec<f32>],
+        cfg: &SyntheticConfig,
+    ) -> Self {
+        let in_group: HashSet<usize> = members.iter().copied().collect();
+        let rho = cfg.consensus_blend as f32;
+        let mut effective = Vec::with_capacity(members.len());
+        let mut conn_bias = Vec::with_capacity(members.len());
+        for &u in members {
+            let peers: Vec<usize> = friends[u].iter().copied().filter(|f| in_group.contains(f)).collect();
+            let taste = if peers.is_empty() || rho == 0.0 {
+                user_latent[u].clone()
+            } else {
+                let inv = 1.0 / peers.len() as f32;
+                user_latent[u]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &own)| {
+                        let peer_mean: f32 = peers.iter().map(|&p| user_latent[p][k]).sum::<f32>() * inv;
+                        (1.0 - rho) * own + rho * peer_mean
+                    })
+                    .collect()
+            };
+            effective.push(taste);
+            conn_bias.push(cfg.connectedness_boost * (1.0 + peers.len() as f64).ln());
+        }
+        Self {
+            members: members.to_vec(),
+            effective,
+            conn_bias,
+            sharpness: cfg.expertise_sharpness,
+            expertise: members.iter().map(|&u| expertise[u].clone()).collect(),
+        }
+    }
+
+    /// The group's latent score for `item`.
+    pub(crate) fn score(&self, item: usize, item_latent: &[Vec<f32>], item_topic: &[usize]) -> f32 {
+        let topic = item_topic[item];
+        let raw: Vec<f64> = (0..self.members.len())
+            .map(|i| (self.sharpness * self.expertise[i][topic] as f64 + self.conn_bias[i]).exp())
+            .collect();
+        let total: f64 = raw.iter().sum();
+        let mut score = 0.0f32;
+        for (i, w) in raw.iter().enumerate() {
+            score += (w / total) as f32 * dot(&self.effective[i], &item_latent[item]);
+        }
+        score
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Samples an index from a cumulative weight vector by binary search.
+fn sample_cdf(rng: &mut impl Rng, cdf: &[f64]) -> usize {
+    let total = *cdf.last().expect("non-empty cdf");
+    let x = rng.random::<f64>() * total;
+    cdf.partition_point(|&c| c < x).min(cdf.len() - 1)
+}
+
+/// Draws `candidates` popularity-weighted items and picks one by
+/// softmax of `affinity / temperature`.
+fn pick_by_taste(
+    rng: &mut impl Rng,
+    pop_cdf: &[f64],
+    candidates: usize,
+    temperature: f64,
+    affinity: impl Fn(usize) -> f32,
+) -> usize {
+    let pool: Vec<usize> = (0..candidates).map(|_| sample_cdf(rng, pop_cdf)).collect();
+    let scores: Vec<f64> = pool.iter().map(|&v| affinity(v) as f64 / temperature).collect();
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let cdf = cumulative(&weights);
+    pool[sample_cdf(rng, &cdf)]
+}
+
+/// Group sizes: `2 + Exp(mean − 2)` discretised, clamped to `[2, 15]` —
+/// right-skewed with mean ≈ `mean`, producing the small/medium/large
+/// bins of paper Table IX.
+fn sample_group_size(rng: &mut impl Rng, mean: f64) -> usize {
+    let lambda = (mean - 2.0).max(0.1);
+    let u: f64 = 1.0 - rng.random::<f64>();
+    let size = 2.0 + (-u.ln()) * lambda;
+    (size.round() as usize).clamp(2, 15)
+}
+
+/// Shifted geometric with mean `avg ≥ 1`: always at least one
+/// interaction, occasionally more.
+fn sample_shifted_geometric(rng: &mut impl Rng, avg: f64) -> usize {
+    let p_extra = ((avg - 1.0) / avg).clamp(0.0, 0.95);
+    let mut count = 1;
+    while count < 10 && rng.random::<f64>() < p_extra {
+        count += 1;
+    }
+    count
+}
+
+/// Grows a group of `size` members by a random walk over friendships,
+/// topping up from the seed's cluster (then anywhere) if the walk
+/// stalls — groups are socially connected by construction, as in the
+/// SIGR extraction procedure.
+fn grow_group(
+    rng: &mut impl Rng,
+    friends: &[Vec<usize>],
+    cluster_members: &[Vec<usize>],
+    user_cluster: &[usize],
+    size: usize,
+    num_users: usize,
+) -> Vec<usize> {
+    let seed = rng.random_range(0..num_users);
+    let mut members = vec![seed];
+    let mut in_group: HashSet<usize> = HashSet::from([seed]);
+    let mut stall = 0;
+    while members.len() < size {
+        let anchor = members[rng.random_range(0..members.len())];
+        let candidates: Vec<usize> = friends[anchor].iter().copied().filter(|u| !in_group.contains(u)).collect();
+        let next = if let Some(&pick) = pick_random(rng, &candidates) {
+            pick
+        } else {
+            stall += 1;
+            if stall > 4 * size {
+                break; // pathological isolation; accept a smaller group
+            }
+            let peers = &cluster_members[user_cluster[seed]];
+            let cand = peers[rng.random_range(0..peers.len())];
+            if in_group.contains(&cand) {
+                continue;
+            }
+            cand
+        };
+        in_group.insert(next);
+        members.push(next);
+    }
+    members.sort_unstable();
+    members
+}
+
+fn pick_random<'a, T>(rng: &mut impl Rng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.random_range(0..xs.len())])
+    }
+}
+
+fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
+    for i in (1..xs.len()).rev() {
+        xs.swap(i, rng.random_range(0..=i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SyntheticConfig {
+        SyntheticConfig {
+            name: "tiny-sim".into(),
+            seed: 7,
+            num_users: 120,
+            num_items: 80,
+            num_groups: 60,
+            num_topics: 4,
+            latent_dim: 6,
+            avg_items_per_user: 8.0,
+            avg_friends_per_user: 6.0,
+            avg_items_per_group: 1.3,
+            mean_group_size: 4.0,
+            zipf_exponent: 0.8,
+            homophily: 0.8,
+            social_influence: 0.3,
+            expertise_sharpness: 2.0,
+            taste_temperature: 0.35,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+        }
+    }
+
+    #[test]
+    fn generated_dataset_is_valid_and_deterministic() {
+        let cfg = tiny_cfg();
+        let a = generate(&cfg);
+        assert_eq!(a.validate(), Ok(()));
+        let b = generate(&cfg);
+        assert_eq!(a, b, "same seed must reproduce the dataset exactly");
+        let c = generate(&SyntheticConfig { seed: 8, ..cfg });
+        assert_ne!(a, c, "different seed must change the dataset");
+    }
+
+    #[test]
+    fn statistics_near_targets() {
+        let cfg = tiny_cfg();
+        let d = generate(&cfg);
+        let ui = d.user_item_graph();
+        let per_user = ui.avg_user_activity();
+        assert!((per_user - cfg.avg_items_per_user).abs() < 4.0, "items/user {per_user}");
+        let s = d.social_graph();
+        let friends = s.avg_degree();
+        assert!((friends - cfg.avg_friends_per_user).abs() < 2.5, "friends/user {friends}");
+        let avg_size = d.groups.iter().map(Vec::len).sum::<usize>() as f64 / d.num_groups() as f64;
+        assert!((avg_size - cfg.mean_group_size).abs() < 1.2, "group size {avg_size}");
+        let per_group = d.group_item.len() as f64 / d.num_groups() as f64;
+        assert!((per_group - cfg.avg_items_per_group).abs() < 0.5, "items/group {per_group}");
+    }
+
+    #[test]
+    fn group_sizes_cover_paper_bins() {
+        let cfg = SyntheticConfig { num_groups: 300, ..tiny_cfg() };
+        let d = generate(&cfg);
+        let small = d.groups.iter().filter(|g| g.len() < 3).count();
+        let medium = d.groups.iter().filter(|g| (3..=7).contains(&g.len())).count();
+        let large = d.groups.iter().filter(|g| g.len() > 7).count();
+        assert!(small > 0, "need small groups for Table IX");
+        assert!(medium > 0, "need medium groups for Table IX");
+        assert!(large > 0, "need large groups for Table IX");
+    }
+
+    #[test]
+    fn social_network_is_homophilous() {
+        let (d, truth) = generate_with_truth(&tiny_cfg());
+        let same = d
+            .social
+            .iter()
+            .filter(|&&(a, b)| truth.user_cluster[a] == truth.user_cluster[b])
+            .count();
+        let frac = same as f64 / d.social.len() as f64;
+        // With homophily 0.8 over 4 clusters, within-cluster fraction
+        // must far exceed the 1/4 random baseline.
+        assert!(frac > 0.5, "within-cluster edge fraction {frac}");
+    }
+
+    #[test]
+    fn interactions_align_with_taste() {
+        let (d, truth) = generate_with_truth(&tiny_cfg());
+        // The mean affinity of observed pairs must exceed the global mean.
+        let observed: f32 = d
+            .user_item
+            .iter()
+            .map(|&(u, i)| dot(&truth.user_latent[u], &truth.item_latent[i]))
+            .sum::<f32>()
+            / d.user_item.len() as f32;
+        let mut rng = seeded(1);
+        let random: f32 = (0..2000)
+            .map(|_| {
+                let u = rng.random_range(0..d.num_users);
+                let i = rng.random_range(0..d.num_items);
+                dot(&truth.user_latent[u], &truth.item_latent[i])
+            })
+            .sum::<f32>()
+            / 2000.0;
+        assert!(
+            observed > random + 0.5,
+            "observed affinity {observed} vs random {random}"
+        );
+    }
+
+    #[test]
+    fn expert_weighting_matters_in_vote() {
+        // The vote score with sharp expertise must differ from the
+        // flat-average score for a group with mixed expertise.
+        let user_latent = vec![vec![1.0f32, 0.0], vec![0.0, 1.0]];
+        let item_latent = vec![vec![1.0f32, 0.0]];
+        let expertise = vec![vec![3.0f32], vec![0.0]];
+        let item_topic = vec![0usize];
+        let friends: Vec<Vec<usize>> = vec![vec![], vec![]];
+        let mut cfg = tiny_cfg();
+        cfg.consensus_blend = 0.0;
+        cfg.connectedness_boost = 0.0;
+        cfg.expertise_sharpness = 3.0;
+        let sharp = GroupVote::new(&[0, 1], &friends, &user_latent, &expertise, &cfg)
+            .score(0, &item_latent, &item_topic);
+        cfg.expertise_sharpness = 0.0;
+        let flat = GroupVote::new(&[0, 1], &friends, &user_latent, &expertise, &cfg)
+            .score(0, &item_latent, &item_topic);
+        assert!((flat - 0.5).abs() < 1e-6, "flat vote is the average");
+        assert!(sharp > 0.9, "expert (taste-aligned) member dominates: {sharp}");
+    }
+
+    #[test]
+    fn discussion_shifts_isolated_vs_connected_members() {
+        // Two connected members discuss: their effective tastes move
+        // towards each other; an isolated third member is unmoved, and
+        // connected members outweigh the isolate.
+        let user_latent = vec![vec![1.0f32, 0.0], vec![0.0, 1.0], vec![-1.0, -1.0]];
+        let expertise = vec![vec![0.0f32], vec![0.0], vec![0.0]];
+        let item_latent = vec![vec![1.0f32, 1.0]];
+        let item_topic = vec![0usize];
+        let friends: Vec<Vec<usize>> = vec![vec![1], vec![0], vec![]];
+        let mut cfg = tiny_cfg();
+        cfg.consensus_blend = 0.5;
+        cfg.connectedness_boost = 2.0;
+        cfg.expertise_sharpness = 0.0;
+        let vote = GroupVote::new(&[0, 1, 2], &friends, &user_latent, &expertise, &cfg);
+        // Post-discussion tastes of 0 and 1 are both (0.5, 0.5).
+        assert!((vote.effective[0][0] - 0.5).abs() < 1e-6);
+        assert!((vote.effective[1][1] - 0.5).abs() < 1e-6);
+        assert_eq!(vote.effective[2], vec![-1.0, -1.0], "isolate unmoved");
+        // Connected members dominate the vote, so the score is pulled
+        // towards their (positive) affinity despite the isolate's −2.
+        let s = vote.score(0, &item_latent, &item_topic);
+        assert!(s > 0.0, "connected consensus should dominate: {s}");
+    }
+
+    #[test]
+    fn paper_scale_configs_are_consistent() {
+        for cfg in [yelp_sim(), douban_sim()] {
+            assert!(cfg.avg_items_per_group < 2.0, "group-item data must be sparse");
+            assert!(cfg.avg_items_per_user > 5.0, "user-item data must be plentiful");
+        }
+        // Douban is the denser dataset, as in Table I.
+        assert!(douban_sim().avg_items_per_user > yelp_sim().avg_items_per_user);
+        assert!(douban_sim().avg_friends_per_user > yelp_sim().avg_friends_per_user);
+        assert!(douban_sim().avg_items_per_group > yelp_sim().avg_items_per_group);
+    }
+
+    #[test]
+    fn distribution_helpers_hit_their_means() {
+        let mut rng = seeded(3);
+        let n = 20_000;
+        let mean_size: f64 = (0..n).map(|_| sample_group_size(&mut rng, 4.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean_size - 4.5).abs() < 0.3, "group size mean {mean_size}");
+        let mean_cnt: f64 = (0..n).map(|_| sample_shifted_geometric(&mut rng, 1.4) as f64).sum::<f64>() / n as f64;
+        assert!((mean_cnt - 1.4).abs() < 0.1, "interaction count mean {mean_cnt}");
+    }
+
+    #[test]
+    fn groups_are_socially_cohesive() {
+        let d = generate(&tiny_cfg());
+        let s = d.social_graph();
+        // In most groups, most members have at least one in-group friend.
+        let mut connected = 0usize;
+        let mut total = 0usize;
+        for g in &d.groups {
+            for &u in g {
+                total += 1;
+                if g.iter().any(|&v| v != u && s.has_edge(u, v)) {
+                    connected += 1;
+                }
+            }
+        }
+        let frac = connected as f64 / total as f64;
+        assert!(frac > 0.6, "in-group friendship fraction {frac}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # groupsa-eval
+//!
+//! The paper's evaluation protocol and metrics (§III-C):
+//!
+//! * **Protocol** ([`protocol`]): for every held-out positive, rank it
+//!   against 100 items the user/group never interacted with; report
+//!   Top-K quality averaged over the test set.
+//! * **Metrics** ([`metrics`]): `HR@K` (is the positive in the Top-K?)
+//!   and `NDCG@K` (position-discounted gain `1/log₂(rank+2)`).
+//! * **Significance** ([`stats`]): the paired t-test backing the
+//!   paper's `p < 0.01` claims.
+//! * **Reports** ([`report`]): paper-style leaderboards with the Δ%
+//!   improvement columns of Tables II/III/V.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod report;
+pub mod stats;
+
+pub use metrics::{hr_at_k, ndcg_at_k, rank_of_first};
+pub use protocol::{evaluate, EvalOutcome, EvalResult, EvalTask, Scorer};
+pub use report::Leaderboard;

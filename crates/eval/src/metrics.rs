@@ -1,0 +1,140 @@
+//! Ranking metrics: Hit Ratio and NDCG (paper §III-C).
+
+/// The 0-based rank of candidate 0 (the positive) among `scores`:
+/// the number of other candidates scored strictly higher, with ties
+/// broken *against* the positive (a tied negative outranks it). The
+/// pessimistic tie-break means a constant scorer cannot score hits for
+/// free.
+///
+/// # Panics
+/// If `scores` is empty.
+pub fn rank_of_first(scores: &[f32]) -> usize {
+    assert!(!scores.is_empty(), "rank_of_first: empty score vector");
+    let pos = scores[0];
+    scores[1..].iter().filter(|&&s| s >= pos).count()
+}
+
+/// `HR@K` for a single example: 1.0 if the positive's rank is within
+/// the Top-K, else 0.0.
+pub fn hr_at_k(rank: usize, k: usize) -> f64 {
+    if rank < k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// `NDCG@K` for a single example with one relevant item:
+/// `1/log₂(rank+2)` when the positive lands in the Top-K, else 0.
+pub fn ndcg_at_k(rank: usize, k: usize) -> f64 {
+    if rank < k {
+        1.0 / ((rank + 2) as f64).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank of the single positive: `1/(rank+1)`. Averaged over
+/// a test set this is MRR — not reported in the paper's tables but a
+/// standard companion metric exposed by this library.
+pub fn reciprocal_rank(rank: usize) -> f64 {
+    1.0 / (rank + 1) as f64
+}
+
+/// `Precision@K` with a single relevant item: `HR@K / K`.
+pub fn precision_at_k(rank: usize, k: usize) -> f64 {
+    hr_at_k(rank, k) / k as f64
+}
+
+/// `Recall@K` with a single relevant item — identical to `HR@K`
+/// (provided under its conventional name for API completeness).
+pub fn recall_at_k(rank: usize, k: usize) -> f64 {
+    hr_at_k(rank, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_strictly_better_candidates() {
+        // Positive scores 0.5; two candidates above, one below, one tie.
+        let scores = [0.5, 0.9, 0.7, 0.1, 0.5];
+        assert_eq!(rank_of_first(&scores), 3); // 0.9, 0.7 and the tied 0.5
+    }
+
+    #[test]
+    fn best_score_is_rank_zero() {
+        assert_eq!(rank_of_first(&[1.0, 0.2, 0.3]), 0);
+    }
+
+    #[test]
+    fn constant_scorer_gets_worst_rank() {
+        let scores = [0.5; 101];
+        assert_eq!(rank_of_first(&scores), 100);
+        assert_eq!(hr_at_k(100, 10), 0.0);
+    }
+
+    #[test]
+    fn hr_thresholds() {
+        assert_eq!(hr_at_k(4, 5), 1.0);
+        assert_eq!(hr_at_k(5, 5), 0.0);
+        assert_eq!(hr_at_k(0, 1), 1.0);
+    }
+
+    #[test]
+    fn ndcg_values() {
+        assert!((ndcg_at_k(0, 5) - 1.0).abs() < 1e-12); // 1/log2(2)
+        assert!((ndcg_at_k(1, 5) - 1.0 / 3f64.log2()).abs() < 1e-12);
+        assert_eq!(ndcg_at_k(5, 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_monotone_decreasing_in_rank() {
+        let mut prev = f64::INFINITY;
+        for rank in 0..10 {
+            let v = ndcg_at_k(rank, 10);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn reciprocal_rank_values() {
+        assert_eq!(reciprocal_rank(0), 1.0);
+        assert_eq!(reciprocal_rank(1), 0.5);
+        assert!((reciprocal_rank(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_identities() {
+        assert_eq!(precision_at_k(0, 5), 0.2);
+        assert_eq!(precision_at_k(5, 5), 0.0);
+        for rank in 0..12 {
+            for k in [1usize, 5, 10] {
+                assert_eq!(recall_at_k(rank, k), hr_at_k(rank, k));
+                assert!((precision_at_k(rank, k) * k as f64 - hr_at_k(rank, k)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rr_dominated_by_ndcg_dominated_by_hr_at_large_k() {
+        // For rank ≥ 1 and K beyond the rank: RR ≤ NDCG ≤ HR.
+        for rank in 1..10 {
+            let k = 10;
+            assert!(reciprocal_rank(rank) <= ndcg_at_k(rank, k) + 1e-12);
+            assert!(ndcg_at_k(rank, k) <= hr_at_k(rank, k) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ndcg_bounded_by_hr() {
+        for rank in 0..20 {
+            for k in [1usize, 5, 10] {
+                assert!(ndcg_at_k(rank, k) <= hr_at_k(rank, k) + 1e-12);
+                assert!(ndcg_at_k(rank, k) >= 0.0);
+            }
+        }
+    }
+}

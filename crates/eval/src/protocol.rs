@@ -1,0 +1,266 @@
+//! The 100-negative ranking protocol (paper §III-C).
+
+use crate::metrics::{hr_at_k, ndcg_at_k, rank_of_first};
+use groupsa_data::sampling::eval_candidates;
+use groupsa_graph::Bipartite;
+use groupsa_tensor::rng::seeded;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can score a set of candidate items for one entity
+/// (a user on the user task, a group on the group task).
+pub trait Scorer {
+    /// Predicted relevance of each item in `items` for `entity`
+    /// (higher = better; only the ordering matters).
+    fn score(&self, entity: usize, items: &[usize]) -> Vec<f32>;
+}
+
+impl<F: Fn(usize, &[usize]) -> Vec<f32>> Scorer for F {
+    fn score(&self, entity: usize, items: &[usize]) -> Vec<f32> {
+        self(entity, items)
+    }
+}
+
+/// One evaluation task: a test set plus everything needed to draw
+/// clean candidate negatives.
+pub struct EvalTask<'a> {
+    /// Held-out positive pairs `(entity, item)`.
+    pub test_pairs: &'a [(usize, usize)],
+    /// *All* known interactions of each entity (train ∪ valid ∪ test),
+    /// so sampled negatives were truly never interacted with.
+    pub full_interactions: &'a Bipartite,
+    /// Number of sampled negatives per positive (paper: 100).
+    pub num_candidates: usize,
+    /// Cutoffs to report (paper: 5 and 10).
+    pub ks: Vec<usize>,
+    /// Seed for candidate sampling — fix it to compare methods on the
+    /// *same* candidate sets.
+    pub seed: u64,
+}
+
+impl<'a> EvalTask<'a> {
+    /// The paper's configuration: 100 negatives, K ∈ {5, 10}.
+    pub fn paper(test_pairs: &'a [(usize, usize)], full_interactions: &'a Bipartite, seed: u64) -> Self {
+        Self { test_pairs, full_interactions, num_candidates: 100, ks: vec![5, 10], seed }
+    }
+}
+
+/// The outcome of ranking one held-out positive.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// The evaluated entity (user or group id).
+    pub entity: usize,
+    /// The held-out positive item.
+    pub positive: usize,
+    /// 0-based rank achieved among the candidates.
+    pub rank: usize,
+}
+
+/// Aggregated metrics plus per-example outcomes (kept for significance
+/// tests and group-size binning).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// `(K, HR@K, NDCG@K)` for each requested cutoff.
+    pub per_k: Vec<(usize, f64, f64)>,
+    /// One outcome per test pair, in `test_pairs` order.
+    pub outcomes: Vec<EvalOutcome>,
+}
+
+impl EvalResult {
+    /// HR@K, or panics if `k` was not evaluated.
+    pub fn hr(&self, k: usize) -> f64 {
+        self.per_k
+            .iter()
+            .find(|&&(kk, _, _)| kk == k)
+            .unwrap_or_else(|| panic!("HR@{k} was not evaluated"))
+            .1
+    }
+
+    /// NDCG@K, or panics if `k` was not evaluated.
+    pub fn ndcg(&self, k: usize) -> f64 {
+        self.per_k
+            .iter()
+            .find(|&&(kk, _, _)| kk == k)
+            .unwrap_or_else(|| panic!("NDCG@{k} was not evaluated"))
+            .2
+    }
+
+    /// Per-example HR@K vector (for paired significance tests).
+    pub fn hr_vector(&self, k: usize) -> Vec<f64> {
+        self.outcomes.iter().map(|o| hr_at_k(o.rank, k)).collect()
+    }
+
+    /// Per-example NDCG@K vector.
+    pub fn ndcg_vector(&self, k: usize) -> Vec<f64> {
+        self.outcomes.iter().map(|o| ndcg_at_k(o.rank, k)).collect()
+    }
+
+    /// Mean reciprocal rank over all outcomes.
+    pub fn mrr(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| crate::metrics::reciprocal_rank(o.rank)).sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Re-aggregates over the subset of outcomes whose *index* passes
+    /// the filter — e.g. the group-size bins of paper Table IX.
+    ///
+    /// Returns `None` when no outcome passes.
+    pub fn filtered(&self, ks: &[usize], mut keep: impl FnMut(&EvalOutcome) -> bool) -> Option<EvalResult> {
+        let outcomes: Vec<EvalOutcome> = self.outcomes.iter().filter(|o| keep(o)).cloned().collect();
+        if outcomes.is_empty() {
+            return None;
+        }
+        Some(aggregate(outcomes, ks))
+    }
+}
+
+fn aggregate(outcomes: Vec<EvalOutcome>, ks: &[usize]) -> EvalResult {
+    let n = outcomes.len() as f64;
+    let per_k = ks
+        .iter()
+        .map(|&k| {
+            let hr = outcomes.iter().map(|o| hr_at_k(o.rank, k)).sum::<f64>() / n;
+            let ndcg = outcomes.iter().map(|o| ndcg_at_k(o.rank, k)).sum::<f64>() / n;
+            (k, hr, ndcg)
+        })
+        .collect();
+    EvalResult { per_k, outcomes }
+}
+
+/// Runs the protocol: for each held-out positive, draw
+/// `task.num_candidates` clean negatives (deterministically from
+/// `task.seed`), score `[positive, negatives…]` with `scorer`, and
+/// aggregate HR/NDCG at each cutoff.
+///
+/// # Panics
+/// If the test set is empty or a scorer returns the wrong number of
+/// scores.
+pub fn evaluate(scorer: &dyn Scorer, task: &EvalTask) -> EvalResult {
+    assert!(!task.test_pairs.is_empty(), "evaluate: empty test set");
+    let mut rng = seeded(task.seed);
+    let mut outcomes = Vec::with_capacity(task.test_pairs.len());
+    for &(entity, positive) in task.test_pairs {
+        let candidates = eval_candidates(&mut rng, task.full_interactions, entity, positive, task.num_candidates);
+        let scores = scorer.score(entity, &candidates);
+        assert_eq!(
+            scores.len(),
+            candidates.len(),
+            "scorer returned {} scores for {} candidates",
+            scores.len(),
+            candidates.len()
+        );
+        outcomes.push(EvalOutcome { entity, positive, rank: rank_of_first(&scores) });
+    }
+    aggregate(outcomes, &task.ks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> Bipartite {
+        // 3 entities × 30 items; each entity has interacted with item = id.
+        Bipartite::from_pairs(3, 30, &[(0, 0), (1, 1), (2, 2)])
+    }
+
+    #[test]
+    fn oracle_scorer_is_perfect() {
+        let g = graph();
+        let pairs = vec![(0, 0), (1, 1), (2, 2)];
+        let task = EvalTask { test_pairs: &pairs, full_interactions: &g, num_candidates: 10, ks: vec![1, 5], seed: 3 };
+        // Oracle: the positive (candidate 0 by construction is the pair's
+        // item) gets the top score because entity==item in this fixture.
+        let oracle = |entity: usize, items: &[usize]| -> Vec<f32> {
+            items.iter().map(|&i| if i == entity { 1.0 } else { 0.0 }).collect()
+        };
+        let res = evaluate(&oracle, &task);
+        assert_eq!(res.hr(1), 1.0);
+        assert_eq!(res.ndcg(5), 1.0);
+        assert_eq!(res.mrr(), 1.0);
+        assert!(res.outcomes.iter().all(|o| o.rank == 0));
+    }
+
+    #[test]
+    fn adversarial_scorer_is_zero() {
+        let g = graph();
+        let pairs = vec![(0, 0), (1, 1)];
+        let task = EvalTask { test_pairs: &pairs, full_interactions: &g, num_candidates: 10, ks: vec![5], seed: 3 };
+        let worst = |entity: usize, items: &[usize]| -> Vec<f32> {
+            items.iter().map(|&i| if i == entity { -1.0 } else { 1.0 }).collect()
+        };
+        let res = evaluate(&worst, &task);
+        assert_eq!(res.hr(5), 0.0);
+        assert_eq!(res.ndcg(5), 0.0);
+    }
+
+    #[test]
+    fn random_scorer_hr_matches_expectation() {
+        // With C candidates and K cutoff, a random scorer hits w.p. K/(C+1).
+        // 400 entities, each with its own positive, so positives' hash
+        // scores are themselves spread uniformly.
+        let pos_pairs: Vec<(usize, usize)> = (0..400).map(|e| (e, e)).collect();
+        let g = Bipartite::from_pairs(400, 2000, &pos_pairs);
+        let task = EvalTask { test_pairs: &pos_pairs, full_interactions: &g, num_candidates: 20, ks: vec![7], seed: 5 };
+        // Hash-based pseudo-random but deterministic scorer.
+        let scorer = |_: usize, items: &[usize]| -> Vec<f32> {
+            items
+                .iter()
+                .map(|&i| {
+                    let h = (i as u64 ^ 0xD1B54A32D192ED03).wrapping_mul(0x9E3779B97F4A7C15);
+                    (h >> 40) as f32
+                })
+                .collect()
+        };
+        let res = evaluate(&scorer, &task);
+        let expect = 7.0 / 21.0;
+        assert!((res.hr(7) - expect).abs() < 0.1, "hr {} vs expected {expect}", res.hr(7));
+    }
+
+    #[test]
+    fn same_seed_gives_identical_candidates() {
+        let g = graph();
+        let pairs = vec![(0, 0), (1, 1)];
+        let task = EvalTask { test_pairs: &pairs, full_interactions: &g, num_candidates: 10, ks: vec![5], seed: 7 };
+        let s = |_: usize, items: &[usize]| -> Vec<f32> { items.iter().map(|&i| -(i as f32)).collect() };
+        assert_eq!(evaluate(&s, &task), evaluate(&s, &task));
+    }
+
+    #[test]
+    fn filtered_reaggregates_subset() {
+        let g = graph();
+        let pairs = vec![(0, 0), (1, 1), (2, 2)];
+        let task = EvalTask { test_pairs: &pairs, full_interactions: &g, num_candidates: 5, ks: vec![5], seed: 1 };
+        let oracle = |entity: usize, items: &[usize]| -> Vec<f32> {
+            items.iter().map(|&i| if i == entity { 1.0 } else { 0.0 }).collect()
+        };
+        let res = evaluate(&oracle, &task);
+        let sub = res.filtered(&[5], |o| o.entity == 0).expect("entity 0 present");
+        assert_eq!(sub.outcomes.len(), 1);
+        assert_eq!(sub.hr(5), 1.0);
+        assert!(res.filtered(&[5], |_| false).is_none());
+    }
+
+    #[test]
+    fn per_example_vectors_align() {
+        let g = graph();
+        let pairs = vec![(0, 0), (1, 1)];
+        let task = EvalTask { test_pairs: &pairs, full_interactions: &g, num_candidates: 5, ks: vec![5], seed: 1 };
+        let oracle = |entity: usize, items: &[usize]| -> Vec<f32> {
+            items.iter().map(|&i| if i == entity { 1.0 } else { 0.0 }).collect()
+        };
+        let res = evaluate(&oracle, &task);
+        assert_eq!(res.hr_vector(5), vec![1.0, 1.0]);
+        assert_eq!(res.ndcg_vector(5), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty test set")]
+    fn empty_test_set_panics() {
+        let g = graph();
+        let task = EvalTask { test_pairs: &[], full_interactions: &g, num_candidates: 5, ks: vec![5], seed: 1 };
+        let s = |_: usize, items: &[usize]| -> Vec<f32> { vec![0.0; items.len()] };
+        let _ = evaluate(&s, &task);
+    }
+}

@@ -1,0 +1,149 @@
+//! Paper-style leaderboard formatting (Tables II, III, V).
+
+use crate::protocol::EvalResult;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One method's row in a leaderboard: `(K, HR, NDCG)` triples.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Method name as printed.
+    pub method: String,
+    /// `(K, HR@K, NDCG@K)` per cutoff.
+    pub per_k: Vec<(usize, f64, f64)>,
+}
+
+/// A paper-style results table: methods × cutoffs, with the Δ%
+/// improvement of the reference method (the last row, as in the paper
+/// where GroupSA is listed last) over every other row.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Leaderboard {
+    /// Table caption.
+    pub title: String,
+    rows: Vec<Row>,
+}
+
+impl Leaderboard {
+    /// An empty leaderboard with a caption.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), rows: Vec::new() }
+    }
+
+    /// Appends a method's results.
+    pub fn push(&mut self, method: impl Into<String>, result: &EvalResult) {
+        self.rows.push(Row { method: method.into(), per_k: result.per_k.clone() });
+    }
+
+    /// Appends a raw row (for methods evaluated elsewhere).
+    pub fn push_row(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// HR@K of a method, if recorded.
+    pub fn hr_of(&self, method: &str, k: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.method == method)?
+            .per_k
+            .iter()
+            .find(|&&(kk, _, _)| kk == k)
+            .map(|&(_, hr, _)| hr)
+    }
+
+    /// Δ% improvement of the last row (the proposed method) over
+    /// `method` in HR@K — the Δ columns of Tables II/III/V.
+    pub fn delta_percent(&self, method: &str, k: usize) -> Option<f64> {
+        let ours = self.rows.last()?.per_k.iter().find(|&&(kk, _, _)| kk == k)?.1;
+        let theirs = self.hr_of(method, k)?;
+        if theirs == 0.0 {
+            return None;
+        }
+        Some(100.0 * (ours - theirs) / theirs)
+    }
+}
+
+impl fmt::Display for Leaderboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let ks: Vec<usize> = self.rows.first().map(|r| r.per_k.iter().map(|&(k, _, _)| k).collect()).unwrap_or_default();
+        write!(f, "{:<12}", "Method")?;
+        for &k in &ks {
+            write!(f, "  HR@{k:<4} NDCG@{k:<3} {:>8}", format!("Δ%@{k}"))?;
+        }
+        writeln!(f)?;
+        let last = self.rows.len().saturating_sub(1);
+        for (i, row) in self.rows.iter().enumerate() {
+            write!(f, "{:<12}", row.method)?;
+            for &(k, hr, ndcg) in &row.per_k {
+                let delta = if i == last {
+                    "-".to_string()
+                } else {
+                    self.delta_percent(&row.method, k)
+                        .map(|d| format!("{d:.2}"))
+                        .unwrap_or_else(|| "-".into())
+                };
+                write!(f, "  {hr:.4}  {ndcg:.4}  {delta:>8}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::EvalOutcome;
+
+    fn result(hr5: f64) -> EvalResult {
+        EvalResult {
+            per_k: vec![(5, hr5, hr5 * 0.8), (10, hr5 + 0.1, hr5 * 0.9)],
+            outcomes: vec![EvalOutcome { entity: 0, positive: 0, rank: 0 }],
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut lb = Leaderboard::new("test");
+        lb.push("NCF", &result(0.4));
+        lb.push("GroupSA", &result(0.8));
+        assert_eq!(lb.rows().len(), 2);
+        assert_eq!(lb.hr_of("NCF", 5), Some(0.4));
+        assert_eq!(lb.hr_of("Missing", 5), None);
+        assert_eq!(lb.hr_of("NCF", 99), None);
+    }
+
+    #[test]
+    fn delta_is_relative_improvement_of_last_row() {
+        let mut lb = Leaderboard::new("test");
+        lb.push("NCF", &result(0.4));
+        lb.push("GroupSA", &result(0.8));
+        let d = lb.delta_percent("NCF", 5).unwrap();
+        assert!((d - 100.0).abs() < 1e-9, "0.8 over 0.4 = +100%");
+    }
+
+    #[test]
+    fn delta_handles_zero_baseline() {
+        let mut lb = Leaderboard::new("test");
+        lb.push("Zero", &result(0.0));
+        lb.push("GroupSA", &result(0.8));
+        assert_eq!(lb.delta_percent("Zero", 5), None);
+    }
+
+    #[test]
+    fn display_renders_all_methods() {
+        let mut lb = Leaderboard::new("Table II (yelp-sim, group task)");
+        lb.push("NCF", &result(0.4));
+        lb.push("AGREE", &result(0.5));
+        lb.push("GroupSA", &result(0.8));
+        let text = lb.to_string();
+        for needle in ["Table II", "NCF", "AGREE", "GroupSA", "HR@5", "NDCG@10"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Significance testing — the paired t-test behind the paper's
+//! "improvements are statistically significant with p < 0.01".
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a paired t-test on two per-example metric vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TTest {
+    /// The t statistic of the mean paired difference.
+    pub t: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub df: usize,
+    /// Two-sided p-value. Computed from the standard-normal
+    /// approximation to the t distribution — accurate for the large
+    /// test sets of the protocol (hundreds of examples), documented in
+    /// DESIGN.md as a substitution.
+    pub p_two_sided: f64,
+    /// Mean of the paired differences `a − b`.
+    pub mean_diff: f64,
+}
+
+impl TTest {
+    /// `true` when the difference is significant at level `alpha` *and*
+    /// in favour of the first argument of [`paired_t_test`].
+    pub fn significantly_better(&self, alpha: f64) -> bool {
+        self.mean_diff > 0.0 && self.p_two_sided < alpha
+    }
+}
+
+/// Paired t-test of `a` vs `b` (per-example metrics of two systems on
+/// the same test examples).
+///
+/// # Panics
+/// If the vectors differ in length or have fewer than 2 entries.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTest {
+    assert_eq!(a.len(), b.len(), "paired t-test needs equal-length vectors");
+    let n = a.len();
+    assert!(n >= 2, "paired t-test needs at least 2 pairs, got {n}");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n as f64 - 1.0);
+    let se = (var / n as f64).sqrt();
+    let t = if se == 0.0 {
+        if mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * mean.signum()
+        }
+    } else {
+        mean / se
+    };
+    let p = 2.0 * (1.0 - standard_normal_cdf(t.abs()));
+    TTest { t, df: n - 1, p_two_sided: p, mean_diff: mean }
+}
+
+/// Standard-normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 polynomial, |error| < 1.5e-7).
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+        assert!((erf(3.0) - 0.99998).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        for x in [0.5, 1.0, 2.0] {
+            let s = standard_normal_cdf(x) + standard_normal_cdf(-x);
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clearly_better_system_is_significant() {
+        // System a hits 90% of 200 examples, b hits 40% (disjoint-ish).
+        let a: Vec<f64> = (0..200).map(|i| if i % 10 != 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..200).map(|i| if i % 10 < 4 { 1.0 } else { 0.0 }).collect();
+        let t = paired_t_test(&a, &b);
+        assert!(t.mean_diff > 0.0);
+        assert!(t.p_two_sided < 0.01, "p = {}", t.p_two_sided);
+        assert!(t.significantly_better(0.01));
+    }
+
+    #[test]
+    fn identical_systems_are_not_significant() {
+        let a = vec![1.0, 0.0, 1.0, 0.5, 0.25];
+        let t = paired_t_test(&a, &a);
+        assert_eq!(t.t, 0.0);
+        assert!(t.p_two_sided > 0.9);
+        assert!(!t.significantly_better(0.01));
+    }
+
+    #[test]
+    fn noise_level_difference_is_not_significant() {
+        // Two systems differing by symmetric noise.
+        let a: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..100).map(|i| if i % 2 == 1 { 1.0 } else { 0.0 }).collect();
+        let t = paired_t_test(&a, &b);
+        assert!((t.mean_diff).abs() < 1e-12);
+        assert!(!t.significantly_better(0.01));
+    }
+
+    #[test]
+    fn worse_system_is_never_significantly_better() {
+        let a = vec![0.0; 50];
+        let b = vec![1.0; 50];
+        let t = paired_t_test(&a, &b);
+        assert!(t.mean_diff < 0.0);
+        assert!(!t.significantly_better(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_t_test(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_positive_difference_is_infinitely_significant() {
+        let a = vec![1.0; 10];
+        let b = vec![0.5; 10];
+        let t = paired_t_test(&a, &b);
+        assert!(t.t.is_infinite() && t.t > 0.0);
+        assert!(t.significantly_better(0.01));
+    }
+}

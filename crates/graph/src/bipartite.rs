@@ -1,0 +1,172 @@
+//! The user–item interaction graph `R^U` in CSR form, both orientations.
+
+use serde::{Deserialize, Serialize};
+
+/// A bipartite interaction graph between `num_left` users and
+/// `num_right` items, stored CSR in both directions so that both "items
+/// of a user" (item aggregation, Eq. 11) and "users of an item"
+/// (popularity, TF-IDF document frequency) are O(1) slices.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bipartite {
+    left_offsets: Vec<usize>,
+    left_items: Vec<u32>,
+    right_offsets: Vec<usize>,
+    right_users: Vec<u32>,
+}
+
+impl Bipartite {
+    /// Builds from `(user, item)` pairs. Duplicates are removed.
+    ///
+    /// # Panics
+    /// If any user `>= num_left` or item `>= num_right`.
+    pub fn from_pairs(num_left: usize, num_right: usize, pairs: &[(usize, usize)]) -> Self {
+        let mut by_left: Vec<Vec<u32>> = vec![Vec::new(); num_left];
+        let mut by_right: Vec<Vec<u32>> = vec![Vec::new(); num_right];
+        for &(u, i) in pairs {
+            assert!(u < num_left, "user {u} out of bounds ({num_left} users)");
+            assert!(i < num_right, "item {i} out of bounds ({num_right} items)");
+            by_left[u].push(i as u32);
+            by_right[i].push(u as u32);
+        }
+        let flatten = |lists: &mut [Vec<u32>]| {
+            let mut offsets = Vec::with_capacity(lists.len() + 1);
+            let mut flat = Vec::new();
+            offsets.push(0);
+            for list in lists {
+                list.sort_unstable();
+                list.dedup();
+                flat.extend_from_slice(list);
+                offsets.push(flat.len());
+            }
+            (offsets, flat)
+        };
+        let (left_offsets, left_items) = flatten(&mut by_left);
+        let (right_offsets, right_users) = flatten(&mut by_right);
+        Self { left_offsets, left_items, right_offsets, right_users }
+    }
+
+    /// Number of users (left nodes).
+    pub fn num_users(&self) -> usize {
+        self.left_offsets.len() - 1
+    }
+
+    /// Number of items (right nodes).
+    pub fn num_items(&self) -> usize {
+        self.right_offsets.len() - 1
+    }
+
+    /// Number of distinct interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.left_items.len()
+    }
+
+    /// Sorted items interacted by `user` — the set `C(j)` of Eq. (11).
+    pub fn items_of(&self, user: usize) -> &[u32] {
+        &self.left_items[self.left_offsets[user]..self.left_offsets[user + 1]]
+    }
+
+    /// Sorted users who interacted with `item`.
+    pub fn users_of(&self, item: usize) -> &[u32] {
+        &self.right_users[self.right_offsets[item]..self.right_offsets[item + 1]]
+    }
+
+    /// Interaction count of `item` (its training popularity).
+    pub fn item_popularity(&self, item: usize) -> usize {
+        self.right_offsets[item + 1] - self.right_offsets[item]
+    }
+
+    /// Interaction count of `user`.
+    pub fn user_activity(&self, user: usize) -> usize {
+        self.left_offsets[user + 1] - self.left_offsets[user]
+    }
+
+    /// `true` when `user` has interacted with `item`.
+    pub fn has_interaction(&self, user: usize, item: usize) -> bool {
+        user < self.num_users()
+            && item < self.num_items()
+            && self.items_of(user).binary_search(&(item as u32)).is_ok()
+    }
+
+    /// Average interactions per user.
+    pub fn avg_user_activity(&self) -> f64 {
+        if self.num_users() == 0 {
+            0.0
+        } else {
+            self.num_interactions() as f64 / self.num_users() as f64
+        }
+    }
+
+    /// Items sorted by descending popularity (ties by ascending id) —
+    /// the `Pop` baseline's ranking.
+    pub fn items_by_popularity(&self) -> Vec<usize> {
+        let mut items: Vec<usize> = (0..self.num_items()).collect();
+        items.sort_by_key(|&i| (std::cmp::Reverse(self.item_popularity(i)), i));
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bipartite {
+        Bipartite::from_pairs(3, 4, &[(0, 0), (0, 2), (1, 2), (2, 2), (2, 3), (0, 0)])
+    }
+
+    #[test]
+    fn counts_dedup() {
+        let b = sample();
+        assert_eq!(b.num_users(), 3);
+        assert_eq!(b.num_items(), 4);
+        assert_eq!(b.num_interactions(), 5); // (0,0) deduped
+    }
+
+    #[test]
+    fn items_and_users_sorted() {
+        let b = sample();
+        assert_eq!(b.items_of(0), &[0, 2]);
+        assert_eq!(b.items_of(1), &[2]);
+        assert_eq!(b.users_of(2), &[0, 1, 2]);
+        assert_eq!(b.users_of(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn popularity_and_activity() {
+        let b = sample();
+        assert_eq!(b.item_popularity(2), 3);
+        assert_eq!(b.item_popularity(1), 0);
+        assert_eq!(b.user_activity(0), 2);
+        assert!((b.avg_user_activity() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_interaction_queries() {
+        let b = sample();
+        assert!(b.has_interaction(0, 2));
+        assert!(!b.has_interaction(1, 0));
+        assert!(!b.has_interaction(9, 0));
+        assert!(!b.has_interaction(0, 9));
+    }
+
+    #[test]
+    fn popularity_ranking_is_descending_with_id_tiebreak() {
+        let b = sample();
+        let ranked = b.items_by_popularity();
+        assert_eq!(ranked[0], 2); // popularity 3
+        // Items 0 (pop 1) and 3 (pop 1) tie → ascending id; item 1 (pop 0) last.
+        assert_eq!(ranked, vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = Bipartite::from_pairs(0, 0, &[]);
+        assert_eq!(b.num_interactions(), 0);
+        assert_eq!(b.avg_user_activity(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_pair_panics() {
+        let _ = Bipartite::from_pairs(1, 1, &[(0, 1)]);
+    }
+}

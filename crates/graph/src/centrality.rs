@@ -1,0 +1,148 @@
+//! Node-centrality scores over the social graph.
+//!
+//! Paper Eq. (5) allows any real-valued closeness function `f(i,j)` —
+//! the experiments use direct connection, but PageRank and degree are
+//! the natural alternatives the paper names, and the SIGR-like baseline
+//! uses them as its *global social influence* signal.
+
+use crate::CsrGraph;
+
+/// Degree centrality, normalised by `n − 1` (1.0 = connected to all).
+pub fn degree_centrality(g: &CsrGraph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let denom = (n.saturating_sub(1)).max(1) as f64;
+    (0..n).map(|u| g.degree(u) as f64 / denom).collect()
+}
+
+/// Power-iteration PageRank with damping `d`, run until the L1 change
+/// drops below `tol` or `max_iter` sweeps.
+///
+/// Dangling nodes (degree 0) redistribute their mass uniformly, so the
+/// result always sums to 1.
+pub fn pagerank(g: &CsrGraph, d: f64, tol: f64, max_iter: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iter {
+        let mut dangling = 0.0;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let deg = g.degree(u);
+            if deg == 0 {
+                dangling += rank[u];
+                continue;
+            }
+            let share = rank[u] / deg as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let base = (1.0 - d) * uniform + d * dangling * uniform;
+        let mut delta = 0.0;
+        for u in 0..n {
+            let r = base + d * next[u];
+            delta += (r - rank[u]).abs();
+            rank[u] = r;
+        }
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Buckets a centrality score vector into `num_buckets` quantile bins,
+/// returning a bucket id per node. Used by the SIGR-like baseline to
+/// turn continuous influence into a learnable embedding index.
+///
+/// # Panics
+/// If `num_buckets == 0`.
+pub fn quantile_buckets(scores: &[f64], num_buckets: usize) -> Vec<usize> {
+    assert!(num_buckets > 0, "quantile_buckets: need at least one bucket");
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    let mut bucket = vec![0; n];
+    for (pos, &node) in order.iter().enumerate() {
+        bucket[node] = (pos * num_buckets / n).min(num_buckets - 1);
+    }
+    bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> CsrGraph {
+        // Node 0 is the hub of a 5-node star.
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn degree_centrality_of_star() {
+        let c = degree_centrality(&star());
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        for u in 1..5 {
+            assert!((c[u] - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favours_hub() {
+        let r = pagerank(&star(), 0.85, 1e-10, 200);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total={total}");
+        assert!(r[0] > r[1], "hub must out-rank leaves");
+        for u in 2..5 {
+            assert!((r[u] - r[1]).abs() < 1e-9, "leaves symmetric");
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = pagerank(&g, 0.85, 1e-12, 500);
+        for &x in &r {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]); // node 2 isolated
+        let r = pagerank(&g, 0.85, 1e-12, 500);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(r[2] > 0.0);
+        assert!(r[0] > r[2]);
+    }
+
+    #[test]
+    fn quantile_buckets_are_balanced_and_monotone() {
+        let scores: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b = quantile_buckets(&scores, 5);
+        assert_eq!(b, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn quantile_buckets_handle_fewer_nodes_than_buckets() {
+        let b = quantile_buckets(&[0.5, 0.1], 8);
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(|&x| x < 8));
+        assert!(b[1] <= b[0]);
+    }
+
+    #[test]
+    fn empty_graph_centralities() {
+        let g = CsrGraph::empty(0);
+        assert!(pagerank(&g, 0.85, 1e-9, 10).is_empty());
+        assert!(degree_centrality(&g).is_empty());
+        assert!(quantile_buckets(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Compressed-sparse-row undirected graph.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected graph in CSR form: `offsets[u]..offsets[u+1]` indexes
+/// the sorted, de-duplicated neighbour list of node `u`.
+///
+/// Used for the social network `R^S` of the paper. Self-loops are
+/// dropped at construction (a user is trivially "connected" to themself;
+/// the attention diagonal is handled separately).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds from an edge list over `n` nodes. Edges are treated as
+    /// undirected; duplicates and self-loops are removed.
+    ///
+    /// # Panics
+    /// If any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of bounds for {n} nodes");
+            if a == b {
+                continue;
+            }
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// An edgeless graph over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self::from_edges(n, &[])
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted neighbour list of `u`.
+    ///
+    /// # Panics
+    /// If `u` is out of bounds.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Average degree over all nodes (0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// `true` when `(u, v)` is an edge (binary search, O(log deg)).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.num_nodes() && v < self.num_nodes() && self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Number of common neighbours of `u` and `v` (sorted-list merge).
+    pub fn common_neighbors(&self, u: usize, v: usize) -> usize {
+        let (mut a, mut b) = (self.neighbors(u).iter().peekable(), self.neighbors(v).iter().peekable());
+        let mut count = 0;
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        count
+    }
+
+    /// BFS distances from `src` (`None` = unreachable).
+    pub fn bfs_distances(&self, src: usize) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.num_nodes()];
+        let mut q = VecDeque::new();
+        dist[src] = Some(0);
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            for &v in self.neighbors(u) {
+                let v = v as usize;
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected-component label for every node (labels are the
+    /// smallest node id in each component).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut label = vec![usize::MAX; n];
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            let mut q = VecDeque::from([start]);
+            label[start] = start;
+            while let Some(u) = q.pop_front() {
+                for &v in self.neighbors(u) {
+                    let v = v as usize;
+                    if label[v] == usize::MAX {
+                        label[v] = start;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        label
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .map(move |&v| (u, v as usize))
+                .filter(|&(u, v)| u < v)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolate() -> CsrGraph {
+        // 0-1, 1-2, 0-2 triangle; node 3 isolated.
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_isolate();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_removed() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = CsrGraph::from_edges(5, &[(3, 1), (3, 0), (3, 4)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 4]);
+        for &v in g.neighbors(3) {
+            assert!(g.has_edge(v as usize, 3));
+            assert!(g.has_edge(3, v as usize));
+        }
+    }
+
+    #[test]
+    fn has_edge_negative_cases() {
+        let g = triangle_plus_isolate();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        // 0 and 1 share {2, 3}.
+        let g = CsrGraph::from_edges(4, &[(0, 2), (0, 3), (1, 2), (1, 3), (0, 1)]);
+        assert_eq!(g.common_neighbors(0, 1), 2);
+        assert_eq!(g.common_neighbors(2, 3), 2); // both adjacent to 0 and 1
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn components_label_reachability() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let cc = g.connected_components();
+        assert_eq!(cc[0], cc[1]);
+        assert_eq!(cc[1], cc[2]);
+        assert_eq!(cc[4], cc[5]);
+        assert_ne!(cc[0], cc[4]);
+        assert_ne!(cc[3], cc[0]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle_plus_isolate();
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = triangle_plus_isolate();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: CsrGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # groupsa-graph
+//!
+//! Graph substrate for the GroupSA reproduction. The paper treats the
+//! user–item and user–user interaction data as two graphs (§II-D) and
+//! derives three things from them, all provided here:
+//!
+//! * [`CsrGraph`] — a compact undirected adjacency (the social network
+//!   `R^S`), with O(log deg) edge queries, BFS and connected components;
+//! * [`Bipartite`] — the user–item interaction graph `R^U` (both
+//!   orientations), with item-popularity counts;
+//! * [`centrality`] — degree and PageRank scores (used by the SIGR-like
+//!   baseline's global-influence term, and available as the closeness
+//!   function `f(i,j)` of paper Eq. (5));
+//! * [`tfidf`] — the TF-IDF ranking the paper uses to pick the Top-H
+//!   items (Eq. 11) and Top-H friends (Eq. 15) aggregated per user;
+//! * [`social::group_mask`] — the per-group boolean adjacency feeding
+//!   the social bias matrix `S` of Eq. (4)–(5).
+
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod centrality;
+pub mod csr;
+pub mod social;
+pub mod tfidf;
+
+pub use bipartite::Bipartite;
+pub use csr::CsrGraph;

@@ -1,0 +1,112 @@
+//! Per-group social adjacency — the input to the social bias matrix.
+//!
+//! Paper Eq. (4)–(5): self-attention between members `u_i` and `u_j` of
+//! a group is enabled only when the closeness `f(i,j)` is non-zero. The
+//! experiments use *direct connection*; [`Closeness`] also offers the
+//! common-neighbour relaxation for ablations.
+
+use crate::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// The closeness function `f(i,j)` of paper Eq. (5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Closeness {
+    /// `f(i,j) = 1` iff `(i,j)` is a social edge (the paper's choice).
+    Direct,
+    /// `f(i,j) = 1` iff `(i,j)` is an edge *or* the pair shares at least
+    /// `min_common` neighbours (a softer notion of closeness).
+    CommonNeighbors {
+        /// Minimum number of shared neighbours that counts as "close".
+        min_common: usize,
+    },
+    /// `f(i,j) = 1` for every pair — disables the social mask, reducing
+    /// the social self-attention to plain self-attention (used by
+    /// ablation studies).
+    All,
+}
+
+impl Closeness {
+    /// Whether attention between `u` and `v` is enabled.
+    pub fn allows(self, g: &CsrGraph, u: usize, v: usize) -> bool {
+        match self {
+            Closeness::Direct => g.has_edge(u, v),
+            Closeness::CommonNeighbors { min_common } => {
+                g.has_edge(u, v) || g.common_neighbors(u, v) >= min_common
+            }
+            Closeness::All => true,
+        }
+    }
+}
+
+/// Builds the `l×l` boolean adjacency among a group's members under the
+/// given closeness function. `mask[i][j] == true` enables attention
+/// `i → j`. The diagonal is left `false` here — the attention layer
+/// always opens it (a member always attends to themself).
+pub fn group_mask(g: &CsrGraph, members: &[usize], closeness: Closeness) -> Vec<Vec<bool>> {
+    let l = members.len();
+    let mut mask = vec![vec![false; l]; l];
+    for i in 0..l {
+        for j in 0..l {
+            if i != j && closeness.allows(g, members[i], members[j]) {
+                mask[i][j] = true;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn social() -> CsrGraph {
+        // 10-11-12 path, 13 isolated; 10 and 12 share neighbour 11.
+        CsrGraph::from_edges(14, &[(10, 11), (11, 12)])
+    }
+
+    #[test]
+    fn direct_mask_follows_edges() {
+        let g = social();
+        let m = group_mask(&g, &[10, 11, 12, 13], Closeness::Direct);
+        assert!(m[0][1] && m[1][0]); // 10-11
+        assert!(m[1][2] && m[2][1]); // 11-12
+        assert!(!m[0][2]); // 10-12 not direct
+        assert!(!m[0][3] && !m[3][0]); // 13 isolated
+        for (i, row) in m.iter().enumerate() {
+            assert!(!row[i], "diagonal is handled by the attention layer");
+        }
+    }
+
+    #[test]
+    fn common_neighbors_opens_triads() {
+        let g = social();
+        let m = group_mask(&g, &[10, 12], Closeness::CommonNeighbors { min_common: 1 });
+        assert!(m[0][1] && m[1][0], "10 and 12 share neighbour 11");
+        let strict = group_mask(&g, &[10, 12], Closeness::CommonNeighbors { min_common: 2 });
+        assert!(!strict[0][1]);
+    }
+
+    #[test]
+    fn all_closeness_opens_everything_offdiagonal() {
+        let g = social();
+        let m = group_mask(&g, &[10, 12, 13], Closeness::All);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[i][j], i != j);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_is_symmetric_for_symmetric_closeness() {
+        let g = social();
+        for c in [Closeness::Direct, Closeness::CommonNeighbors { min_common: 1 }, Closeness::All] {
+            let m = group_mask(&g, &[10, 11, 12, 13], c);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(m[i][j], m[j][i], "closeness {c:?} must be symmetric");
+                }
+            }
+        }
+    }
+}

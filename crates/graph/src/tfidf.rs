@@ -1,0 +1,108 @@
+//! TF-IDF ranking of a user's interacted items and friends.
+//!
+//! Paper §II-D: "we rank the items according to TF-IDF, and select Top-H
+//! of them to represent the specific user" (Eq. 11), and "similar to
+//! item aggregation, the TF-IDF based ranking score is applied" to
+//! friends (Eq. 15).
+//!
+//! With implicit 0/1 feedback every term frequency is 1, so the ranking
+//! reduces to inverse document frequency: an item visited by few users
+//! (or a friend with few connections) characterises the user more
+//! sharply than a blockbuster item or a hyper-connected friend.
+
+use crate::{Bipartite, CsrGraph};
+
+/// IDF of an item: `ln(num_users / (1 + popularity))`.
+pub fn item_idf(b: &Bipartite, item: usize) -> f64 {
+    (b.num_users() as f64 / (1.0 + b.item_popularity(item) as f64)).ln()
+}
+
+/// IDF of a user viewed as a friend: `ln(num_users / (1 + degree))`.
+pub fn friend_idf(g: &CsrGraph, user: usize) -> f64 {
+    (g.num_nodes() as f64 / (1.0 + g.degree(user) as f64)).ln()
+}
+
+/// The user's interacted items, sorted by descending TF-IDF
+/// (ties broken by ascending item id for determinism).
+pub fn rank_items(b: &Bipartite, user: usize) -> Vec<usize> {
+    let mut items: Vec<usize> = b.items_of(user).iter().map(|&i| i as usize).collect();
+    items.sort_by(|&x, &y| {
+        item_idf(b, y)
+            .partial_cmp(&item_idf(b, x))
+            .expect("IDF is finite")
+            .then(x.cmp(&y))
+    });
+    items
+}
+
+/// The Top-H TF-IDF items of a user — the aggregation set of Eq. (11).
+/// Returns fewer than `h` when the user has fewer interactions.
+pub fn top_items(b: &Bipartite, user: usize, h: usize) -> Vec<usize> {
+    let mut ranked = rank_items(b, user);
+    ranked.truncate(h);
+    ranked
+}
+
+/// The user's friends, sorted by descending TF-IDF.
+pub fn rank_friends(g: &CsrGraph, user: usize) -> Vec<usize> {
+    let mut friends: Vec<usize> = g.neighbors(user).iter().map(|&u| u as usize).collect();
+    friends.sort_by(|&x, &y| {
+        friend_idf(g, y)
+            .partial_cmp(&friend_idf(g, x))
+            .expect("IDF is finite")
+            .then(x.cmp(&y))
+    });
+    friends
+}
+
+/// The Top-H TF-IDF friends of a user — the aggregation set of Eq. (15).
+pub fn top_friends(g: &CsrGraph, user: usize, h: usize) -> Vec<usize> {
+    let mut ranked = rank_friends(g, user);
+    ranked.truncate(h);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_items_rank_first() {
+        // Item 0: popular (3 users); item 1: rare (1 user). User 0 has both.
+        let b = Bipartite::from_pairs(3, 2, &[(0, 0), (1, 0), (2, 0), (0, 1)]);
+        assert!(item_idf(&b, 1) > item_idf(&b, 0));
+        assert_eq!(rank_items(&b, 0), vec![1, 0]);
+    }
+
+    #[test]
+    fn top_items_truncates_and_handles_short_history() {
+        let b = Bipartite::from_pairs(2, 3, &[(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(top_items(&b, 0, 2).len(), 2);
+        assert_eq!(top_items(&b, 0, 10).len(), 3);
+        assert!(top_items(&b, 1, 5).is_empty());
+    }
+
+    #[test]
+    fn low_degree_friends_rank_first() {
+        // 0 is friends with 1 (hub, degree 3) and 2 (degree 1).
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (1, 2)]);
+        assert!(friend_idf(&g, 2) > friend_idf(&g, 1));
+        // friend 2 has degree 2 (0 and 1) vs friend 1 degree 3 → 2 first.
+        assert_eq!(rank_friends(&g, 0), vec![2, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        // Items 0 and 1 both popularity 1 for user 0.
+        let b = Bipartite::from_pairs(1, 2, &[(0, 0), (0, 1)]);
+        assert_eq!(rank_items(&b, 0), vec![0, 1]);
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        assert_eq!(rank_friends(&g, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn isolated_user_has_no_friends() {
+        let g = CsrGraph::from_edges(2, &[]);
+        assert!(top_friends(&g, 0, 3).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests: structural invariants of the graph substrate.
+
+use groupsa_graph::{centrality, tfidf, Bipartite, CsrGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected edge list over `n` nodes.
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn handshake_lemma(es in edges(12, 40)) {
+        let g = CsrGraph::from_edges(12, &es);
+        let degree_sum: usize = (0..12).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_deduped_and_symmetric(es in edges(10, 30)) {
+        let g = CsrGraph::from_edges(10, &es);
+        for u in 0..10 {
+            let ns = g.neighbors(u);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
+            for &v in ns {
+                prop_assert!(g.has_edge(v as usize, u), "symmetry");
+                prop_assert!(v as usize != u, "no self loops");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_satisfies_triangle_inequality_over_edges(es in edges(10, 30)) {
+        let g = CsrGraph::from_edges(10, &es);
+        let dist = g.bfs_distances(0);
+        for (u, v) in g.edges() {
+            if let (Some(du), Some(dv)) = (dist[u], dist[v]) {
+                prop_assert!(du.abs_diff(dv) <= 1, "adjacent distances differ by ≤ 1");
+            } else {
+                // One endpoint unreachable ⇒ both must be (they're adjacent).
+                prop_assert!(dist[u].is_none() && dist[v].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs(es in edges(10, 25)) {
+        let g = CsrGraph::from_edges(10, &es);
+        let cc = g.connected_components();
+        let dist = g.bfs_distances(0);
+        for u in 0..10 {
+            prop_assert_eq!(cc[u] == cc[0], dist[u].is_some(), "node {}", u);
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(es in edges(15, 50), d in 0.5f64..0.95) {
+        let g = CsrGraph::from_edges(15, &es);
+        let pr = centrality::pagerank(&g, d, 1e-10, 300);
+        let total: f64 = pr.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sums to 1, got {total}");
+        prop_assert!(pr.iter().all(|&x| x > 0.0), "teleportation keeps all positive");
+    }
+
+    #[test]
+    fn tfidf_top_items_subset_of_history(pairs in prop::collection::vec((0usize..8, 0usize..12), 1..40), h in 1usize..6) {
+        let b = Bipartite::from_pairs(8, 12, &pairs);
+        for u in 0..8 {
+            let top = tfidf::top_items(&b, u, h);
+            prop_assert!(top.len() <= h.min(b.items_of(u).len()));
+            for &i in &top {
+                prop_assert!(b.has_interaction(u, i), "top items come from the history");
+            }
+            // Ranking is by non-increasing IDF.
+            for w in top.windows(2) {
+                prop_assert!(tfidf::item_idf(&b, w[0]) >= tfidf::item_idf(&b, w[1]) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_orientations_agree(pairs in prop::collection::vec((0usize..6, 0usize..9), 0..30)) {
+        let b = Bipartite::from_pairs(6, 9, &pairs);
+        let from_users: usize = (0..6).map(|u| b.user_activity(u)).sum();
+        let from_items: usize = (0..9).map(|i| b.item_popularity(i)).sum();
+        prop_assert_eq!(from_users, from_items);
+        prop_assert_eq!(from_users, b.num_interactions());
+        for u in 0..6 {
+            for &i in b.items_of(u) {
+                prop_assert!(b.users_of(i as usize).contains(&(u as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_buckets_are_monotone_in_score(scores in prop::collection::vec(0.0f64..1.0, 1..30), k in 1usize..6) {
+        let buckets = centrality::quantile_buckets(&scores, k);
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] < scores[j] {
+                    prop_assert!(buckets[i] <= buckets[j], "higher score ⇒ bucket at least as high");
+                }
+            }
+        }
+        prop_assert!(buckets.iter().all(|&b| b < k));
+    }
+}

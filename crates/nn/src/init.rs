@@ -1,0 +1,70 @@
+//! Weight-initialisation strategies.
+//!
+//! The paper (§III-E) uses Glorot for embedding layers and `N(0, 0.1²)`
+//! for hidden layers; both are captured by [`Init`].
+
+use groupsa_tensor::{rng, Matrix};
+use rand::Rng;
+
+/// How a parameter matrix is initialised.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// Glorot / Xavier uniform (paper's embedding initialiser).
+    Glorot,
+    /// Gaussian with mean 0 and the given standard deviation
+    /// (the paper uses `Gaussian(0.1)` for hidden layers).
+    Gaussian(f32),
+    /// All zeros (biases).
+    Zeros,
+    /// All ones (layer-norm gain).
+    Ones,
+    /// Every element set to the given constant.
+    Const(f32),
+}
+
+impl Init {
+    /// The paper's hidden-layer initialiser.
+    pub const PAPER_HIDDEN: Init = Init::Gaussian(0.1);
+
+    /// Materialises a `rows × cols` matrix.
+    pub fn build(self, rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+        match self {
+            Init::Glorot => rng::glorot_uniform(rng, rows, cols),
+            Init::Gaussian(std) => rng::gaussian_matrix(rng, rows, cols, 0.0, std),
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::Ones => Matrix::ones(rows, cols),
+            Init::Const(c) => Matrix::full(rows, cols, c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupsa_tensor::rng::seeded;
+
+    #[test]
+    fn shapes_and_values() {
+        let mut r = seeded(5);
+        assert_eq!(Init::Zeros.build(&mut r, 2, 3), Matrix::zeros(2, 3));
+        assert_eq!(Init::Ones.build(&mut r, 2, 2), Matrix::ones(2, 2));
+        assert_eq!(Init::Const(0.5).build(&mut r, 1, 4), Matrix::full(1, 4, 0.5));
+        assert_eq!(Init::Glorot.build(&mut r, 8, 8).shape(), (8, 8));
+    }
+
+    #[test]
+    fn gaussian_std_controls_spread() {
+        let mut r = seeded(6);
+        let narrow = Init::Gaussian(0.01).build(&mut r, 50, 50);
+        let mut r = seeded(6);
+        let wide = Init::Gaussian(1.0).build(&mut r, 50, 50);
+        assert!(narrow.frobenius_norm() < wide.frobenius_norm());
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = Init::Glorot.build(&mut seeded(9), 4, 4);
+        let b = Init::Glorot.build(&mut seeded(9), 4, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of this crate and `groupsa-nn` to verify every
+//! analytic backward pass against a central-difference approximation.
+
+use crate::Matrix;
+
+/// Central-difference numeric gradient of a scalar function `f` at `x`.
+///
+/// Perturbs each element by `±eps` and evaluates `f` twice per element;
+/// intended for small test matrices only.
+pub fn finite_diff_grad(x: &Matrix, eps: f32, mut f: impl FnMut(&Matrix) -> f32) -> Matrix {
+    let mut grad = Matrix::zeros(x.rows(), x.cols());
+    let mut xp = x.clone();
+    for i in 0..x.len() {
+        let orig = xp.as_slice()[i];
+        xp.as_mut_slice()[i] = orig + eps;
+        let fp = f(&xp);
+        xp.as_mut_slice()[i] = orig - eps;
+        let fm = f(&xp);
+        xp.as_mut_slice()[i] = orig;
+        grad.as_mut_slice()[i] = (fp - fm) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Asserts that the analytic gradient returned by `run` matches the
+/// finite-difference gradient of its scalar output.
+///
+/// `run` maps an input matrix to `(loss, d loss / d input)`. The
+/// comparison uses a relative tolerance: each element must satisfy
+/// `|a − n| ≤ tol · max(1, |a|, |n|)`.
+///
+/// # Panics
+/// If any element disagrees beyond tolerance (with a diagnostic message).
+pub fn assert_grad_matches(
+    x0: &Matrix,
+    eps: f32,
+    tol: f32,
+    mut run: impl FnMut(&Matrix) -> (f32, Matrix),
+) {
+    let (_, analytic) = run(x0);
+    let numeric = finite_diff_grad(x0, eps, |m| run(m).0);
+    assert_eq!(analytic.shape(), x0.shape(), "analytic gradient has wrong shape");
+    for i in 0..x0.len() {
+        let a = analytic.as_slice()[i];
+        let n = numeric.as_slice()[i];
+        let scale = 1.0_f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() <= tol * scale,
+            "gradient mismatch at flat index {i}: analytic={a}, numeric={n} (tol {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_diff_of_quadratic() {
+        // f(x) = Σ x² ⇒ ∇f = 2x.
+        let x = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let g = finite_diff_grad(&x, 1e-2, |m| m.as_slice().iter().map(|v| v * v).sum());
+        let expected = x.scale(2.0);
+        assert!(g.approx_eq(&expected, 1e-3), "{g:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn assert_grad_matches_accepts_correct_gradient() {
+        let x = Matrix::from_vec(2, 2, vec![0.1, 0.4, -0.7, 1.1]);
+        assert_grad_matches(&x, 1e-2, 1e-2, |m| {
+            let loss: f32 = m.as_slice().iter().map(|v| v * v).sum();
+            (loss, m.scale(2.0))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn assert_grad_matches_rejects_wrong_gradient() {
+        let x = Matrix::from_vec(1, 2, vec![0.3, -0.9]);
+        assert_grad_matches(&x, 1e-2, 1e-3, |m| {
+            let loss: f32 = m.as_slice().iter().map(|v| v * v).sum();
+            (loss, m.scale(3.0)) // wrong: should be 2x
+        });
+    }
+}

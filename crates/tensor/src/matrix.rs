@@ -1,0 +1,755 @@
+//! The dense row-major `f32` matrix used throughout the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f32`.
+///
+/// This is the single numeric container of the workspace: model
+/// parameters, embeddings, activations, gradients, masks and metric
+/// accumulators are all `Matrix` values. Vectors are represented as
+/// `1×n` (row) or `n×1` (column) matrices; scalars as `1×1`.
+///
+/// All shape preconditions panic on violation — a mismatched shape is a
+/// bug in the caller, never an input-dependent condition.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix whose rows are the given equal-length slices.
+    ///
+    /// # Panics
+    /// If `rows` is empty or the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "Matrix::from_rows: no rows given");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "Matrix::from_rows: row {i} has length {} != {cols}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a `1×n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Self::from_vec(1, n, data)
+    }
+
+    /// Creates an `n×n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    /// If `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "Matrix::row: row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    /// If `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "Matrix::row_mut: row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The value of a `1×1` matrix.
+    ///
+    /// # Panics
+    /// If the matrix is not `1×1`.
+    pub fn scalar(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "Matrix::scalar: shape is {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Returns a new matrix with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// Returns a new matrix with `f(a, b)` applied to paired elements.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        self.assert_same_shape(other, "zip_map");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn mul_elem(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// `self += other` element-wise.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` element-wise (AXPY).
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn add_scaled_assign(&mut self, other: &Self, s: f32) {
+        self.assert_same_shape(other, "add_scaled_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// `self *= s` element-wise.
+    pub fn scale_assign(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Adds the `1×cols` row vector `bias` to every row.
+    ///
+    /// # Panics
+    /// If `bias` is not `1×cols`.
+    pub fn add_row_broadcast(&self, bias: &Self) -> Self {
+        assert_eq!(
+            bias.shape(),
+            (1, self.cols),
+            "add_row_broadcast: bias shape {:?} incompatible with {}x{}",
+            bias.shape(),
+            self.rows,
+            self.cols
+        );
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Standard matrix product `self · other`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order.
+    ///
+    /// # Panics
+    /// If `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions differ ({}x{} · {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    /// If `self.cols != other.cols`.
+    pub fn matmul_transpose_b(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b: column counts differ ({}x{} · ({}x{})ᵀ)",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                out.data[i * n + j] = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Self {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    /// If the row counts differ.
+    pub fn concat_cols(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "concat_cols: row counts differ ({} vs {})",
+            self.rows, other.rows
+        );
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Self { rows: self.rows, cols, data }
+    }
+
+    /// Vertical concatenation (`self` on top of `other`).
+    ///
+    /// # Panics
+    /// If the column counts differ.
+    pub fn concat_rows(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "concat_rows: column counts differ ({} vs {})",
+            self.cols, other.cols
+        );
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Self { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Copies rows `start..start + len` into a new matrix.
+    ///
+    /// # Panics
+    /// If the range exceeds the row count.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= self.rows,
+            "slice_rows: {start}..{} out of bounds ({} rows)",
+            start + len,
+            self.rows
+        );
+        Self {
+            rows: len,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + len) * self.cols].to_vec(),
+        }
+    }
+
+    /// Gathers the given rows (with repetition allowed) into a new matrix.
+    ///
+    /// # Panics
+    /// If any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Self { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Adds row `r` of `src` into row `indices[r]` of `self`
+    /// (the adjoint of [`Matrix::gather_rows`]).
+    ///
+    /// # Panics
+    /// If shapes are incompatible or an index is out of bounds.
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Self) {
+        assert_eq!(src.rows, indices.len(), "scatter_add_rows: {} rows vs {} indices", src.rows, indices.len());
+        assert_eq!(src.cols, self.cols, "scatter_add_rows: column counts differ");
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < self.rows, "scatter_add_rows: index {i} out of bounds ({} rows)", self.rows);
+            let dst = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (d, &s) in dst.iter_mut().zip(src.row(r)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Repeats a `1×c` row `times` times.
+    ///
+    /// # Panics
+    /// If `self` is not a single row.
+    pub fn repeat_rows(&self, times: usize) -> Self {
+        assert_eq!(self.rows, 1, "repeat_rows: expected a 1-row matrix, got {} rows", self.rows);
+        let mut data = Vec::with_capacity(times * self.cols);
+        for _ in 0..times {
+            data.extend_from_slice(&self.data);
+        }
+        Self { rows: times, cols: self.cols, data }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`0.0` for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum as a `1×cols` row vector.
+    pub fn sum_rows(&self) -> Self {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean as a `1×cols` row vector.
+    ///
+    /// # Panics
+    /// If the matrix has zero rows.
+    pub fn mean_rows(&self) -> Self {
+        assert!(self.rows > 0, "mean_rows: matrix has no rows");
+        let mut out = self.sum_rows();
+        out.scale_assign(1.0 / self.rows as f32);
+        out
+    }
+
+    /// Maximum element (`-inf` for an empty matrix).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`+inf` for an empty matrix).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element of row `r` (first on ties).
+    ///
+    /// # Panics
+    /// If the matrix has zero columns or `r` is out of bounds.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        assert!(self.cols > 0, "argmax_row: matrix has no columns");
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// `true` when every paired element differs by at most `tol`.
+    ///
+    /// Shapes must match for the comparison to succeed.
+    pub fn approx_eq(&self, other: &Self, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// `true` when every element is finite (no NaN / ±inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    #[inline]
+    fn assert_same_shape(&self, other: &Self, what: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{what}: shapes differ ({}x{} vs {}x{})",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        const MAX_ROWS: usize = 8;
+        for r in 0..self.rows.min(MAX_ROWS) {
+            write!(f, "  [")?;
+            const MAX_COLS: usize = 8;
+            for (c, v) in self.row(r).iter().take(MAX_COLS).enumerate() {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.4}")?;
+            }
+            if self.cols > MAX_COLS {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > MAX_ROWS {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        assert!(Matrix::ones(2, 2).as_slice().iter().all(|&x| x == 1.0));
+        assert!(Matrix::full(1, 4, 7.5).as_slice().iter().all(|&x| x == 7.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_fn_and_index() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let i = Matrix::eye(3);
+        assert!(m.matmul(&i).approx_eq(&m, 1e-6));
+        assert!(i.matmul(&m).approx_eq(&m, 1e-6));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        let expected = Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]);
+        assert!(c.approx_eq(&expected, 1e-5));
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f32 * 0.5);
+        let b = Matrix::from_fn(5, 4, |r, c| (r * c) as f32 * 0.25 - 1.0);
+        assert!(a.matmul_transpose_b(&b).approx_eq(&a.matmul(&b.transpose()), 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul_elem(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![10.0, 20.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[11.0, 22.0]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.as_slice(), &[16.0, 32.0]);
+    }
+
+    #[test]
+    fn row_broadcast_add() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let bias = Matrix::from_vec(1, 2, vec![10.0, 20.0]);
+        assert_eq!(m.add_row_broadcast(&bias).as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+
+        let d = Matrix::from_vec(1, 3, vec![7.0, 8.0, 9.0]);
+        let e = c.concat_rows(&d);
+        assert_eq!(e.shape(), (3, 3));
+        assert_eq!(e.row(2), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn slice_gather_scatter_roundtrip() {
+        let m = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let s = m.slice_rows(1, 2);
+        assert_eq!(s.row(0), m.row(1));
+        assert_eq!(s.row(1), m.row(2));
+
+        let g = m.gather_rows(&[3, 0, 3]);
+        assert_eq!(g.row(0), m.row(3));
+        assert_eq!(g.row(2), m.row(3));
+
+        let mut acc = Matrix::zeros(4, 2);
+        acc.scatter_add_rows(&[3, 0, 3], &g);
+        // row 3 gathered twice → accumulated twice.
+        assert_eq!(acc.row(3), &[12.0, 14.0]);
+        assert_eq!(acc.row(0), &[0.0, 1.0]);
+        assert_eq!(acc.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn repeat_rows_tiles_single_row() {
+        let v = Matrix::row_vector(vec![1.0, 2.0]);
+        let t = v.repeat_rows(3);
+        assert_eq!(t.shape(), (3, 2));
+        assert!(t.rows_iter().all(|r| r == [1.0, 2.0]));
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.sum_rows().as_slice(), &[4.0, 6.0]);
+        assert_eq!(m.mean_rows().as_slice(), &[2.0, 3.0]);
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.min(), 1.0);
+        assert!((m.frobenius_norm() - 30.0_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let m = Matrix::from_vec(1, 4, vec![0.5, 2.0, 2.0, 1.0]);
+        assert_eq!(m.argmax_row(0), 1);
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        assert_eq!(Matrix::full(1, 1, 3.25).scalar(), 3.25);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut m = Matrix::ones(2, 2);
+        assert!(m.is_finite());
+        m[(0, 1)] = f32::NAN;
+        assert!(!m.is_finite());
+    }
+}

@@ -1,0 +1,103 @@
+//! Seeded random initialisation helpers.
+//!
+//! The paper initialises embedding layers with Glorot (Xavier) and hidden
+//! layers with a Gaussian of mean 0 / std 0.1 (§III-E). Both are provided
+//! here on top of any [`rand::Rng`], so that every experiment in the
+//! workspace is reproducible from a single `u64` seed.
+//!
+//! Gaussian samples use the Box–Muller transform rather than pulling in
+//! `rand_distr` (see DESIGN.md §6).
+
+use crate::Matrix;
+use rand::{Rng, RngExt};
+use rand::SeedableRng;
+
+/// The deterministic RNG used across the workspace.
+pub type StdRng = rand::rngs::StdRng;
+
+/// Creates the workspace-standard RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // u1 ∈ (0, 1] so ln(u1) is finite.
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// One `N(mean, std²)` sample.
+pub fn gaussian(rng: &mut impl Rng, mean: f32, std: f32) -> f32 {
+    mean + std * standard_normal(rng)
+}
+
+/// A matrix of independent `N(mean, std²)` samples.
+pub fn gaussian_matrix(rng: &mut impl Rng, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| gaussian(rng, mean, std))
+}
+
+/// A matrix drawn from the Glorot (Xavier) uniform distribution
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`, where `fan_in =
+/// rows` and `fan_out = cols` — the paper's embedding initialiser.
+pub fn glorot_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-limit..limit))
+}
+
+/// A matrix of `U(low, high)` samples.
+pub fn uniform_matrix(rng: &mut impl Rng, rows: usize, cols: usize, low: f32, high: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(low..high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = gaussian_matrix(&mut seeded(42), 4, 4, 0.0, 1.0);
+        let b = gaussian_matrix(&mut seeded(42), 4, 4, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = gaussian_matrix(&mut seeded(43), 4, 4, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng, 2.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 0.25).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = seeded(99);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = seeded(3);
+        let m = glorot_uniform(&mut rng, 100, 50, );
+        let limit = (6.0 / 150.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+        // Spread should roughly fill the interval.
+        assert!(m.max() > 0.8 * limit);
+        assert!(m.min() < -0.8 * limit);
+    }
+
+    #[test]
+    fn uniform_matrix_in_range() {
+        let mut rng = seeded(11);
+        let m = uniform_matrix(&mut rng, 10, 10, -2.0, 3.0);
+        assert!(m.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests: algebraic laws of the tensor substrate.
+
+use groupsa_tensor::{ops, Matrix};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// Strategy: a matrix of the given shape with elements in [-3, 3].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: small dims in 1..=6.
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..=6
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_associative((m, k, n, p) in (dim(), dim(), dim(), dim()).prop_flat_map(|d| (Just(d.0), Just(d.1), Just(d.2), Just(d.3)))) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let a = matrix(m, k).new_tree(runner).unwrap().current();
+        let b = matrix(k, n).new_tree(runner).unwrap().current();
+        let c = matrix(n, p).new_tree(runner).unwrap().current();
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-2), "associativity failed");
+    }
+
+    #[test]
+    fn add_commutative(r in dim(), c in dim(), seed in any::<u64>()) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let a = matrix(r, c).new_tree(runner).unwrap().current();
+        let b = matrix(r, c).new_tree(runner).unwrap().current();
+        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-6));
+    }
+
+    #[test]
+    fn transpose_distributes_over_matmul(m in dim(), k in dim(), n in dim()) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let a = matrix(m, k).new_tree(runner).unwrap().current();
+        let b = matrix(k, n).new_tree(runner).unwrap().current();
+        // (AB)ᵀ = BᵀAᵀ
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_b_consistent(m in dim(), k in dim(), n in dim()) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let a = matrix(m, k).new_tree(runner).unwrap().current();
+        let b = matrix(n, k).new_tree(runner).unwrap().current();
+        prop_assert!(a.matmul_transpose_b(&b).approx_eq(&a.matmul(&b.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_is_row_stochastic(r in dim(), c in dim()) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let x = matrix(r, c).new_tree(runner).unwrap().current();
+        let s = ops::softmax_rows(&x);
+        for row in s.rows_iter() {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_order_within_row(c in 2usize..=8) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let x = matrix(1, c).new_tree(runner).unwrap().current();
+        let s = ops::softmax_rows(&x);
+        for i in 0..c {
+            for j in 0..c {
+                if x[(0, i)] < x[(0, j)] {
+                    prop_assert!(s[(0, i)] <= s[(0, j)] + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_adjoint(rows in 2usize..=6, c in dim(), idx in prop::collection::vec(0usize..2, 1..8)) {
+        // ⟨gather(A, idx), B⟩ == ⟨A, scatter(idx, B)⟩ — the defining
+        // property that makes embedding-gradient scatter correct.
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let idx: Vec<usize> = idx.iter().map(|&i| i % rows).collect();
+        let a = matrix(rows, c).new_tree(runner).unwrap().current();
+        let b = matrix(idx.len(), c).new_tree(runner).unwrap().current();
+        let lhs: f32 = a
+            .gather_rows(&idx)
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .sum();
+        let mut scat = Matrix::zeros(rows, c);
+        scat.scatter_add_rows(&idx, &b);
+        let rhs: f32 = a.as_slice().iter().zip(scat.as_slice()).map(|(x, y)| x * y).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn concat_then_slice_recovers(r in dim(), c1 in dim(), c2 in dim()) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let a = matrix(r, c1).new_tree(runner).unwrap().current();
+        let b = matrix(r, c2).new_tree(runner).unwrap().current();
+        let cat = a.concat_cols(&b);
+        prop_assert_eq!(cat.shape(), (r, c1 + c2));
+        for i in 0..r {
+            prop_assert_eq!(&cat.row(i)[..c1], a.row(i));
+            prop_assert_eq!(&cat.row(i)[c1..], b.row(i));
+        }
+    }
+
+    #[test]
+    fn sum_rows_matches_manual(r in dim(), c in dim()) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let a = matrix(r, c).new_tree(runner).unwrap().current();
+        let s = a.sum_rows();
+        for j in 0..c {
+            let manual: f32 = (0..r).map(|i| a[(i, j)]).sum();
+            prop_assert!((s[(0, j)] - manual).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_statistics(r in dim(), c in 2usize..=8) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let x = matrix(r, c).new_tree(runner).unwrap().current();
+        let g = Matrix::ones(1, c);
+        let b = Matrix::zeros(1, c);
+        let y = ops::layer_norm_rows(&x, &g, &b, 1e-5);
+        for row in y.rows_iter() {
+            let mean: f32 = row.iter().sum::<f32>() / c as f32;
+            prop_assert!(mean.abs() < 1e-3, "row mean {mean}");
+        }
+    }
+
+    #[test]
+    fn softplus_bounds(x in -50.0f32..50.0) {
+        // softplus(x) ≥ max(x, 0) and softplus(x) ≥ 0, always finite.
+        let y = ops::softplus(x);
+        prop_assert!(y.is_finite());
+        prop_assert!(y >= x.max(0.0) - 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_monotone(a in -30.0f32..30.0, b in -30.0f32..30.0) {
+        if a < b {
+            prop_assert!(ops::sigmoid(a) <= ops::sigmoid(b) + 1e-7);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Conference trip: the paper's closing scenario (§IV) — attendees who
+//! met at a conference plan an event together. The group is brand new
+//! (zero group-item history), so everything must come from the members'
+//! own histories and social ties. Compares the full voting path with
+//! the static aggregation strategies of §III-D.
+//!
+//! ```bash
+//! cargo run --release --example conference_trip
+//! ```
+
+use groupsa_suite::core::{DataContext, GroupSa, GroupSaConfig, ScoreAggregation, Trainer};
+use groupsa_suite::data::synthetic::{self, SyntheticConfig};
+use groupsa_suite::data::split_dataset;
+
+fn main() {
+    // A Douban-Event-flavoured world, scaled for a quick run.
+    let synth = SyntheticConfig {
+        name: "conference".into(),
+        num_users: 300,
+        num_items: 300,
+        num_groups: 900,
+        ..synthetic::douban_sim()
+    };
+    let mut dataset = synthetic::generate(&synth);
+
+    // Form a brand-new occasional group of 4 socially connected users —
+    // conference attendees who just met. It has NO group-item history.
+    let social = dataset.social_graph();
+    let seed_user = (0..dataset.num_users)
+        .max_by_key(|&u| social.degree(u))
+        .expect("non-empty user set");
+    let mut attendees = vec![seed_user];
+    attendees.extend(social.neighbors(seed_user).iter().take(3).map(|&u| u as usize));
+    dataset.groups.push(attendees.clone());
+    let fresh_group = dataset.num_groups() - 1;
+    println!("ad-hoc attendee group #{fresh_group}: {attendees:?} (no history)\n");
+
+    let split = split_dataset(&dataset, 0.2, 0.1, 7);
+    let cfg = GroupSaConfig { user_epochs: 8, group_epochs: 30, ..GroupSaConfig::paper() };
+    let ctx = DataContext::build(&dataset, &split, &cfg);
+    let mut model = GroupSa::new(cfg.clone(), dataset.num_users, dataset.num_items);
+    println!("training…");
+    Trainer::new(cfg).fit(&mut model, &ctx);
+
+    // Rank all events for the fresh group with the full voting path and
+    // with each static strategy.
+    let candidates: Vec<usize> = (0..dataset.num_items).collect();
+    let show = |label: &str, scores: Vec<f32>| {
+        let mut ranked: Vec<(usize, f32)> = candidates.iter().copied().zip(scores).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let top: Vec<String> = ranked.iter().take(5).map(|(i, s)| format!("#{i}({s:+.2})")).collect();
+        println!("{label:22} → {}", top.join("  "));
+    };
+    show("GroupSA (voting)", model.score_group_items(&ctx, fresh_group, &candidates));
+    for agg in [ScoreAggregation::Average, ScoreAggregation::LeastMisery, ScoreAggregation::MaxSatisfaction] {
+        show(agg.label(), model.fast_group_scores(&ctx, fresh_group, &candidates, agg));
+    }
+
+    // Who would dominate the decision for the top pick?
+    let top_item = {
+        let scores = model.score_group_items(&ctx, fresh_group, &candidates);
+        candidates
+            .iter()
+            .copied()
+            .zip(scores)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty candidates")
+            .0
+    };
+    let e = model.explain_group_prediction(&ctx, fresh_group, top_item);
+    println!("\nfor the top event #{top_item}, the loudest voice is attendee #{}", e.dominant_member());
+    println!(
+        "member weights: {}",
+        e.members
+            .iter()
+            .zip(&e.member_weights)
+            .map(|(u, w)| format!("#{u}:{w:.3}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+}

@@ -1,0 +1,295 @@
+//! `groupsa` — command-line interface to the GroupSA reproduction.
+//!
+//! A downstream-user workflow without writing any Rust:
+//!
+//! ```bash
+//! groupsa generate --preset yelp --out data.json        # synthetic dataset
+//! groupsa train    --data data.json --out model.json    # train GroupSA
+//! groupsa evaluate --data data.json --model model.json  # HR/NDCG on held-out data
+//! groupsa recommend --data data.json --model model.json --group 17 --k 10
+//! groupsa explain  --data data.json --model model.json --group 17 --item 42
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace carries no CLI
+//! dependency); every flag is `--name value`.
+
+use groupsa_suite::core::{DataContext, GroupMode, GroupSa, GroupSaConfig, ScoreAggregation, Trainer};
+use groupsa_suite::data::{split_dataset, synthetic, Dataset, DatasetStats};
+use groupsa_suite::eval::{evaluate, EvalTask};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+groupsa — GroupSA group recommender (ICDE 2020 reproduction)
+
+USAGE:
+  groupsa generate  --preset <yelp|douban> [--seed N] [--users N] [--items N] [--groups N] --out FILE
+  groupsa stats     --data FILE
+  groupsa train     --data FILE --out MODEL [--user-epochs N] [--group-epochs N] [--seed N]
+  groupsa evaluate  --data FILE --model MODEL [--task <user|group|both>]
+  groupsa recommend --data FILE --model MODEL --group ID [--k N] [--mode <voting|fast>]
+  groupsa explain   --data FILE --model MODEL --group ID --item ID
+
+All interactions are split 80/10/10 (train/valid/test) with seed 42,
+matching the paper's protocol; training sees only the training split.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "train" => cmd_train(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "recommend" => cmd_recommend(&flags),
+        "explain" => cmd_explain(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Flags)> {
+    let cmd = args.first()?.clone();
+    let mut flags = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?.to_string();
+        let value = args.get(i + 1)?.clone();
+        flags.insert(key, value);
+        i += 2;
+    }
+    Some((cmd, flags))
+}
+
+fn required<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn numeric<T: std::str::FromStr>(flags: &Flags, key: &str) -> Result<Option<T>, String> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| format!("--{key}: cannot parse '{v}'")),
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let preset = required(flags, "preset")?;
+    let mut cfg = match preset {
+        "yelp" => synthetic::yelp_sim(),
+        "douban" => synthetic::douban_sim(),
+        other => return Err(format!("unknown preset '{other}' (yelp|douban)")),
+    };
+    if let Some(seed) = numeric(flags, "seed")? {
+        cfg.seed = seed;
+    }
+    if let Some(n) = numeric(flags, "users")? {
+        cfg.num_users = n;
+    }
+    if let Some(n) = numeric(flags, "items")? {
+        cfg.num_items = n;
+    }
+    if let Some(n) = numeric(flags, "groups")? {
+        cfg.num_groups = n;
+    }
+    let out = required(flags, "out")?;
+    let dataset = synthetic::generate(&cfg);
+    dataset.save_json(out).map_err(|e| e.to_string())?;
+    println!("{}", DatasetStats::compute(&dataset));
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+    let path = required(flags, "data")?;
+    let d = Dataset::load_json(path).map_err(|e| format!("loading {path}: {e}"))?;
+    d.validate().map_err(|e| format!("{path} is not a valid dataset: {e}"))?;
+    Ok(d)
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    println!("{}", DatasetStats::compute(&load_dataset(flags)?));
+    Ok(())
+}
+
+fn training_config(flags: &Flags) -> Result<GroupSaConfig, String> {
+    let mut cfg = GroupSaConfig::paper();
+    if let Some(n) = numeric(flags, "user-epochs")? {
+        cfg.user_epochs = n;
+    }
+    if let Some(n) = numeric(flags, "group-epochs")? {
+        cfg.group_epochs = n;
+    }
+    if let Some(s) = numeric(flags, "seed")? {
+        cfg.seed = s;
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let out = required(flags, "out")?;
+    let cfg = training_config(flags)?;
+    let split = split_dataset(&dataset, 0.2, 0.1, 42);
+    let ctx = DataContext::build(&dataset, &split, &cfg);
+    let mut model = GroupSa::new(cfg.clone(), dataset.num_users, dataset.num_items);
+    println!("training GroupSA ({} parameters)…", model.num_parameters());
+    let report = Trainer::new(cfg).fit(&mut model, &ctx);
+    println!(
+        "done: user loss {:?}, group loss {:?}, best valid HR@10 {:?}",
+        report.final_user_loss(),
+        report.final_group_loss(),
+        report.valid_hr.iter().cloned().fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.max(v))))
+    );
+    model
+        .save(out, dataset.num_users, dataset.num_items)
+        .map_err(|e| format!("saving {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Loads the model and rebuilds the training context the way `train`
+/// created it (same split seed).
+fn load_model_and_ctx(flags: &Flags, dataset: &Dataset) -> Result<(GroupSa, DataContext), String> {
+    let path = required(flags, "model")?;
+    let model = GroupSa::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let split = split_dataset(dataset, 0.2, 0.1, 42);
+    let ctx = DataContext::build(dataset, &split, model.config());
+    Ok((model, ctx))
+}
+
+fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let (model, ctx) = load_model_and_ctx(flags, &dataset)?;
+    let split = split_dataset(&dataset, 0.2, 0.1, 42);
+    let task_kind = flags.get("task").map(String::as_str).unwrap_or("both");
+
+    if task_kind == "user" || task_kind == "both" {
+        let full = dataset.user_item_graph();
+        let task = EvalTask::paper(&split.test_user_item, &full, 7);
+        let r = evaluate(&model.user_scorer(&ctx), &task);
+        println!(
+            "user : HR@5={:.4} NDCG@5={:.4} HR@10={:.4} NDCG@10={:.4} MRR={:.4} ({} test pairs)",
+            r.hr(5), r.ndcg(5), r.hr(10), r.ndcg(10), r.mrr(), r.outcomes.len()
+        );
+    }
+    if task_kind == "group" || task_kind == "both" {
+        let full = dataset.group_item_graph();
+        let task = EvalTask::paper(&split.test_group_item, &full, 7);
+        let r = evaluate(&model.group_scorer(&ctx), &task);
+        println!(
+            "group: HR@5={:.4} NDCG@5={:.4} HR@10={:.4} NDCG@10={:.4} MRR={:.4} ({} test pairs)",
+            r.hr(5), r.ndcg(5), r.hr(10), r.ndcg(10), r.mrr(), r.outcomes.len()
+        );
+    }
+    if !["user", "group", "both"].contains(&task_kind) {
+        return Err(format!("--task must be user|group|both, got '{task_kind}'"));
+    }
+    Ok(())
+}
+
+fn cmd_recommend(flags: &Flags) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let (model, ctx) = load_model_and_ctx(flags, &dataset)?;
+    let group: usize = numeric(flags, "group")?.ok_or("missing required flag --group")?;
+    if group >= ctx.num_groups() {
+        return Err(format!("group {group} out of range ({} groups)", ctx.num_groups()));
+    }
+    let k: usize = numeric(flags, "k")?.unwrap_or(10);
+    let mode = match flags.get("mode").map(String::as_str).unwrap_or("voting") {
+        "voting" => GroupMode::Voting,
+        "fast" => GroupMode::Fast(ScoreAggregation::Average),
+        other => return Err(format!("--mode must be voting|fast, got '{other}'")),
+    };
+    println!("group #{group} (members {:?})", ctx.members[group]);
+    for rec in model.recommend_for_group(&ctx, group, k, mode) {
+        println!("  item #{:<6} score {:+.4}", rec.item, rec.score);
+    }
+    Ok(())
+}
+
+fn cmd_explain(flags: &Flags) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let (model, ctx) = load_model_and_ctx(flags, &dataset)?;
+    let group: usize = numeric(flags, "group")?.ok_or("missing required flag --group")?;
+    let item: usize = numeric(flags, "item")?.ok_or("missing required flag --item")?;
+    if group >= ctx.num_groups() {
+        return Err(format!("group {group} out of range ({} groups)", ctx.num_groups()));
+    }
+    if item >= ctx.num_items {
+        return Err(format!("item {item} out of range ({} items)", ctx.num_items));
+    }
+    let e = model.explain_group_prediction(&ctx, group, item);
+    println!("group #{group} × item #{item}: p={:.4} (raw {:+.4})", e.probability, e.raw_score);
+    for (u, w) in e.members.iter().zip(&e.member_weights) {
+        let marker = if *u == e.dominant_member() { " ← dominant" } else { "" };
+        println!("  member #{u:<6} γ = {w:.4}{marker}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> Flags {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_splits_command_and_flags() {
+        let args: Vec<String> = ["train", "--data", "d.json", "--out", "m.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (cmd, f) = parse(&args).unwrap();
+        assert_eq!(cmd, "train");
+        assert_eq!(f.get("data").unwrap(), "d.json");
+        assert_eq!(f.get("out").unwrap(), "m.json");
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag() {
+        let args: Vec<String> = ["train", "--data"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_none());
+    }
+
+    #[test]
+    fn numeric_flag_errors_are_descriptive() {
+        let f = flags(&[("seed", "not-a-number")]);
+        let err = numeric::<u64>(&f, "seed").unwrap_err();
+        assert!(err.contains("seed"));
+        assert_eq!(numeric::<u64>(&f, "absent").unwrap(), None);
+    }
+
+    #[test]
+    fn training_config_applies_overrides() {
+        let f = flags(&[("user-epochs", "3"), ("group-epochs", "4"), ("seed", "9")]);
+        let cfg = training_config(&f).unwrap();
+        assert_eq!(cfg.user_epochs, 3);
+        assert_eq!(cfg.group_epochs, 4);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let f = flags(&[("preset", "netflix"), ("out", "/tmp/x.json")]);
+        assert!(cmd_generate(&f).unwrap_err().contains("preset"));
+    }
+}

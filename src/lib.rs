@@ -1,0 +1,29 @@
+//! # groupsa-suite
+//!
+//! Umbrella crate for the `groupsa-rs` workspace — a from-scratch Rust
+//! reproduction of *"Group Recommendation with Latent Voting Mechanism"*
+//! (ICDE 2020). It re-exports the member crates so the examples and the
+//! cross-crate integration tests have a single import root:
+//!
+//! * [`tensor`] — dense 2-D tensors + reverse-mode autodiff;
+//! * [`nn`] — layers, attention blocks, optimizers, losses;
+//! * [`graph`] — CSR social/bipartite graphs, centrality, TF-IDF;
+//! * [`data`] — dataset model, synthetic generators, splits, sampling;
+//! * [`eval`] — HR/NDCG metrics, the 100-negative protocol, t-tests;
+//! * [`core`] — the GroupSA model (voting scheme, user modeling, joint
+//!   training, fast mode, ablations);
+//! * [`baselines`] — Pop, NCF, AGREE, SIGR-like, static aggregation.
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+pub use groupsa_baselines as baselines;
+pub use groupsa_core as core;
+pub use groupsa_data as data;
+pub use groupsa_eval as eval;
+pub use groupsa_graph as graph;
+pub use groupsa_nn as nn;
+pub use groupsa_tensor as tensor;

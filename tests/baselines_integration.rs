@@ -1,0 +1,149 @@
+//! Cross-crate integration of the baseline zoo: every comparison method
+//! of the paper's §III-D trains on the same split and produces sane
+//! metrics under the shared protocol.
+
+use groupsa_suite::baselines::{Agree, BaselineConfig, Ncf, Pop, SigrLike};
+use groupsa_suite::data::synthetic::{generate, SyntheticConfig};
+use groupsa_suite::data::{split_dataset, Dataset, Split};
+use groupsa_suite::eval::stats::paired_t_test;
+use groupsa_suite::eval::{evaluate, EvalResult, EvalTask, Leaderboard};
+
+fn world() -> (Dataset, Split) {
+    let dataset = generate(&SyntheticConfig {
+        name: "baselines-e2e".into(),
+        seed: 9,
+        num_users: 100,
+        num_items: 80,
+        num_groups: 160,
+        num_topics: 5,
+        latent_dim: 6,
+        avg_items_per_user: 10.0,
+        avg_friends_per_user: 6.0,
+        avg_items_per_group: 1.3,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.5,
+        social_influence: 0.15,
+        expertise_sharpness: 3.0,
+        taste_temperature: 0.25,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+    });
+    let split = split_dataset(&dataset, 0.2, 0.1, 42);
+    (dataset, split)
+}
+
+fn cfg() -> BaselineConfig {
+    BaselineConfig { embed_dim: 16, user_epochs: 4, group_epochs: 8, ..BaselineConfig::tiny() }
+}
+
+fn group_task<'a>(dataset: &Dataset, split: &'a Split, full_gi: &'a groupsa_suite::graph::Bipartite) -> EvalTask<'a> {
+    let _ = dataset;
+    EvalTask { test_pairs: &split.test_group_item, full_interactions: full_gi, num_candidates: 30, ks: vec![5, 10], seed: 11 }
+}
+
+#[test]
+fn all_baselines_train_and_rank_above_chance_on_training_data() {
+    let (dataset, split) = world();
+    let train = split.train_view(&dataset);
+    let ui = train.user_item_graph();
+    let gi = train.group_item_graph();
+    let social = train.social_graph();
+
+    // Evaluate each on (a sample of) its own training positives — every
+    // learned method must at least fit what it saw.
+    let sample: Vec<_> = train.group_item.iter().copied().take(60).collect();
+    let fit_task = EvalTask { test_pairs: &sample, full_interactions: &gi, num_candidates: 20, ks: vec![5], seed: 1 };
+    let chance = 5.0 / 21.0;
+
+    let mut ncf = Ncf::new(cfg(), dataset.num_groups(), dataset.num_items);
+    ncf.fit(&train.group_item, &gi);
+    let hr = evaluate(&ncf.scorer(), &fit_task).hr(5);
+    assert!(hr > chance + 0.15, "NCF fit: {hr}");
+
+    let mut agree = Agree::new(cfg(), dataset.num_users, dataset.num_items, dataset.groups.clone());
+    agree.fit(&train.user_item, &ui, &train.group_item, &gi);
+    let hr = evaluate(&agree.group_scorer(), &fit_task).hr(5);
+    assert!(hr > chance + 0.15, "AGREE fit: {hr}");
+
+    let mut sigr = SigrLike::new(cfg(), dataset.num_users, dataset.num_items, dataset.groups.clone(), &social);
+    sigr.fit(&train.user_item, &ui, &train.group_item, &gi);
+    let hr = evaluate(&sigr.group_scorer(), &fit_task).hr(5);
+    assert!(hr > chance + 0.15, "SIGR fit: {hr}");
+}
+
+#[test]
+fn membership_aware_methods_beat_pop_on_held_out_groups() {
+    let (dataset, split) = world();
+    let train = split.train_view(&dataset);
+    let ui = train.user_item_graph();
+    let gi = train.group_item_graph();
+    let full_gi = dataset.group_item_graph();
+    let task = group_task(&dataset, &split, &full_gi);
+
+    let pop = Pop::fit_many(&[&ui, &gi]);
+    let pop_hr = evaluate(&pop, &task).hr(10);
+
+    let mut agree = Agree::new(cfg(), dataset.num_users, dataset.num_items, dataset.groups.clone());
+    agree.fit(&train.user_item, &ui, &train.group_item, &gi);
+    let agree_hr = evaluate(&agree.group_scorer(), &task).hr(10);
+
+    assert!(
+        agree_hr >= pop_hr,
+        "attention over members must not lose to popularity on cold groups: AGREE {agree_hr} vs Pop {pop_hr}"
+    );
+}
+
+#[test]
+fn leaderboard_and_significance_tooling_compose() {
+    let (dataset, split) = world();
+    let train = split.train_view(&dataset);
+    let ui = train.user_item_graph();
+    let gi = train.group_item_graph();
+    let full_gi = dataset.group_item_graph();
+    let task = group_task(&dataset, &split, &full_gi);
+
+    let pop = Pop::fit_many(&[&ui, &gi]);
+    let pop_res: EvalResult = evaluate(&pop, &task);
+
+    let mut agree = Agree::new(cfg(), dataset.num_users, dataset.num_items, dataset.groups.clone());
+    agree.fit(&train.user_item, &ui, &train.group_item, &gi);
+    let agree_res = evaluate(&agree.group_scorer(), &task);
+
+    let mut lb = Leaderboard::new("integration");
+    lb.push("Pop", &pop_res);
+    lb.push("AGREE", &agree_res);
+    let rendered = lb.to_string();
+    assert!(rendered.contains("Pop") && rendered.contains("AGREE"));
+    assert!(lb.delta_percent("Pop", 5).is_some());
+
+    // Per-example vectors line up for paired testing.
+    let tt = paired_t_test(&agree_res.hr_vector(10), &pop_res.hr_vector(10));
+    assert!(tt.p_two_sided.is_finite());
+    assert_eq!(agree_res.outcomes.len(), pop_res.outcomes.len());
+}
+
+#[test]
+fn virtual_user_ncf_cannot_generalise_to_cold_groups() {
+    // The paper's motivation for OGR: plain CF with groups as virtual
+    // users has nothing to say about groups unseen in training. Its
+    // held-out HR should be near chance, far below what it achieves on
+    // its own training positives.
+    let (dataset, split) = world();
+    let train = split.train_view(&dataset);
+    let gi = train.group_item_graph();
+    let full_gi = dataset.group_item_graph();
+
+    let mut ncf = Ncf::new(cfg(), dataset.num_groups(), dataset.num_items);
+    ncf.fit(&train.group_item, &gi);
+
+    let sample: Vec<_> = train.group_item.iter().copied().take(60).collect();
+    let fit_task = EvalTask { test_pairs: &sample, full_interactions: &gi, num_candidates: 30, ks: vec![10], seed: 1 };
+    let task = group_task(&dataset, &split, &full_gi);
+    let fit_hr = evaluate(&ncf.scorer(), &fit_task).hr(10);
+    let held_out_hr = evaluate(&ncf.scorer(), &task).hr(10);
+    assert!(
+        held_out_hr < fit_hr,
+        "virtual-user NCF should generalise poorly: held-out {held_out_hr} vs fit {fit_hr}"
+    );
+}

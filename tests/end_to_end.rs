@@ -1,0 +1,156 @@
+//! End-to-end integration: dataset generation → split → training →
+//! evaluation, across crates, asserting the qualitative properties the
+//! paper's story depends on.
+
+use groupsa_suite::core::{Ablation, DataContext, GroupSa, GroupSaConfig, ScoreAggregation, Trainer};
+use groupsa_suite::data::synthetic::{generate, SyntheticConfig};
+use groupsa_suite::data::{split_dataset, Dataset, Split};
+use groupsa_suite::eval::{evaluate, EvalTask};
+
+fn small_world(seed: u64) -> (Dataset, Split) {
+    let dataset = generate(&SyntheticConfig {
+        name: format!("e2e-{seed}"),
+        seed,
+        num_users: 120,
+        num_items: 90,
+        num_groups: 240,
+        num_topics: 6,
+        latent_dim: 6,
+        avg_items_per_user: 10.0,
+        avg_friends_per_user: 6.0,
+        avg_items_per_group: 1.3,
+        mean_group_size: 4.0,
+        zipf_exponent: 0.8,
+        homophily: 0.45,
+        social_influence: 0.15,
+        expertise_sharpness: 3.5,
+        taste_temperature: 0.25,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+    });
+    let split = split_dataset(&dataset, 0.2, 0.1, 42);
+    (dataset, split)
+}
+
+fn quick_cfg() -> GroupSaConfig {
+    GroupSaConfig {
+        embed_dim: 16,
+        d_k: 16,
+        d_ff: 16,
+        user_epochs: 5,
+        group_epochs: 8,
+        ..GroupSaConfig::paper()
+    }
+}
+
+fn train(dataset: &Dataset, split: &Split, cfg: GroupSaConfig) -> (GroupSa, DataContext) {
+    let ctx = DataContext::build(dataset, split, &cfg);
+    let mut model = GroupSa::new(cfg.clone(), dataset.num_users, dataset.num_items);
+    Trainer::new(cfg).fit(&mut model, &ctx);
+    (model, ctx)
+}
+
+#[test]
+fn trained_groupsa_beats_random_ranking_on_held_out_groups() {
+    let (dataset, split) = small_world(1);
+    let (model, ctx) = train(&dataset, &split, quick_cfg());
+
+    let full_gi = dataset.group_item_graph();
+    let task = EvalTask { test_pairs: &split.test_group_item, full_interactions: &full_gi, num_candidates: 50, ks: vec![10], seed: 3 };
+    let hr = evaluate(&model.group_scorer(&ctx), &task).hr(10);
+    // Random ranking scores 10/51 ≈ 0.196 in expectation.
+    assert!(hr > 0.32, "trained model must clearly beat random: HR@10 = {hr}");
+}
+
+#[test]
+fn trained_groupsa_beats_popularity_on_group_task() {
+    let (dataset, split) = small_world(2);
+    let (model, ctx) = train(&dataset, &split, quick_cfg());
+
+    let train_view = split.train_view(&dataset);
+    let pop = groupsa_suite::baselines::Pop::fit_many(&[
+        &train_view.user_item_graph(),
+        &train_view.group_item_graph(),
+    ]);
+    let full_gi = dataset.group_item_graph();
+    let task = EvalTask { test_pairs: &split.test_group_item, full_interactions: &full_gi, num_candidates: 50, ks: vec![10], seed: 3 };
+    let ours = evaluate(&model.group_scorer(&ctx), &task).hr(10);
+    let theirs = evaluate(&pop, &task).hr(10);
+    assert!(
+        ours > theirs,
+        "personalised group model must beat popularity: {ours} vs {theirs}"
+    );
+}
+
+#[test]
+fn joint_training_outperforms_group_only_training() {
+    // The paper's Table V claim, at test scale: Group-G (no user-item
+    // data) is clearly worse than full GroupSA.
+    let (dataset, split) = small_world(3);
+    let (full, ctx_full) = train(&dataset, &split, quick_cfg());
+    let (gg, ctx_gg) = train(&dataset, &split, quick_cfg().with_ablation(Ablation::group_g()));
+
+    let full_gi = dataset.group_item_graph();
+    let task = EvalTask { test_pairs: &split.test_group_item, full_interactions: &full_gi, num_candidates: 50, ks: vec![10], seed: 3 };
+    let hr_full = evaluate(&full.group_scorer(&ctx_full), &task).hr(10);
+    let hr_gg = evaluate(&gg.group_scorer(&ctx_gg), &task).hr(10);
+    assert!(
+        hr_full > hr_gg,
+        "joint training must help (Table V shape): full {hr_full} vs Group-G {hr_gg}"
+    );
+}
+
+#[test]
+fn every_ablation_variant_trains_and_evaluates() {
+    let (dataset, split) = small_world(4);
+    let full_gi = dataset.group_item_graph();
+    for ablation in [
+        Ablation::full(),
+        Ablation::group_a(),
+        Ablation::group_s(),
+        Ablation::group_i(),
+        Ablation::group_f(),
+        Ablation::group_g(),
+    ] {
+        let mut cfg = quick_cfg().with_ablation(ablation);
+        cfg.user_epochs = 2;
+        cfg.group_epochs = 4;
+        let (model, ctx) = train(&dataset, &split, cfg);
+        let task = EvalTask { test_pairs: &split.test_group_item, full_interactions: &full_gi, num_candidates: 20, ks: vec![5], seed: 3 };
+        let res = evaluate(&model.group_scorer(&ctx), &task);
+        assert!(res.hr(5).is_finite(), "{ablation:?} evaluation must be finite");
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let (dataset, split) = small_world(5);
+    let run = || {
+        let (model, ctx) = train(&dataset, &split, quick_cfg());
+        model.score_group_items(&ctx, 0, &[0, 1, 2, 3, 4])
+    };
+    assert_eq!(run(), run(), "same seeds must give identical models end-to-end");
+}
+
+#[test]
+fn fast_mode_is_comparable_to_full_path() {
+    // §II-F: fast inference "can help yield comparable results".
+    let (dataset, split) = small_world(6);
+    let (model, ctx) = train(&dataset, &split, quick_cfg());
+    let full_gi = dataset.group_item_graph();
+    let task = EvalTask { test_pairs: &split.test_group_item, full_interactions: &full_gi, num_candidates: 50, ks: vec![10], seed: 3 };
+    let full = evaluate(&model.group_scorer(&ctx), &task).hr(10);
+    let fast = evaluate(&model.fast_group_scorer(&ctx, ScoreAggregation::Average), &task).hr(10);
+    assert!(fast > 0.5 * full, "fast mode must stay in the full path's ballpark: {fast} vs {full}");
+}
+
+#[test]
+fn explanations_cover_all_members_on_trained_model() {
+    let (dataset, split) = small_world(7);
+    let (model, ctx) = train(&dataset, &split, quick_cfg());
+    let t = (0..ctx.num_groups()).find(|&t| ctx.members[t].len() >= 3).expect("multi-member group");
+    let e = model.explain_group_prediction(&ctx, t, 0);
+    assert_eq!(e.members.len(), e.member_weights.len());
+    assert!((e.member_weights.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    assert!(e.members.contains(&e.dominant_member()));
+}

@@ -1,0 +1,104 @@
+//! Workspace-level property tests: invariants that must hold for any
+//! generated dataset and any (untrained or trained) model.
+
+use groupsa_suite::core::{DataContext, GroupSa, GroupSaConfig};
+use groupsa_suite::data::synthetic::{generate, SyntheticConfig};
+use groupsa_suite::data::{sampling, split_dataset};
+use groupsa_suite::eval::{hr_at_k, ndcg_at_k, rank_of_first};
+use groupsa_suite::tensor::rng::seeded;
+use proptest::prelude::*;
+
+fn synth(seed: u64, users: usize, items: usize, groups: usize) -> SyntheticConfig {
+    SyntheticConfig {
+        name: format!("prop-{seed}"),
+        seed,
+        num_users: users,
+        num_items: items,
+        num_groups: groups,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 6.0,
+        avg_friends_per_user: 4.0,
+        avg_items_per_group: 1.3,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.5,
+        social_influence: 0.2,
+        expertise_sharpness: 3.0,
+        taste_temperature: 0.3,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_datasets_are_always_valid(seed in 0u64..1000, users in 40usize..100, items in 30usize..80) {
+        let d = generate(&synth(seed, users, items, 30));
+        prop_assert_eq!(d.validate(), Ok(()));
+        prop_assert!(d.groups.iter().all(|g| !g.is_empty()));
+        // Interactions deduplicated.
+        let mut ui = d.user_item.clone();
+        ui.sort_unstable();
+        let len = ui.len();
+        ui.dedup();
+        prop_assert_eq!(ui.len(), len, "duplicate user-item pairs");
+    }
+
+    #[test]
+    fn splits_partition_interactions(seed in 0u64..500) {
+        let d = generate(&synth(seed, 60, 50, 30));
+        let s = split_dataset(&d, 0.25, 0.1, seed ^ 0xF00D);
+        let total = s.train_user_item.len() + s.valid_user_item.len() + s.test_user_item.len();
+        prop_assert_eq!(total, d.user_item.len());
+        let total_g = s.train_group_item.len() + s.valid_group_item.len() + s.test_group_item.len();
+        prop_assert_eq!(total_g, d.group_item.len());
+    }
+
+    #[test]
+    fn negative_samples_never_hit_positives(seed in 0u64..500) {
+        let d = generate(&synth(seed, 50, 60, 20));
+        let g = d.user_item_graph();
+        let mut rng = seeded(seed);
+        for u in 0..10usize.min(d.num_users) {
+            for n in sampling::sample_negatives(&mut rng, &g, u, 5, false) {
+                prop_assert!(!g.has_interaction(u, n));
+            }
+        }
+    }
+
+    #[test]
+    fn untrained_model_scores_are_finite_everywhere(seed in 0u64..200) {
+        let d = generate(&synth(seed, 50, 40, 20));
+        let cfg = GroupSaConfig::tiny();
+        let ctx = DataContext::from_train_view(&d, &cfg);
+        let model = GroupSa::new(cfg, d.num_users, d.num_items);
+        let items: Vec<usize> = (0..10).collect();
+        for u in 0..5 {
+            prop_assert!(model.score_user_items(&ctx, u, &items).iter().all(|x| x.is_finite()));
+        }
+        for t in 0..5usize.min(ctx.num_groups()) {
+            prop_assert!(model.score_group_items(&ctx, t, &items).iter().all(|x| x.is_finite()));
+            let w = model.member_weights(&ctx, t, 0);
+            let sum: f32 = w.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "member weights sum {sum}");
+        }
+    }
+
+    #[test]
+    fn metric_identities_hold(scores in prop::collection::vec(-5.0f32..5.0, 2..40), k in 1usize..15) {
+        let rank = rank_of_first(&scores);
+        prop_assert!(rank < scores.len());
+        let hr = hr_at_k(rank, k);
+        let ndcg = ndcg_at_k(rank, k);
+        prop_assert!((0.0..=1.0).contains(&hr));
+        prop_assert!((0.0..=1.0).contains(&ndcg));
+        prop_assert!(ndcg <= hr + 1e-12, "NDCG bounded by HR");
+        // A strictly-best positive always hits.
+        let mut best = scores.clone();
+        best[0] = 100.0;
+        prop_assert_eq!(rank_of_first(&best), 0);
+    }
+}
