@@ -1,10 +1,10 @@
 //! Shared hyper-parameters for the learned baselines.
 
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// Training configuration shared by NCF, AGREE and SIGR-like. Matches
 /// the main model's setup (§III-E) so comparisons are apples-to-apples.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BaselineConfig {
     /// Embedding width (paper: 32 everywhere).
     pub embed_dim: usize,
@@ -23,6 +23,17 @@ pub struct BaselineConfig {
     /// Parameter-init / sampling seed.
     pub seed: u64,
 }
+
+impl_json_struct!(BaselineConfig {
+    embed_dim,
+    num_negatives,
+    learning_rate,
+    weight_decay,
+    batch_size,
+    user_epochs,
+    group_epochs,
+    seed,
+});
 
 impl BaselineConfig {
     /// The defaults used by the experiment harness.

@@ -3,14 +3,16 @@
 
 use groupsa_eval::Scorer;
 use groupsa_graph::Bipartite;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// Ranks every candidate by its *training* interaction count,
 /// identically for every user or group.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Pop {
     scores: Vec<f32>,
 }
+
+impl_json_struct!(Pop { scores });
 
 impl Pop {
     /// Builds the popularity table from a training interaction graph

@@ -149,7 +149,7 @@ pub fn table4() {
         }
     }
     let _ = output::save_json("table4_case_study", &rows.iter().map(|(w, i, k, e)| {
-        serde_json::json!({"model": w, "item": i, "kind": k, "weights": e.member_weights, "probability": e.probability})
+        groupsa_json::json!({"model": w, "item": i, "kind": k, "weights": e.member_weights, "probability": e.probability})
     }).collect::<Vec<_>>());
 }
 

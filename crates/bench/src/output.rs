@@ -1,7 +1,7 @@
 //! Result persistence and paper-style table rendering.
 
 use groupsa_eval::Leaderboard;
-use serde::Serialize;
+use groupsa_json::ToJson;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -17,9 +17,9 @@ pub fn results_path(name: &str) -> io::Result<PathBuf> {
 }
 
 /// Serialises any result payload to `results/<name>.json` (pretty).
-pub fn save_json<T: Serialize>(name: &str, payload: &T) -> io::Result<PathBuf> {
+pub fn save_json<T: ToJson>(name: &str, payload: &T) -> io::Result<PathBuf> {
     let path = results_path(name)?;
-    let json = serde_json::to_string_pretty(payload).map_err(io::Error::other)?;
+    let json = groupsa_json::to_string_pretty(payload);
     std::fs::write(&path, json)?;
     Ok(path)
 }

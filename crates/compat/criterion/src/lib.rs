@@ -1,0 +1,371 @@
+//! In-tree, dependency-free wall-clock benchmark harness.
+//!
+//! A drop-in replacement for the slice of the `criterion` crate the
+//! workspace's benches use (hermetic-build policy, DESIGN.md §7):
+//! [`Criterion`] with `sample_size` / `measurement_time`,
+//! `bench_function`, `benchmark_group` + [`BenchmarkGroup`]'s
+//! `bench_with_input` / `finish`, [`BenchmarkId`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simpler than upstream, but honest): each benchmark is
+//! warmed up, then run for `sample_size` samples, each sample timing a
+//! batch of iterations sized so the whole measurement fits in
+//! `measurement_time`. The report prints the min / median / mean
+//! per-iteration time in adaptive units. There is no statistical
+//! outlier analysis and no HTML report — numbers go to stdout, and
+//! regression tracking is done by the experiment harness, not here.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function opaque
+/// to the optimiser.
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup cost. The in-tree
+/// harness always times routine-only (setup excluded), so the variants
+/// only document intent; all behave identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: upstream would batch many per sample.
+    SmallInput,
+    /// Large per-iteration state: upstream would batch few per sample.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group: a function name, a
+/// parameter, or both.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup()` product per call; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// One benchmark's collected samples (per-iteration durations).
+struct Samples {
+    per_iter_ns: Vec<f64>,
+}
+
+impl Samples {
+    fn report(&mut self, label: &str) {
+        self.per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = self.per_iter_ns.len();
+        let min = self.per_iter_ns[0];
+        let median = if n % 2 == 1 {
+            self.per_iter_ns[n / 2]
+        } else {
+            (self.per_iter_ns[n / 2 - 1] + self.per_iter_ns[n / 2]) / 2.0
+        };
+        let mean = self.per_iter_ns.iter().sum::<f64>() / n as f64;
+        println!(
+            "{label:<48} min {:>10}  median {:>10}  mean {:>10}  ({n} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target wall-clock budget of one benchmark's measurement.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget of one benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of related benchmarks (`group/benchmark-id`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, label, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrName>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(self.criterion, label, |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; accepted for
+    /// source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Either a plain name or a [`BenchmarkId`], for
+/// [`BenchmarkGroup::bench_function`].
+pub struct BenchmarkIdOrName(String);
+
+impl From<&str> for BenchmarkIdOrName {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrName {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrName {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.to_string())
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, label: String, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single iterations until the budget is spent, and use
+    // the observed cost to size the measurement batches.
+    let warm_up_start = Instant::now();
+    let mut warm_up_iters: u64 = 0;
+    let mut warm_up_elapsed = Duration::ZERO;
+    while warm_up_start.elapsed() < criterion.warm_up_time {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        warm_up_elapsed += b.elapsed;
+        warm_up_iters += 1;
+    }
+    let per_iter = warm_up_elapsed.as_secs_f64() / warm_up_iters.max(1) as f64;
+
+    // Size each sample so that `sample_size` samples fill the budget.
+    let budget_per_sample =
+        criterion.measurement_time.as_secs_f64() / criterion.sample_size as f64;
+    let iters_per_sample = if per_iter > 0.0 {
+        (budget_per_sample / per_iter).round().max(1.0) as u64
+    } else {
+        1
+    };
+
+    let mut samples = Samples { per_iter_ns: Vec::with_capacity(criterion.sample_size) };
+    for _ in 0..criterion.sample_size {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples
+            .per_iter_ns
+            .push(b.elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+    }
+    samples.report(&label);
+}
+
+/// Declares a group of benchmark functions, either positionally
+/// (`criterion_group!(benches, f, g)`) or with an explicit
+/// configuration (`criterion_group! { name = ..; config = ..;
+/// targets = .. }`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut calls = 0u64;
+        fast_criterion().bench_function("unit", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_inputs_work() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut seen = Vec::new();
+        let mut counter = 0u64;
+        fast_criterion().bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    counter += 1;
+                    counter
+                },
+                |input| seen.push(input),
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(!seen.is_empty());
+        assert!(seen.windows(2).all(|w| w[1] > w[0]), "inputs are fresh each call");
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

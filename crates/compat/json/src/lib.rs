@@ -1,0 +1,558 @@
+//! Hand-rolled JSON for the hermetic workspace.
+//!
+//! Replaces `serde`/`serde_json` (hermetic-build policy, DESIGN.md §7)
+//! with the small surface the workspace actually needs:
+//!
+//! * [`Json`] — an owned JSON document (parse / write, compact and
+//!   pretty);
+//! * [`ToJson`] / [`FromJson`] — conversion traits, implemented for the
+//!   primitives, `String`, `Option`, `Vec`, tuples — and for every
+//!   persisted workspace type via the [`impl_json_struct!`] /
+//!   [`impl_json_enum!`] macros placed next to the type definitions;
+//! * [`to_string`] / [`to_string_pretty`] / [`from_str`] — the
+//!   `serde_json`-shaped entry points;
+//! * [`json!`] — object/array literals for ad-hoc payloads.
+//!
+//! ## Format guarantees
+//!
+//! * Object keys keep **insertion order** — struct serialisation is
+//!   deterministic, which is what makes checkpoint files byte-identical
+//!   across runs with the same seed.
+//! * Numbers are held as `f64` and written with Rust's shortest
+//!   round-trip formatting. `f32` values are widened exactly, so a
+//!   write → parse → narrow round-trip reproduces the original bits
+//!   (every `f32` is exactly representable as `f64`).
+//! * Enums serialise like serde's externally-tagged default: unit
+//!   variants as `"Variant"`, struct variants as
+//!   `{"Variant": {..fields..}}`.
+
+mod parse;
+mod write;
+
+pub use parse::JsonError;
+
+/// An owned JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (held as `f64`; integers are written without a
+    /// fractional part).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        parse::parse(text)
+    }
+
+    /// Member lookup on an object (`None` for absent keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        write::write_compact(self, &mut out);
+        out
+    }
+
+    /// Pretty rendering (two-space indent).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        write::write_pretty(self, 0, &mut out);
+        out
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+/// Conversion into a [`Json`] document.
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] document.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, describing the first mismatch on failure.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serialises compactly — the `serde_json::to_string` replacement.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_compact_string()
+}
+
+/// Serialises with indentation — the `serde_json::to_string_pretty`
+/// replacement.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_pretty_string()
+}
+
+/// Parses and converts — the `serde_json::from_str` replacement.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+/// Extracts and converts an object field — the helper the derive
+/// macros expand to.
+pub fn field<T: FromJson>(json: &Json, name: &str) -> Result<T, JsonError> {
+    let value = json
+        .get(name)
+        .ok_or_else(|| JsonError::new(format!("missing field '{name}' in {}", json.kind())))?;
+    T::from_json(value)
+        .map_err(|e| JsonError::new(format!("field '{name}': {e}")))
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(json.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::String(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Number(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_f64()
+            .ok_or_else(|| JsonError::new(format!("expected number, found {}", json.kind())))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        // Exact: every f32 is representable as f64.
+        Json::Number(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(f64::from_json(json)? as f32)
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let n = f64::from_json(json)?;
+                if n.fract() != 0.0 {
+                    return Err(JsonError::new(format!(
+                        "expected integer, found fractional number {n}"
+                    )));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(JsonError::new(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let items = json
+            .as_array()
+            .ok_or_else(|| JsonError::new(format!("expected array, found {}", json.kind())))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                T::from_json(item).map_err(|e| JsonError::new(format!("element {i}: {e}")))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_json_tuple {
+    ($(($len:literal: $($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+
+        impl<$($t: FromJson),+> FromJson for ($($t,)+) {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let items = json.as_array().ok_or_else(|| {
+                    JsonError::new(format!("expected {}-tuple array, found {}", $len, json.kind()))
+                })?;
+                if items.len() != $len {
+                    return Err(JsonError::new(format!(
+                        "expected {}-tuple, found array of {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_json_tuple! {
+    (1: A.0)
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+}
+
+/// Implements [`ToJson`] / [`FromJson`] for a named-field struct as an
+/// object with one member per listed field, in listed order. Invoke in
+/// the module defining the struct (private fields are fine):
+///
+/// ```ignore
+/// impl_json_struct!(Checkpoint { version, config, num_users });
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $name {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: $crate::field(json, stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`] / [`FromJson`] for an enum of unit and/or
+/// struct variants, in serde's externally-tagged format:
+///
+/// ```ignore
+/// impl_json_enum!(Closeness { Direct, CommonNeighbors { min_common }, All });
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($name:ident { $($variant:ident $({ $($vfield:ident),+ $(,)? })?),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $($crate::impl_json_enum!(@pattern $name $variant $({ $($vfield),+ })?) =>
+                        $crate::impl_json_enum!(@serialize $variant $({ $($vfield),+ })?),)+
+                }
+            }
+        }
+
+        impl $crate::FromJson for $name {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $($crate::impl_json_enum!(@deserialize json, $name, $variant $({ $($vfield),+ })?);)+
+                Err($crate::JsonError::new(format!(
+                    concat!("no variant of ", stringify!($name), " matches {}"),
+                    json
+                )))
+            }
+        }
+    };
+    (@pattern $name:ident $variant:ident) => { $name::$variant };
+    (@pattern $name:ident $variant:ident { $($vfield:ident),+ }) => {
+        $name::$variant { $($vfield),+ }
+    };
+    (@serialize $variant:ident) => {
+        $crate::Json::String(stringify!($variant).to_string())
+    };
+    (@serialize $variant:ident { $($vfield:ident),+ }) => {
+        $crate::Json::Object(vec![(
+            stringify!($variant).to_string(),
+            $crate::Json::Object(vec![
+                $((stringify!($vfield).to_string(), $crate::ToJson::to_json($vfield)),)+
+            ]),
+        )])
+    };
+    (@deserialize $json:ident, $name:ident, $variant:ident) => {
+        if $json.as_str() == Some(stringify!($variant)) {
+            return Ok($name::$variant);
+        }
+    };
+    (@deserialize $json:ident, $name:ident, $variant:ident { $($vfield:ident),+ }) => {
+        if let Some(inner) = $json.get(stringify!($variant)) {
+            return Ok($name::$variant {
+                $($vfield: $crate::field(inner, stringify!($vfield))?,)+
+            });
+        }
+    };
+}
+
+/// Builds a [`Json`] value from a literal: `json!({"k": v, ..})`,
+/// `json!([a, b])`, `json!(null)`, or any [`ToJson`] expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Json::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Json::Object(vec![
+            $(($key.to_string(), $crate::ToJson::to_json(&$value)),)*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Json::Array(vec![$($crate::ToJson::to_json(&$value)),*])
+    };
+    ($value:expr) => { $crate::ToJson::to_json(&$value) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        id: usize,
+        label: String,
+        weights: Vec<f32>,
+        pair: (u32, u32),
+        note: Option<String>,
+    }
+
+    impl_json_struct!(Demo { id, label, weights, pair, note });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Plain,
+        Tuned { strength: usize },
+    }
+
+    impl_json_enum!(Mode { Plain, Tuned { strength } });
+
+    fn demo() -> Demo {
+        Demo {
+            id: 7,
+            label: "hello \"world\"\n".to_string(),
+            weights: vec![0.1, -2.5e-8, 3.0],
+            pair: (4, 5),
+            note: None,
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip_compact_and_pretty() {
+        let d = demo();
+        assert_eq!(from_str::<Demo>(&to_string(&d)).unwrap(), d);
+        assert_eq!(from_str::<Demo>(&to_string_pretty(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn field_order_is_declaration_order() {
+        let text = to_string(&demo());
+        let id_pos = text.find("\"id\"").unwrap();
+        let label_pos = text.find("\"label\"").unwrap();
+        let weights_pos = text.find("\"weights\"").unwrap();
+        assert!(id_pos < label_pos && label_pos < weights_pos);
+    }
+
+    #[test]
+    fn enum_roundtrip_both_variant_kinds() {
+        for m in [Mode::Plain, Mode::Tuned { strength: 3 }] {
+            let text = to_string(&m);
+            assert_eq!(from_str::<Mode>(&text).unwrap(), m);
+        }
+        assert_eq!(to_string(&Mode::Plain), "\"Plain\"");
+        assert_eq!(to_string(&Mode::Tuned { strength: 3 }), "{\"Tuned\":{\"strength\":3}}");
+    }
+
+    #[test]
+    fn f32_roundtrip_is_bit_exact() {
+        let values = [0.1f32, -1.0e-20, 3.4e38, f32::MIN_POSITIVE, 1.0 / 3.0];
+        for &v in &values {
+            let back: f32 = from_str(&to_string(&v)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(to_string(&42usize), "42");
+        assert_eq!(to_string(&-3i64), "-3");
+        // JSON does not distinguish 2 from 2.0; integral floats render
+        // as integers and parse back to the same value.
+        assert_eq!(to_string(&2.0f64), "2");
+        assert_eq!(from_str::<f64>("2").unwrap(), 2.0);
+    }
+
+    #[test]
+    fn integer_parsing_rejects_fractions_and_overflow() {
+        assert!(from_str::<usize>("1.5").is_err());
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<usize>("-1").is_err());
+        assert_eq!(from_str::<u8>("255").unwrap(), 255);
+    }
+
+    #[test]
+    fn json_literal_macro() {
+        let weights = vec![0.5f32, 0.5];
+        let v = json!({"model": "GroupSA", "item": 3usize, "weights": weights, "flag": true});
+        let text = v.to_compact_string();
+        assert!(text.starts_with("{\"model\":\"GroupSA\""));
+        assert_eq!(v.get("item").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(json!(null), Json::Null);
+        assert_eq!(json!([1usize, 2usize]).as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let d = Demo { note: Some("x".into()), ..demo() };
+        assert_eq!(from_str::<Demo>(&to_string(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_field_names_the_field() {
+        let err = from_str::<Demo>("{\"id\": 1}").unwrap_err();
+        assert!(err.to_string().contains("label"), "{err}");
+    }
+}

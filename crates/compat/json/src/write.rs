@@ -1,0 +1,152 @@
+//! JSON rendering: compact and two-space-indent pretty.
+
+use crate::Json;
+
+pub(crate) fn write_compact(json: &Json, out: &mut String) {
+    match json {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Number(n) => write_number(*n, out),
+        Json::String(s) => write_string(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(members) => {
+            out.push('{');
+            for (i, (key, value)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_compact(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn write_pretty(json: &Json, indent: usize, out: &mut String) {
+    match json {
+        Json::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Json::Object(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, value)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_pretty(value, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a number. Integral values in the exactly-representable range
+/// render without a fractional part; everything else uses Rust's
+/// shortest round-trip formatting (decimal, never exponent — always
+/// valid JSON). Non-finite values have no JSON form and render as
+/// `null`, matching `serde_json`'s behaviour.
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= (1u64 << 53) as f64 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut out = String::new();
+        write_string("a\"b\\c\nd\u{01}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_plainly() {
+        let mut out = String::new();
+        write_number(0.25, &mut out);
+        assert_eq!(out, "0.25");
+        out.clear();
+        write_number(-17.0, &mut out);
+        assert_eq!(out, "-17");
+        out.clear();
+        write_number(f64::NAN, &mut out);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn pretty_nests_with_two_spaces() {
+        let doc = Json::Object(vec![(
+            "xs".to_string(),
+            Json::Array(vec![Json::Number(1.0), Json::Number(2.0)]),
+        )]);
+        assert_eq!(doc.to_pretty_string(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(doc.to_compact_string(), "{\"xs\":[1,2]}");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty_mode() {
+        let doc = Json::Array(vec![Json::Object(vec![]), Json::Array(vec![])]);
+        assert_eq!(doc.to_pretty_string(), "[\n  {},\n  []\n]");
+    }
+}

@@ -1,0 +1,83 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f32 {
+    /// Finite values spanning a wide magnitude range (no NaN/inf — the
+    /// suites assert on arithmetic identities).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let magnitude = 10f32.powf(rng.random_range(-3.0f32..3.0));
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        sign * magnitude * rng.random::<f32>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let magnitude = 10f64.powf(rng.random_range(-3.0f64..3.0));
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        sign * magnitude * rng.random::<f64>()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the full domain of `T`: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn any_u64_spreads_over_the_domain() {
+        let rng = &mut rng_from_seed(5);
+        let xs: Vec<u64> = (0..64).map(|_| any::<u64>().generate(rng)).collect();
+        assert!(xs.iter().any(|&x| x > u64::MAX / 2));
+        assert!(xs.iter().any(|&x| x < u64::MAX / 2));
+    }
+
+    #[test]
+    fn any_floats_are_finite() {
+        let rng = &mut rng_from_seed(6);
+        for _ in 0..1000 {
+            assert!(any::<f32>().generate(rng).is_finite());
+            assert!(any::<f64>().generate(rng).is_finite());
+        }
+    }
+}

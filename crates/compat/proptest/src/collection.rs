@@ -1,0 +1,92 @@
+//! Collection strategies: `prop::collection::vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything accepted as the size argument of [`vec`]: an exact length
+/// or a (half-open / inclusive) length range.
+pub trait IntoSizeRange {
+    /// Converts into inclusive `(min, max)` bounds.
+    fn into_bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn into_bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range {self:?}");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn into_bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range {self:?}");
+        (*self.start(), *self.end())
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min_len == self.max_len {
+            self.min_len
+        } else {
+            rng.random_range(self.min_len..=self.max_len)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s whose elements come from `element` and whose
+/// length is `size` (an exact `usize` or a range).
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.into_bounds();
+    VecStrategy { element, min_len, max_len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let rng = &mut rng_from_seed(7);
+        let v = vec(0u64..10, 12usize).generate(rng);
+        assert_eq!(v.len(), 12);
+        assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn ranged_size_stays_in_range_and_varies() {
+        let rng = &mut rng_from_seed(8);
+        let strat = vec(-1.0f32..1.0, 0..10);
+        let lens: Vec<usize> = (0..200).map(|_| strat.generate(rng).len()).collect();
+        assert!(lens.iter().all(|&l| l < 10));
+        assert!(lens.iter().collect::<std::collections::HashSet<_>>().len() > 3);
+    }
+
+    #[test]
+    fn tuple_elements_work() {
+        let rng = &mut rng_from_seed(9);
+        let v = vec((0usize..5, 0usize..7), 1..20).generate(rng);
+        assert!(!v.is_empty() && v.len() < 20);
+        assert!(v.iter().all(|&(a, b)| a < 5 && b < 7));
+    }
+}

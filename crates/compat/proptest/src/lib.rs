@@ -1,0 +1,160 @@
+//! In-tree, dependency-free property-testing harness.
+//!
+//! A drop-in replacement for the slice of the `proptest` crate this
+//! workspace uses (hermetic-build policy, DESIGN.md §7):
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` and
+//!   multiple `fn name(pat in strategy, ..) { .. }` items per block);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//!   implemented for ranges, tuples and [`strategy::Just`];
+//! * [`arbitrary::any`] for primitive types;
+//! * [`collection::vec`] with exact or ranged lengths;
+//! * [`test_runner::TestRunner`] (notably `deterministic()`) and
+//!   [`strategy::ValueTree`].
+//!
+//! ## Seeding and reproduction
+//!
+//! Unlike upstream proptest, case generation is **deterministic by
+//! default**: each test derives its base seed from its fully qualified
+//! name, so CI failures always reproduce locally. Every failure message
+//! prints the base seed and the failing case's derived seed; set
+//! `PROPTEST_SEED=<n>` to re-run a suite under a different (or a
+//! reported) base seed.
+//!
+//! Shrinking is intentionally not implemented — failures report the
+//! reproducing seed instead of a minimised value, which is enough for
+//! the small, structured inputs these suites generate.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs one property over `config.cases` generated inputs, panicking
+/// with the reproducing seeds on the first failure. This is the
+/// engine behind the [`proptest!`] macro; it is public so the macro
+/// expansion can call it.
+pub fn run_property<F>(
+    test_name: &str,
+    config: &test_runner::Config,
+    mut case: F,
+) where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let base_seed = test_runner::base_seed(test_name);
+    for i in 0..config.cases {
+        let case_seed = test_runner::case_seed(base_seed, i);
+        let mut rng = test_runner::rng_from_seed(case_seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "[proptest] property '{test_name}' failed on case {}/{}: {e}\n\
+                 [proptest] reproduce with PROPTEST_SEED={base_seed} (failing case seed: {case_seed})",
+                i + 1,
+                config.cases,
+            );
+        }
+    }
+}
+
+/// The macro heart of the harness. Each `fn name(pat in strategy, ..)
+/// { body }` item becomes a `#[test]` that draws its inputs from the
+/// strategies and runs the body `cases` times; `prop_assert!` failures
+/// abort the case with a reproducing-seed report.
+#[macro_export]
+macro_rules! proptest {
+    // With a leading `#![proptest_config(..)]` inner attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@harness ($config) $($rest)*);
+    };
+    // Without one: default configuration.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(@harness ($crate::test_runner::Config::default()) $(#[$meta])* fn $($rest)*);
+    };
+    (@harness ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |__proptest_rng| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with its reproducing seed) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&($left), &($right));
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&($left), &($right));
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&($left), &($right));
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}

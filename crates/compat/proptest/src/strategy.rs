@@ -1,0 +1,223 @@
+//! Strategies: composable recipes for generating test inputs.
+
+use crate::test_runner::{TestRng, TestRunner};
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// deterministic function of the RNG stream, and failures are
+/// reproduced by seed rather than by minimised value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Generates one value wrapped in a [`ValueTree`], drawing
+    /// randomness from an explicit [`TestRunner`] — the API used to
+    /// generate auxiliary values inside a property body.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, String>
+    where
+        Self: Sized,
+        Self::Value: Clone,
+    {
+        Ok(SampledTree { value: self.generate(runner.rng()) })
+    }
+
+    /// A strategy that applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// A strategy that generates a value, builds a second strategy from
+    /// it with `f`, and samples that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// A generated value. Upstream uses value trees for shrinking; here the
+/// tree is just the sampled value.
+pub trait ValueTree {
+    /// The type of the held value.
+    type Value;
+
+    /// The value this tree currently represents.
+    fn current(&self) -> Self::Value;
+}
+
+/// The [`ValueTree`] produced by [`Strategy::new_tree`].
+#[derive(Clone, Debug)]
+pub struct SampledTree<T> {
+    value: T,
+}
+
+impl<T: Clone> ValueTree for SampledTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.value.clone()
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+    (@inclusive $($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_strategy_for_ranges!(@inclusive u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let rng = &mut rng_from_seed(1);
+        for _ in 0..500 {
+            let v = (3usize..9).generate(rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..2.0).generate(rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (1usize..=6).generate(rng);
+            assert!((1..=6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let rng = &mut rng_from_seed(2);
+        let doubled = (1usize..5).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.generate(rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+        let dependent = (1usize..4).prop_flat_map(|n| (Just(n), 0usize..n));
+        for _ in 0..100 {
+            let (n, k) = dependent.generate(rng);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_elementwise() {
+        let rng = &mut rng_from_seed(3);
+        let (a, b, c, d) = (0u64..10, 0usize..5, -1.0f32..1.0, Just(7i32)).generate(rng);
+        assert!(a < 10 && b < 5 && (-1.0..1.0).contains(&c));
+        assert_eq!(d, 7);
+    }
+
+    #[test]
+    fn new_tree_uses_the_runner_stream() {
+        let mut r1 = TestRunner::deterministic();
+        let mut r2 = TestRunner::deterministic();
+        let s = 0u64..u64::MAX;
+        let a = s.new_tree(&mut r1).unwrap().current();
+        let b = s.new_tree(&mut r2).unwrap().current();
+        assert_eq!(a, b, "deterministic runners agree");
+        let c = s.new_tree(&mut r1).unwrap().current();
+        assert_ne!(a, c, "the stream advances");
+    }
+}

@@ -1,0 +1,141 @@
+//! Test execution: configuration, seeding, case errors and the
+//! [`TestRunner`] handle that strategies draw values from.
+
+use rand::SeedableRng;
+use std::fmt;
+
+/// The RNG all strategies sample from.
+pub type TestRng = rand::StdRng;
+
+/// Harness configuration. Named `ProptestConfig` in the prelude, like
+/// upstream.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream proptest's default.
+        Self { cases: 256 }
+    }
+}
+
+/// A failed test case (produced by `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a over the test's fully qualified name: a stable, per-test base
+/// seed, overridable with `PROPTEST_SEED`.
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            return seed;
+        }
+        eprintln!("[proptest] ignoring unparsable PROPTEST_SEED={s:?}");
+    }
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives the seed of case `index` from a base seed (SplitMix64-style
+/// mixing, so consecutive cases get unrelated streams).
+pub fn case_seed(base: u64, index: u32) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG for one case.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// A handle that strategies can draw values from via
+/// [`Strategy::new_tree`](crate::strategy::Strategy::new_tree) —
+/// the explicit-runner API used by tests that generate auxiliary values
+/// inside a property body.
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with the given base seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { rng: rng_from_seed(seed) }
+    }
+
+    /// A runner whose stream is identical on every run and platform —
+    /// mirrors `proptest::test_runner::TestRunner::deterministic()`.
+    pub fn deterministic() -> Self {
+        Self::from_seed(0x5EED_5EED_5EED_5EED)
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::deterministic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_seed_is_stable_per_name() {
+        assert_eq!(base_seed("a::b"), base_seed("a::b"));
+        assert_ne!(base_seed("a::b"), base_seed("a::c"));
+    }
+
+    #[test]
+    fn case_seeds_differ() {
+        let b = base_seed("x");
+        assert_ne!(case_seed(b, 0), case_seed(b, 1));
+        assert_ne!(case_seed(b, 1), case_seed(b, 2));
+    }
+
+    #[test]
+    fn deterministic_runner_repeats() {
+        use rand::Rng;
+        let mut a = TestRunner::deterministic();
+        let mut b = TestRunner::deterministic();
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+    }
+}

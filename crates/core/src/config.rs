@@ -1,11 +1,11 @@
 //! Model and training configuration, including the paper's ablations.
 
 use groupsa_graph::social::Closeness;
-use serde::{Deserialize, Serialize};
+use groupsa_json::{impl_json_enum, impl_json_struct};
 
 /// Which components of GroupSA are enabled — the ablation axes of
 /// paper §V-A/§V-B. The full model enables everything.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Ablation {
     /// The stacked self-attention voting network (§II-C). When off, the
     /// item-conditioned vanilla attention aggregates raw member
@@ -22,6 +22,8 @@ pub struct Ablation {
     /// (§II-E). When off, only group-item interactions are used.
     pub joint_training: bool,
 }
+
+impl_json_struct!(Ablation { voting, social_mask, item_aggregation, social_aggregation, joint_training });
 
 impl Ablation {
     /// The full GroupSA model.
@@ -80,7 +82,7 @@ impl Ablation {
 /// [`VotingInput::Enhanced`] feeds the user-modeling latent `h_j`
 /// instead (one possible reading of §II-F); it is kept for the
 /// ablation benches but converges worse at this scale.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VotingInput {
     /// Raw shared user embeddings `embᵁ`.
     Embedding,
@@ -90,12 +92,14 @@ pub enum VotingInput {
     Enhanced,
 }
 
+impl_json_enum!(VotingInput { Embedding, Enhanced });
+
 /// Hyper-parameters of GroupSA and its training procedure.
 ///
 /// Defaults follow §III-E: embeddings of dimension 32 for users, items
 /// and groups; `d_k = d_v = d_model = 32`; dropout 0.1; Adam; and the
 /// paper's operating choices `N_X = 1`, `N = 1`, `wᵘ = 0.9`, Top-H = 5.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GroupSaConfig {
     /// Embedding and attention width (`d_model = d_k = d_v`).
     pub embed_dim: usize,
@@ -148,6 +152,28 @@ pub struct GroupSaConfig {
     /// Seed for parameter init, dropout and sampling.
     pub seed: u64,
 }
+
+impl_json_struct!(GroupSaConfig {
+    embed_dim,
+    d_k,
+    d_ff,
+    num_voting_layers,
+    top_h,
+    num_negatives,
+    w_u,
+    dropout,
+    learning_rate,
+    weight_decay,
+    batch_size,
+    user_epochs,
+    group_epochs,
+    max_group_size,
+    closeness,
+    voting_input,
+    lean_group_head,
+    ablation,
+    seed,
+});
 
 impl GroupSaConfig {
     /// The paper's operating configuration (§III-E and §V-C).

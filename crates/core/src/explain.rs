@@ -4,11 +4,11 @@
 use crate::context::DataContext;
 use crate::model::GroupSa;
 use groupsa_tensor::ops::sigmoid;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// Explanation of one group-item prediction: which members the model
 /// listened to, and how strongly it predicts the interaction.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GroupExplanation {
     /// The explained group.
     pub group: usize,
@@ -24,6 +24,8 @@ pub struct GroupExplanation {
     /// paper's Table IV.
     pub probability: f32,
 }
+
+impl_json_struct!(GroupExplanation { group, item, members, member_weights, raw_score, probability });
 
 impl GroupExplanation {
     /// The member the model weighted most heavily.

@@ -11,10 +11,10 @@
 use crate::context::DataContext;
 use crate::model::GroupSa;
 use groupsa_eval::Scorer;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_enum;
 
 /// A predefined per-item combination of member scores.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScoreAggregation {
     /// Mean of member scores — every member contributes equally
     /// (the paper's §II-F illustration and the Group+avg baseline).
@@ -26,6 +26,8 @@ pub enum ScoreAggregation {
     /// (Group+ms, "maximum satisfaction/pleasure").
     MaxSatisfaction,
 }
+
+impl_json_enum!(ScoreAggregation { Average, LeastMisery, MaxSatisfaction });
 
 impl ScoreAggregation {
     /// Combines one item's member scores.

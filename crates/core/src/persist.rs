@@ -6,13 +6,12 @@
 
 use crate::config::GroupSaConfig;
 use crate::model::GroupSa;
+use groupsa_json::impl_json_struct;
 use groupsa_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
 /// On-disk representation of a trained model.
-#[derive(Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -25,6 +24,8 @@ pub struct Checkpoint {
     /// `(parameter name, value)` in registration order.
     pub parameters: Vec<(String, Matrix)>,
 }
+
+impl_json_struct!(Checkpoint { version, config, num_users, num_items, parameters });
 
 /// Current checkpoint format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
@@ -47,7 +48,7 @@ impl GroupSa {
 
     /// Writes a JSON checkpoint to `path`.
     pub fn save(&self, path: impl AsRef<Path>, num_users: usize, num_items: usize) -> io::Result<()> {
-        let json = serde_json::to_string(&self.to_checkpoint(num_users, num_items)).map_err(io::Error::other)?;
+        let json = groupsa_json::to_string(&self.to_checkpoint(num_users, num_items));
         std::fs::write(path, json)
     }
 
@@ -88,7 +89,7 @@ impl GroupSa {
     /// Loads a JSON checkpoint written by [`GroupSa::save`].
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+        let ckpt: Checkpoint = groupsa_json::from_str(&json).map_err(io::Error::other)?;
         Self::from_checkpoint(ckpt).map_err(io::Error::other)
     }
 }

@@ -8,16 +8,18 @@
 use crate::context::DataContext;
 use crate::fast::ScoreAggregation;
 use crate::model::GroupSa;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// One recommendation: an item and its ranking score.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Recommendation {
     /// Recommended item id.
     pub item: usize,
     /// Raw ranking score (higher = better; comparable within one list).
     pub score: f32,
 }
+
+impl_json_struct!(Recommendation { item, score });
 
 /// Which inference path produces group recommendations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -20,10 +20,10 @@ use groupsa_nn::loss::bpr_one_vs_rest;
 use groupsa_nn::optim::{Adam, Optimizer};
 use groupsa_tensor::rng::{seeded, StdRng};
 use groupsa_tensor::Graph;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// Per-epoch mean losses recorded during training.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrainReport {
     /// Mean BPR loss per stage-1 (user-item) epoch.
     pub user_losses: Vec<f32>,
@@ -33,6 +33,8 @@ pub struct TrainReport {
     /// validation split).
     pub valid_hr: Vec<f64>,
 }
+
+impl_json_struct!(TrainReport { user_losses, group_losses, valid_hr });
 
 impl TrainReport {
     /// Final stage-1 epoch loss, if stage 1 ran.

@@ -1,7 +1,7 @@
 //! The three-way interaction dataset of the paper's task definition.
 
 use groupsa_graph::{Bipartite, CsrGraph};
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 use std::io;
 use std::path::Path;
 
@@ -15,7 +15,7 @@ pub type GroupId = usize;
 /// A group-recommendation dataset: the observed interactions
 /// `R^U` (user–item), `R^G` (group–item) and `R^S` (user–user) of the
 /// paper's §II-A, plus the membership list of every group.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Dataset {
     /// Dataset name (diagnostics / table headers).
     pub name: String,
@@ -32,6 +32,8 @@ pub struct Dataset {
     /// Undirected social edges.
     pub social: Vec<(UserId, UserId)>,
 }
+
+impl_json_struct!(Dataset { name, num_users, num_items, groups, user_item, group_item, social });
 
 impl Dataset {
     /// Number of groups `k`.
@@ -99,14 +101,14 @@ impl Dataset {
 
     /// Serialises to pretty JSON at `path`.
     pub fn save_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        let json = groupsa_json::to_string(self);
         std::fs::write(path, json)
     }
 
     /// Loads a dataset previously written by [`Dataset::save_json`].
     pub fn load_json(path: impl AsRef<Path>) -> io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(io::Error::other)
+        groupsa_json::from_str(&json).map_err(io::Error::other)
     }
 }
 

@@ -7,12 +7,12 @@
 use crate::dataset::{Dataset, GroupId, ItemId, UserId};
 use groupsa_tensor::rng::seeded;
 use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// An 80/10/10-style split of both interaction relations. Group
 /// membership and the social network are side information, not
 /// interactions, and are left intact.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Split {
     /// Training user–item interactions.
     pub train_user_item: Vec<(UserId, ItemId)>,
@@ -27,6 +27,15 @@ pub struct Split {
     /// Held-out group–item interactions.
     pub test_group_item: Vec<(GroupId, ItemId)>,
 }
+
+impl_json_struct!(Split {
+    train_user_item,
+    valid_user_item,
+    test_user_item,
+    train_group_item,
+    valid_group_item,
+    test_group_item,
+});
 
 impl Split {
     /// A training-view [`Dataset`]: identical side information, but only

@@ -1,11 +1,11 @@
 //! Dataset statistics — the columns of paper Table I.
 
 use crate::dataset::Dataset;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 use std::fmt;
 
 /// The summary statistics reported in paper Table I.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DatasetStats {
     /// Dataset name.
     pub name: String,
@@ -24,6 +24,17 @@ pub struct DatasetStats {
     /// `Avg. # interactions per group`.
     pub avg_interactions_per_group: f64,
 }
+
+impl_json_struct!(DatasetStats {
+    name,
+    num_users,
+    num_items,
+    num_groups,
+    avg_group_size,
+    avg_interactions_per_user,
+    avg_friends_per_user,
+    avg_interactions_per_group,
+});
 
 impl DatasetStats {
     /// Computes the Table-I statistics of a dataset.

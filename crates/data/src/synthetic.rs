@@ -34,12 +34,12 @@
 use crate::dataset::Dataset;
 use groupsa_tensor::rng::{seeded, standard_normal};
 use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 use std::collections::HashSet;
 
 /// Everything that controls a synthetic dataset. See the module docs
 /// for the role of each knob.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SyntheticConfig {
     /// Dataset name (appears in reports).
     pub name: String,
@@ -89,6 +89,27 @@ pub struct SyntheticConfig {
     /// from their friends").
     pub connectedness_boost: f64,
 }
+
+impl_json_struct!(SyntheticConfig {
+    name,
+    seed,
+    num_users,
+    num_items,
+    num_groups,
+    num_topics,
+    latent_dim,
+    avg_items_per_user,
+    avg_friends_per_user,
+    avg_items_per_group,
+    mean_group_size,
+    zipf_exponent,
+    homophily,
+    social_influence,
+    expertise_sharpness,
+    taste_temperature,
+    consensus_blend,
+    connectedness_boost,
+});
 
 /// Scaled-down analogue of the paper's Yelp dataset (Table I column 1).
 pub fn yelp_sim() -> SyntheticConfig {

@@ -3,8 +3,8 @@
 use crate::metrics::{hr_at_k, ndcg_at_k, rank_of_first};
 use groupsa_data::sampling::eval_candidates;
 use groupsa_graph::Bipartite;
+use groupsa_json::impl_json_struct;
 use groupsa_tensor::rng::seeded;
-use serde::{Deserialize, Serialize};
 
 /// Anything that can score a set of candidate items for one entity
 /// (a user on the user task, a group on the group task).
@@ -45,7 +45,7 @@ impl<'a> EvalTask<'a> {
 }
 
 /// The outcome of ranking one held-out positive.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EvalOutcome {
     /// The evaluated entity (user or group id).
     pub entity: usize,
@@ -55,15 +55,19 @@ pub struct EvalOutcome {
     pub rank: usize,
 }
 
+impl_json_struct!(EvalOutcome { entity, positive, rank });
+
 /// Aggregated metrics plus per-example outcomes (kept for significance
 /// tests and group-size binning).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EvalResult {
     /// `(K, HR@K, NDCG@K)` for each requested cutoff.
     pub per_k: Vec<(usize, f64, f64)>,
     /// One outcome per test pair, in `test_pairs` order.
     pub outcomes: Vec<EvalOutcome>,
 }
+
+impl_json_struct!(EvalResult { per_k, outcomes });
 
 impl EvalResult {
     /// HR@K, or panics if `k` was not evaluated.

@@ -1,11 +1,11 @@
 //! Paper-style leaderboard formatting (Tables II, III, V).
 
 use crate::protocol::EvalResult;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 use std::fmt;
 
 /// One method's row in a leaderboard: `(K, HR, NDCG)` triples.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Row {
     /// Method name as printed.
     pub method: String,
@@ -13,15 +13,19 @@ pub struct Row {
     pub per_k: Vec<(usize, f64, f64)>,
 }
 
+impl_json_struct!(Row { method, per_k });
+
 /// A paper-style results table: methods × cutoffs, with the Δ%
 /// improvement of the reference method (the last row, as in the paper
 /// where GroupSA is listed last) over every other row.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Leaderboard {
     /// Table caption.
     pub title: String,
     rows: Vec<Row>,
 }
+
+impl_json_struct!(Leaderboard { title, rows });
 
 impl Leaderboard {
     /// An empty leaderboard with a caption.

@@ -1,10 +1,10 @@
 //! Significance testing — the paired t-test behind the paper's
 //! "improvements are statistically significant with p < 0.01".
 
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// Result of a paired t-test on two per-example metric vectors.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TTest {
     /// The t statistic of the mean paired difference.
     pub t: f64,
@@ -18,6 +18,8 @@ pub struct TTest {
     /// Mean of the paired differences `a − b`.
     pub mean_diff: f64,
 }
+
+impl_json_struct!(TTest { t, df, p_two_sided, mean_diff });
 
 impl TTest {
     /// `true` when the difference is significant at level `alpha` *and*

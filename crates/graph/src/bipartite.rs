@@ -1,18 +1,20 @@
 //! The user–item interaction graph `R^U` in CSR form, both orientations.
 
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 
 /// A bipartite interaction graph between `num_left` users and
 /// `num_right` items, stored CSR in both directions so that both "items
 /// of a user" (item aggregation, Eq. 11) and "users of an item"
 /// (popularity, TF-IDF document frequency) are O(1) slices.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Bipartite {
     left_offsets: Vec<usize>,
     left_items: Vec<u32>,
     right_offsets: Vec<usize>,
     right_users: Vec<u32>,
 }
+
+impl_json_struct!(Bipartite { left_offsets, left_items, right_offsets, right_users });
 
 impl Bipartite {
     /// Builds from `(user, item)` pairs. Duplicates are removed.

@@ -1,6 +1,6 @@
 //! Compressed-sparse-row undirected graph.
 
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 use std::collections::VecDeque;
 
 /// An undirected graph in CSR form: `offsets[u]..offsets[u+1]` indexes
@@ -9,11 +9,13 @@ use std::collections::VecDeque;
 /// Used for the social network `R^S` of the paper. Self-loops are
 /// dropped at construction (a user is trivially "connected" to themself;
 /// the attention diagonal is handled separately).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
     neighbors: Vec<u32>,
 }
+
+impl_json_struct!(CsrGraph { offsets, neighbors });
 
 impl CsrGraph {
     /// Builds from an edge list over `n` nodes. Edges are treated as
@@ -244,10 +246,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let g = triangle_plus_isolate();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: CsrGraph = serde_json::from_str(&json).unwrap();
+        let json = groupsa_json::to_string(&g);
+        let back: CsrGraph = groupsa_json::from_str(&json).unwrap();
         assert_eq!(g, back);
     }
 

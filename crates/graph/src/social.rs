@@ -6,10 +6,10 @@
 //! common-neighbour relaxation for ablations.
 
 use crate::CsrGraph;
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_enum;
 
 /// The closeness function `f(i,j)` of paper Eq. (5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Closeness {
     /// `f(i,j) = 1` iff `(i,j)` is a social edge (the paper's choice).
     Direct,
@@ -24,6 +24,8 @@ pub enum Closeness {
     /// ablation studies).
     All,
 }
+
+impl_json_enum!(Closeness { Direct, CommonNeighbors { min_common }, All });
 
 impl Closeness {
     /// Whether attention between `u` and `v` is enabled.

@@ -1,6 +1,6 @@
 //! The dense row-major `f32` matrix used throughout the workspace.
 
-use serde::{Deserialize, Serialize};
+use groupsa_json::impl_json_struct;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -13,12 +13,14 @@ use std::ops::{Index, IndexMut};
 ///
 /// All shape preconditions panic on violation — a mismatched shape is a
 /// bug in the caller, never an input-dependent condition.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
+
+impl_json_struct!(Matrix { rows, cols, data });
 
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
@@ -738,10 +740,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Matrix = serde_json::from_str(&json).unwrap();
+    fn json_roundtrip() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as f32 + 0.125);
+        let json = groupsa_json::to_string(&m);
+        let back: Matrix = groupsa_json::from_str(&json).unwrap();
         assert_eq!(m, back);
     }
 

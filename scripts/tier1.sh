@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build and test fully offline.
+#
+# --offline is the point, not an optimisation: every dependency is an
+# in-tree path dependency (crates/compat/*), so a build that needs the
+# network is a policy violation (see tests/hermetic.rs and DESIGN.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
