@@ -1,0 +1,382 @@
+//! Load generator for the `groupsa-serve` subsystem.
+//!
+//! Two modes:
+//!
+//! * **In-process sweep** (default): freezes a tiny model, runs the
+//!   engine at 1/2/4 workers under concurrent client threads, and
+//!   writes throughput + exact client-side latency percentiles to
+//!   `results/serve_bench.json`.
+//! * **TCP** (`--addr HOST:PORT`): drives a running `groupsa-serve`
+//!   over NDJSON, validating every response (echoed id, ≤ k items,
+//!   descending scores). Learns the id universe from a `Stats`
+//!   request, so it works against any dataset. With `--shutdown true`
+//!   it finishes by asking the server to exit (and expects `Bye`) —
+//!   this is the tier-1 smoke path. Exits nonzero on any malformed
+//!   response.
+//!
+//! ```text
+//! serve_bench [--clients N] [--requests N] [--k N]
+//!             [--addr HOST:PORT] [--shutdown true|false]
+//! ```
+//! `--requests` is the per-client request count.
+
+use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use groupsa_json::impl_json_struct;
+use groupsa_serve::engine::{Engine, EngineConfig};
+use groupsa_serve::protocol::{RecommendRequest, Request, Response, ServeMode, Target};
+use groupsa_serve::FrozenModel;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------- CLI
+
+fn parse_flags() -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(key) = args.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{key}` (flags are --key value)"));
+        };
+        let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+// ----------------------------------------------------------- workload
+
+/// Deterministic mixed workload over a known-valid id universe.
+fn workload(n: usize, per_client_offset: usize, k: usize, users: usize, groups: usize) -> Vec<RecommendRequest> {
+    let modes = [
+        ServeMode::Voting,
+        ServeMode::FastAverage,
+        ServeMode::FastLeastMisery,
+        ServeMode::FastMaxSatisfaction,
+    ];
+    (0..n)
+        .map(|j| {
+            let i = per_client_offset + j;
+            let target = if i % 3 == 0 {
+                Target::Group { id: (i * 7) % groups.max(1) }
+            } else {
+                Target::User { id: (i * 11) % users.max(1) }
+            };
+            RecommendRequest {
+                id: (i + 1) as u64,
+                target,
+                k,
+                exclude_seen: i % 2 == 0,
+                mode: modes[i % modes.len()],
+                deadline_ms: 0,
+            }
+        })
+        .collect()
+}
+
+/// Validates one recommend response against its request; returns the
+/// failure reason, if any.
+fn validate(req: &RecommendRequest, resp: &Response) -> Result<(), String> {
+    match resp {
+        Response::Recommend { id, items } => {
+            if *id != req.id {
+                return Err(format!("response id {id} != request id {}", req.id));
+            }
+            if items.len() > req.k {
+                return Err(format!("{} items for k={}", items.len(), req.k));
+            }
+            for w in items.windows(2) {
+                // NaN never outranks a real score, so >= with NaN-last
+                // ordering reduces to: not (prev < next).
+                if w[0].score < w[1].score {
+                    return Err(format!("scores not descending: {} < {}", w[0].score, w[1].score));
+                }
+            }
+            Ok(())
+        }
+        Response::Error { error, .. } => Err(format!("server error: {error}")),
+        other => Err(format!("unexpected response kind: {other:?}")),
+    }
+}
+
+// ----------------------------------------------------- result payload
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+struct RunResult {
+    workers: usize,
+    clients: usize,
+    requests: u64,
+    elapsed_ms: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+}
+
+impl_json_struct!(RunResult {
+    workers,
+    clients,
+    requests,
+    elapsed_ms,
+    throughput_rps,
+    p50_us,
+    p95_us,
+    p99_us,
+    mean_us,
+});
+
+#[derive(Clone, Debug)]
+struct BenchReport {
+    dataset: String,
+    num_users: usize,
+    num_items: usize,
+    num_groups: usize,
+    k: usize,
+    runs: Vec<RunResult>,
+}
+
+impl_json_struct!(BenchReport { dataset, num_users, num_items, num_groups, k, runs });
+
+/// Exact percentiles from raw per-request latencies (µs).
+fn exact_percentiles(latencies: &mut [u64]) -> (u64, u64, u64, f64) {
+    latencies.sort_unstable();
+    let pick = |q: f64| {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    (pick(0.50), pick(0.95), pick(0.99), mean)
+}
+
+// ----------------------------------------------------- in-process mode
+
+fn in_process_sweep(clients: usize, per_client: usize, k: usize) -> Result<(), String> {
+    let syn = SyntheticConfig {
+        name: "serve-bench".into(),
+        seed: 7,
+        num_users: 60,
+        num_items: 40,
+        num_groups: 25,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.5,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.8,
+        social_influence: 0.3,
+        expertise_sharpness: 2.0,
+        taste_temperature: 0.3,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    };
+    let dataset = generate(&syn);
+    let model = GroupSa::new(GroupSaConfig::tiny(), dataset.num_users, dataset.num_items);
+    let ctx = DataContext::from_train_view(&dataset, model.config());
+    let (users, groups) = (ctx.num_users, ctx.num_groups());
+    let num_items = ctx.num_items;
+    let frozen = Arc::new(FrozenModel::freeze(model, ctx));
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let engine =
+            Engine::start(Arc::clone(&frozen), EngineConfig { workers, ..EngineConfig::default() });
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let engine = Arc::clone(&engine);
+            let reqs = workload(per_client, c * per_client, k, users, groups);
+            handles.push(std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(reqs.len());
+                for req in reqs {
+                    let t = Instant::now();
+                    let resp = engine.submit(req.clone());
+                    latencies.push(t.elapsed().as_micros() as u64);
+                    validate(&req, &resp)?;
+                }
+                Ok::<Vec<u64>, String>(latencies)
+            }));
+        }
+        let mut latencies = Vec::new();
+        for handle in handles {
+            latencies.extend(handle.join().map_err(|_| "client thread panicked".to_string())??);
+        }
+        let elapsed = started.elapsed();
+        engine.shutdown();
+
+        let (p50, p95, p99, mean) = exact_percentiles(&mut latencies);
+        let total = latencies.len() as u64;
+        let run = RunResult {
+            workers,
+            clients,
+            requests: total,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            throughput_rps: total as f64 / elapsed.as_secs_f64(),
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
+            mean_us: mean,
+        };
+        println!(
+            "workers={} clients={} requests={} throughput={:.0} req/s p50={}us p95={}us p99={}us",
+            run.workers, run.clients, run.requests, run.throughput_rps, run.p50_us, run.p95_us, run.p99_us
+        );
+        runs.push(run);
+    }
+
+    let report = BenchReport {
+        dataset: syn.name.clone(),
+        num_users: users,
+        num_items,
+        num_groups: groups,
+        k,
+        runs,
+    };
+    let path = groupsa_bench::output::save_json("serve_bench", &report).map_err(|e| e.to_string())?;
+    println!("[saved {}]", path.display());
+    Ok(())
+}
+
+// ------------------------------------------------------------ TCP mode
+
+struct Connection {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader =
+            BufReader::new(stream.try_clone().map_err(|e| format!("clone stream: {e}"))?);
+        Ok(Self { writer: stream, reader })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, String> {
+        let mut text = groupsa_json::to_string(request);
+        text.push('\n');
+        self.writer.write_all(text.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        groupsa_json::from_str::<Response>(&line).map_err(|e| format!("bad response: {e}"))
+    }
+}
+
+fn tcp_bench(addr: &str, clients: usize, per_client: usize, k: usize, shutdown: bool) -> Result<(), String> {
+    // Learn the id universe from the server itself.
+    let mut probe = Connection::open(addr)?;
+    let stats = match probe.roundtrip(&Request::Stats { id: 1 })? {
+        Response::Stats { stats, .. } => stats,
+        other => return Err(format!("expected Stats response, got {other:?}")),
+    };
+    println!(
+        "server universe: {} users, {} items, {} groups",
+        stats.num_users, stats.num_items, stats.num_groups
+    );
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let addr = addr.to_string();
+        let (users, groups) = (stats.num_users, stats.num_groups);
+        handles.push(std::thread::spawn(move || {
+            let mut conn = Connection::open(&addr)?;
+            let mut latencies = Vec::with_capacity(per_client);
+            for req in workload(per_client, c * per_client, k, users, groups) {
+                let t = Instant::now();
+                let resp = conn.roundtrip(&Request::Recommend {
+                    id: req.id,
+                    target: req.target,
+                    k: req.k,
+                    exclude_seen: req.exclude_seen,
+                    mode: req.mode,
+                    deadline_ms: req.deadline_ms,
+                })?;
+                latencies.push(t.elapsed().as_micros() as u64);
+                validate(&req, &resp)?;
+            }
+            Ok::<Vec<u64>, String>(latencies)
+        }));
+    }
+    let mut latencies = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().map_err(|_| "client thread panicked".to_string())??);
+    }
+    let elapsed = started.elapsed();
+    let (p50, p95, p99, mean) = exact_percentiles(&mut latencies);
+    println!(
+        "tcp: {} requests in {:.1} ms ({:.0} req/s) p50={}us p95={}us p99={}us mean={:.0}us",
+        latencies.len(),
+        elapsed.as_secs_f64() * 1e3,
+        latencies.len() as f64 / elapsed.as_secs_f64(),
+        p50,
+        p95,
+        p99,
+        mean
+    );
+
+    // Server-side accounting must have seen our requests.
+    let stats = match probe.roundtrip(&Request::Stats { id: 2 })? {
+        Response::Stats { stats, .. } => stats,
+        other => return Err(format!("expected Stats response, got {other:?}")),
+    };
+    let expected = (clients * per_client) as u64;
+    if stats.submitted < expected {
+        return Err(format!("server saw {} submissions, expected at least {expected}", stats.submitted));
+    }
+    println!(
+        "server stats: submitted={} completed={} errors={} batches={} mean_batch={:.2}",
+        stats.submitted, stats.completed, stats.errors, stats.batches, stats.mean_batch
+    );
+
+    if shutdown {
+        match probe.roundtrip(&Request::Shutdown { id: 3 })? {
+            Response::Bye { id: 3 } => println!("server acknowledged shutdown"),
+            other => return Err(format!("expected Bye, got {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- main
+
+fn run() -> Result<(), String> {
+    let flags = parse_flags()?;
+    let clients: usize = num(&flags, "clients", 4)?;
+    let per_client: usize = num(&flags, "requests", 64)?;
+    let k: usize = num(&flags, "k", 5)?;
+    match flags.get("addr") {
+        Some(addr) => {
+            let shutdown = matches!(flags.get("shutdown").map(String::as_str), Some("true"));
+            tcp_bench(addr, clients, per_client, k, shutdown)
+        }
+        None => in_process_sweep(clients, per_client, k),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

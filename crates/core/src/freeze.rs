@@ -1,0 +1,332 @@
+//! Tape-free frozen scoring: eval-path twins of the graph builders.
+//!
+//! The training code scores through [`groupsa_tensor::Graph`], which
+//! allocates a node per op so gradients can flow. A serving process
+//! never needs gradients, so this module re-expresses the exact same
+//! op sequence (the compositions of [`crate::user_model`] and
+//! [`crate::voting`]) through the gradient-free `forward_inference`
+//! building blocks of `groupsa-nn`.
+//!
+//! **Equivalence contract**: every graph op computes its forward value
+//! eagerly by delegating to the same `Matrix`/`ops` routines these
+//! twins call, in the same order, so frozen scores are bit-identical
+//! to [`GroupSa::score_user_items`] / [`GroupSa::score_group_items`]
+//! (up to IEEE sign-of-zero, which `f32 ==` treats as equal). The
+//! golden tests below and in `groupsa-serve` pin this down.
+//!
+//! The split into *latent* / *member-reps* producers and score
+//! consumers is what makes serving cheap: a `FrozenModel` (in
+//! `groupsa-serve`) computes each user's latent factor and each
+//! group's post-voting member representations **once** at load, and
+//! per-request work reduces to embedding lookups plus the prediction
+//! tower — the paper's §II-F observation that voting-network inference
+//! is the latency bottleneck, applied to the full path.
+
+use crate::context::DataContext;
+use crate::model::GroupSa;
+use groupsa_tensor::{ops, Matrix};
+
+impl GroupSa {
+    /// Number of users the embedding tables were built for.
+    pub fn num_users(&self) -> usize {
+        self.emb_user.count()
+    }
+
+    /// Number of items the embedding tables were built for.
+    pub fn num_items(&self) -> usize {
+        self.emb_item.count()
+    }
+
+    /// The shared user embedding table `embᵁ` (`num_users×d`).
+    pub fn user_embedding_table(&self) -> &Matrix {
+        self.store.value(self.emb_user.slot())
+    }
+
+    /// The shared item embedding table `embⱽ` (`num_items×d`).
+    pub fn item_embedding_table(&self) -> &Matrix {
+        self.store.value(self.emb_item.slot())
+    }
+
+    /// Tape-free twin of the item-aggregation branch `hⱽ_j`
+    /// (Eq. 11–14).
+    fn item_aggregation_frozen(&self, ctx: &DataContext, user: usize, emb_u: &Matrix) -> Option<Matrix> {
+        if !self.cfg.ablation.item_aggregation {
+            return None;
+        }
+        let items = &ctx.top_items[user];
+        if items.is_empty() {
+            return None;
+        }
+        let xs = self.lat_item.lookup_inference(&self.store, items); // H×d
+        let eu_rep = emb_u.repeat_rows(items.len());
+        let rows = eu_rep.concat_cols(&xs); // H×2d
+        let agg = self.item_att.aggregate_inference(&self.store, &rows, &xs); // 1×d
+        let mut lin = self.item_agg_out.forward_inference(&self.store, &agg);
+        lin.map_inplace(ops::relu);
+        Some(lin)
+    }
+
+    /// Tape-free twin of the social-aggregation branch `hˢ_j`
+    /// (Eq. 15–18).
+    fn social_aggregation_frozen(&self, ctx: &DataContext, user: usize, emb_u: &Matrix) -> Option<Matrix> {
+        if !self.cfg.ablation.social_aggregation {
+            return None;
+        }
+        let friends = &ctx.top_friends[user];
+        if friends.is_empty() {
+            return None;
+        }
+        let xs = self.lat_social.lookup_inference(&self.store, friends); // H×d
+        let eu_rep = emb_u.repeat_rows(friends.len());
+        let rows = eu_rep.concat_cols(&xs); // H×2d
+        let agg = self.social_att.aggregate_inference(&self.store, &rows, &xs); // 1×d
+        let mut lin = self.social_agg_out.forward_inference(&self.store, &agg);
+        lin.map_inplace(ops::relu);
+        Some(lin)
+    }
+
+    /// Tape-free twin of [`GroupSa::user_latent_graph`] (Eq. 19): the
+    /// enhanced user latent factor `h_j`, or `None` when user modeling
+    /// is ablated or the user has neither history nor friends.
+    ///
+    /// This is the expensive, *precomputable* half of user scoring —
+    /// it depends only on the trained parameters and the context, so a
+    /// serving layer caches one `1×d` row per user.
+    pub fn user_latent_frozen(&self, ctx: &DataContext, user: usize) -> Option<Matrix> {
+        if !self.cfg.ablation.user_modeling() {
+            return None;
+        }
+        let emb_u = self.emb_user.lookup_inference(&self.store, &[user]); // 1×d
+        let hv = self.item_aggregation_frozen(ctx, user, &emb_u);
+        let hs = self.social_aggregation_frozen(ctx, user, &emb_u);
+        match (hv, hs) {
+            (Some(hv), Some(hs)) => {
+                let cat = hv.concat_cols(&hs); // 1×2d
+                Some(self.fusion.forward_inference(&self.store, &cat))
+            }
+            (Some(hv), None) => Some(hv),
+            (None, Some(hs)) => Some(hs),
+            (None, None) => None,
+        }
+    }
+
+    /// Tape-free twin of the user-task scores (Eq. 22–23), taking the
+    /// user's latent factor as an input instead of recomputing it —
+    /// pass the cached result of [`GroupSa::user_latent_frozen`]
+    /// (`None` reproduces the `r₁`-only fallback).
+    ///
+    /// # Panics
+    /// If `items` is empty or any id is out of range.
+    pub fn score_user_items_frozen(&self, user: usize, items: &[usize], latent: Option<&Matrix>) -> Vec<f32> {
+        assert!(!items.is_empty(), "score_user_items_frozen: no items to score");
+        let n = items.len();
+        let emb_u = self.emb_user.lookup_inference(&self.store, &[user]); // 1×d
+        let eu_rep = emb_u.repeat_rows(n);
+        let ev = self.emb_item.lookup_inference(&self.store, items); // n×d
+        let cat1 = eu_rep.concat_cols(&ev).concat_cols(&eu_rep.mul_elem(&ev)); // n×3d
+        let r1 = self.pred_user.forward_inference(&self.store, &cat1); // n×1
+
+        let w = self.cfg.w_u;
+        let scores = match latent {
+            Some(h) if w != 0.0 => {
+                let h_rep = h.repeat_rows(n);
+                let xv = self.lat_item.lookup_inference(&self.store, items); // n×d
+                let cat2 = h_rep.concat_cols(&xv).concat_cols(&h_rep.mul_elem(&xv)); // n×3d
+                let r2 = self.pred_user.forward_inference(&self.store, &cat2); // n×1
+                r1.scale(1.0 - w).add(&r2.scale(w))
+            }
+            _ => r1,
+        };
+        scores.as_slice().to_vec()
+    }
+
+    /// Tape-free twin of [`GroupSa::member_reps_graph`] (Eq. 1–6),
+    /// returning the post-voting `l×d` member representations.
+    ///
+    /// `latents` is an optional per-user cache indexed by user id (as
+    /// produced by [`GroupSa::user_latent_frozen`]); pass `&[]` to
+    /// compute enhanced inputs on the fly. It is only consulted for
+    /// [`crate::config::VotingInput::Enhanced`].
+    ///
+    /// # Panics
+    /// If the group is out of range or has no members.
+    pub fn member_reps_frozen(&self, ctx: &DataContext, group: usize, latents: &[Option<Matrix>]) -> Matrix {
+        let members = &ctx.members[group];
+        assert!(!members.is_empty(), "group {group} has no members");
+        let mut x = match self.cfg.voting_input {
+            crate::config::VotingInput::Embedding => self.emb_user.lookup_inference(&self.store, members),
+            crate::config::VotingInput::Enhanced => {
+                let mut rows: Option<Matrix> = None;
+                for &u in members {
+                    let latent = match latents.get(u) {
+                        Some(cached) => cached.clone(),
+                        None => self.user_latent_frozen(ctx, u),
+                    };
+                    let rep = match latent {
+                        Some(h) => h,
+                        None => self.emb_user.lookup_inference(&self.store, &[u]),
+                    };
+                    rows = Some(match rows {
+                        None => rep,
+                        Some(acc) => acc.concat_rows(&rep),
+                    });
+                }
+                rows.expect("non-empty group")
+            }
+        }; // l×d
+        if self.cfg.ablation.voting {
+            let mask = ctx.group_masks[group].as_ref();
+            for layer in &self.voting {
+                x = layer.forward_inference(&self.store, &x, mask);
+            }
+        }
+        x
+    }
+
+    /// Tape-free twin of the group-task scores (Eq. 7–10, 20), taking
+    /// the precomputed post-voting member representations — pass the
+    /// cached result of [`GroupSa::member_reps_frozen`]. Per item this
+    /// is one item-conditioned γ attention over `l` members plus one
+    /// tower evaluation.
+    ///
+    /// # Panics
+    /// If `items` is empty or any id is out of range.
+    pub fn score_group_items_frozen(&self, post_reps: &Matrix, items: &[usize]) -> Vec<f32> {
+        assert!(!items.is_empty(), "score_group_items_frozen: no items to score");
+        let l = post_reps.rows();
+        let ev_all = self.emb_item.lookup_inference(&self.store, items); // n×d
+        let tower = if self.cfg.lean_group_head { &self.pred_user } else { &self.pred_group };
+        (0..items.len())
+            .map(|idx| {
+                let ev = ev_all.slice_rows(idx, 1); // 1×d
+                let ev_rep = ev.repeat_rows(l);
+                let rows = ev_rep.concat_cols(post_reps).concat_cols(&ev_rep.mul_elem(post_reps)); // l×3d
+                let w = self.group_att.weights_inference(&self.store, &rows); // 1×l
+                let agg = w.matmul(post_reps); // 1×d
+                let xg = if self.cfg.lean_group_head {
+                    agg
+                } else {
+                    let mut lin = self.group_out.forward_inference(&self.store, &agg);
+                    lin.map_inplace(ops::relu);
+                    lin
+                };
+                let cat = xg.concat_cols(&ev).concat_cols(&xg.mul_elem(&ev)); // 1×3d
+                tower.forward_inference(&self.store, &cat).scalar()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{Ablation, GroupSaConfig, VotingInput};
+    use crate::context::DataContext;
+    use crate::model::GroupSa;
+    use crate::test_fixtures::tiny_world;
+
+    fn frozen_user_scores(model: &GroupSa, ctx: &DataContext, user: usize, items: &[usize]) -> Vec<f32> {
+        let h = model.user_latent_frozen(ctx, user);
+        model.score_user_items_frozen(user, items, h.as_ref())
+    }
+
+    fn frozen_group_scores(model: &GroupSa, ctx: &DataContext, group: usize, items: &[usize]) -> Vec<f32> {
+        let reps = model.member_reps_frozen(ctx, group, &[]);
+        model.score_group_items_frozen(&reps, items)
+    }
+
+    #[test]
+    fn frozen_user_scores_match_graph_path_exactly() {
+        let (d, ctx) = tiny_world(61);
+        let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+        let items: Vec<usize> = (0..10).collect();
+        for user in [0, 1, d.num_users - 1] {
+            assert_eq!(
+                model.score_user_items(&ctx, user, &items),
+                frozen_user_scores(&model, &ctx, user, &items),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_group_scores_match_graph_path_exactly() {
+        let (d, ctx) = tiny_world(61);
+        let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+        let items: Vec<usize> = (0..10).collect();
+        for group in [0, 1, ctx.num_groups() - 1] {
+            assert_eq!(
+                model.score_group_items(&ctx, group, &items),
+                frozen_group_scores(&model, &ctx, group, &items),
+                "group {group}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_paths_match_under_every_ablation() {
+        let (d, _) = tiny_world(62);
+        for ab in [
+            Ablation::full(),
+            Ablation::group_a(),
+            Ablation::group_s(),
+            Ablation::group_i(),
+            Ablation::group_f(),
+            Ablation::group_g(),
+        ] {
+            let cfg = GroupSaConfig::tiny().with_ablation(ab);
+            let ctx = DataContext::from_train_view(&d, &cfg);
+            let model = GroupSa::new(cfg, d.num_users, d.num_items);
+            let items = [0usize, 1, 2, 3];
+            assert_eq!(
+                model.score_user_items(&ctx, 0, &items),
+                frozen_user_scores(&model, &ctx, 0, &items),
+                "{ab:?}"
+            );
+            assert_eq!(
+                model.score_group_items(&ctx, 0, &items),
+                frozen_group_scores(&model, &ctx, 0, &items),
+                "{ab:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_paths_match_with_enhanced_voting_input_and_paper_head() {
+        let (d, _) = tiny_world(63);
+        let mut cfg = GroupSaConfig::tiny();
+        cfg.voting_input = VotingInput::Enhanced;
+        cfg.lean_group_head = false;
+        let ctx = DataContext::from_train_view(&d, &cfg);
+        let model = GroupSa::new(cfg, d.num_users, d.num_items);
+        let items = [0usize, 1, 2, 3, 4];
+        assert_eq!(model.score_group_items(&ctx, 0, &items), frozen_group_scores(&model, &ctx, 0, &items));
+
+        // The per-user latent cache is equivalent to on-the-fly latents.
+        let latents: Vec<Option<groupsa_tensor::Matrix>> =
+            (0..d.num_users).map(|u| model.user_latent_frozen(&ctx, u)).collect();
+        let cached = model.member_reps_frozen(&ctx, 0, &latents);
+        let fresh = model.member_reps_frozen(&ctx, 0, &[]);
+        assert_eq!(cached.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn frozen_user_scores_match_with_w_u_zero() {
+        let (d, _) = tiny_world(64);
+        let mut cfg = GroupSaConfig::tiny();
+        cfg.w_u = 0.0;
+        let ctx = DataContext::from_train_view(&d, &cfg);
+        let model = GroupSa::new(cfg, d.num_users, d.num_items);
+        let items = [0usize, 1, 2];
+        assert_eq!(model.score_user_items(&ctx, 0, &items), frozen_user_scores(&model, &ctx, 0, &items));
+    }
+
+    #[test]
+    fn embedding_extraction_exposes_tables() {
+        let (d, _) = tiny_world(65);
+        let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+        assert_eq!(model.num_users(), d.num_users);
+        assert_eq!(model.num_items(), d.num_items);
+        assert_eq!(model.user_embedding_table().shape(), (d.num_users, 8));
+        assert_eq!(model.item_embedding_table().shape(), (d.num_items, 8));
+    }
+}

@@ -57,6 +57,7 @@ pub mod context;
 pub(crate) mod test_fixtures;
 pub mod explain;
 pub mod fast;
+pub mod freeze;
 pub mod model;
 pub mod persist;
 pub mod recommend;
@@ -68,5 +69,5 @@ pub use config::{Ablation, GroupSaConfig, VotingInput};
 pub use context::DataContext;
 pub use fast::ScoreAggregation;
 pub use model::GroupSa;
-pub use recommend::{GroupMode, Recommendation};
+pub use recommend::{top_k, GroupMode, Recommendation};
 pub use train::{TrainReport, Trainer};

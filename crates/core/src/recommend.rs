@@ -9,6 +9,8 @@ use crate::context::DataContext;
 use crate::fast::ScoreAggregation;
 use crate::model::GroupSa;
 use groupsa_json::impl_json_struct;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// One recommendation: an item and its ranking score.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -30,15 +32,70 @@ pub enum GroupMode {
     Fast(ScoreAggregation),
 }
 
-fn top_k(mut scored: Vec<Recommendation>, k: usize) -> Vec<Recommendation> {
-    scored.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
-            .then(a.item.cmp(&b.item))
-    });
-    scored.truncate(k);
-    scored
+/// Ascending score order made total: NaN sorts below every real score
+/// (including `-inf`), and NaN compares equal to NaN. A corrupt score
+/// therefore sinks deterministically instead of panicking — a serving
+/// thread must survive whatever the towers produce.
+fn score_cmp(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("both scores are non-NaN"),
+    }
+}
+
+/// Ranking order: `Less` means `a` is listed before `b` — descending
+/// score, ties broken by ascending item id for determinism.
+fn rank_cmp(a: &Recommendation, b: &Recommendation) -> Ordering {
+    score_cmp(b.score, a.score).then(a.item.cmp(&b.item))
+}
+
+/// Max-heap entry ordered by [`rank_cmp`], so the heap's top is the
+/// *worst* recommendation currently kept.
+struct Ranked(Recommendation);
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        rank_cmp(&self.0, &other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        rank_cmp(&self.0, &other.0)
+    }
+}
+
+/// Best-`k` selection in O(n log k): a bounded heap of the `k` best
+/// candidates seen so far replaces the previous full sort + truncate.
+/// Output order is descending score with ties broken by ascending item
+/// id; NaN scores never panic and can only appear (last) when fewer
+/// than `k` real scores exist.
+pub fn top_k(scored: Vec<Recommendation>, k: usize) -> Vec<Recommendation> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Ranked> = BinaryHeap::with_capacity(k + 1);
+    for rec in scored {
+        if heap.len() < k {
+            heap.push(Ranked(rec));
+        } else if rank_cmp(&rec, &heap.peek().expect("k > 0").0) == Ordering::Less {
+            heap.pop();
+            heap.push(Ranked(rec));
+        }
+    }
+    let mut out: Vec<Recommendation> = heap.into_iter().map(|r| r.0).collect();
+    out.sort_unstable_by(rank_cmp);
+    out
 }
 
 impl GroupSa {
@@ -146,5 +203,75 @@ mod tests {
         assert_eq!(recs[0].item, 5);
         assert_eq!(recs[1].item, 2, "tied scores order by ascending item id");
         assert_eq!(recs[2].item, 9);
+    }
+
+    #[test]
+    fn nan_scores_sink_instead_of_panicking() {
+        // Regression: the previous implementation panicked on NaN via
+        // `partial_cmp(..).expect("scores are finite")`.
+        let recs = top_k(
+            vec![
+                Recommendation { item: 0, score: f32::NAN },
+                Recommendation { item: 1, score: 0.5 },
+                Recommendation { item: 2, score: f32::NEG_INFINITY },
+                Recommendation { item: 3, score: f32::NAN },
+                Recommendation { item: 4, score: 1.5 },
+            ],
+            3,
+        );
+        let items: Vec<usize> = recs.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![4, 1, 2], "NaN ranks below -inf and is displaced by real scores");
+
+        // With k larger than the real scores, NaNs fill the tail in
+        // item-id order.
+        let recs = top_k(
+            vec![
+                Recommendation { item: 7, score: f32::NAN },
+                Recommendation { item: 1, score: 0.5 },
+                Recommendation { item: 3, score: f32::NAN },
+            ],
+            5,
+        );
+        let items: Vec<usize> = recs.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(top_k(vec![Recommendation { item: 0, score: 1.0 }], 0).is_empty());
+    }
+
+    #[test]
+    fn heap_selection_matches_full_sort_reference() {
+        // Deterministic pseudo-random scores with duplicates, ±inf and
+        // NaN sprinkled in; the bounded heap must agree with a full
+        // sort under the same total order for every k.
+        let scored: Vec<Recommendation> = (0..257)
+            .map(|i| {
+                let score = match i % 13 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    r => (((i * 37 + 11) % 101) as f32 - 50.0) * 0.1 * r as f32,
+                };
+                Recommendation { item: i, score }
+            })
+            .collect();
+        for k in [1, 2, 7, 64, 256, 300] {
+            let mut reference = scored.clone();
+            reference.sort_by(rank_cmp);
+            reference.truncate(k);
+            let got = top_k(scored.clone(), k);
+            assert_eq!(got.len(), reference.len(), "k={k}");
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.item, r.item, "k={k}");
+                assert!(
+                    g.score.to_bits() == r.score.to_bits() || (g.score.is_nan() && r.score.is_nan()),
+                    "k={k}: {} vs {}",
+                    g.score,
+                    r.score
+                );
+            }
+        }
     }
 }

@@ -217,9 +217,11 @@ impl VanillaAttention {
         g.matmul(w, values)
     }
 
-    /// Gradient-free weights for inference / explanation.
+    /// Gradient-free weights for inference / explanation (activation
+    /// applied in place — no tape, no extra allocation).
     pub fn weights_inference(&self, store: &ParamStore, rows: &Matrix) -> Matrix {
-        let h = self.l1.forward_inference(store, rows).map(ops::relu);
+        let mut h = self.l1.forward_inference(store, rows);
+        h.map_inplace(ops::relu);
         let s = self.l2.forward_inference(store, &h); // n×1
         let mut w = s.transpose();
         ops::softmax_inplace(w.row_mut(0));

@@ -39,9 +39,11 @@ impl FeedForward {
         self.l2.forward(g, store, h)
     }
 
-    /// Gradient-free forward pass.
+    /// Gradient-free forward pass (activation applied in place — no
+    /// extra allocation beyond the two affine outputs).
     pub fn forward_inference(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let h = self.l1.forward_inference(store, x).map(groupsa_tensor::ops::relu);
+        let mut h = self.l1.forward_inference(store, x);
+        h.map_inplace(groupsa_tensor::ops::relu);
         self.l2.forward_inference(store, &h)
     }
 }

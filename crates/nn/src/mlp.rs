@@ -78,13 +78,18 @@ impl Mlp {
         h
     }
 
-    /// Gradient-free forward pass.
+    /// Gradient-free forward pass. Unlike the graph path this records
+    /// no tape and allocates only the per-layer outputs (activations
+    /// are applied in place, and the input is never copied).
     pub fn forward_inference(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        let last = self.layers.len() - 1;
-        for (i, layer) in self.layers.iter().enumerate() {
+        let (first, rest) = self.layers.split_first().expect("Mlp has at least one layer");
+        let mut h = first.forward_inference(store, x);
+        if !rest.is_empty() || self.activate_last {
+            h.map_inplace(groupsa_tensor::ops::relu);
+        }
+        for (i, layer) in rest.iter().enumerate() {
             h = layer.forward_inference(store, &h);
-            if i < last || self.activate_last {
+            if i + 1 < rest.len() || self.activate_last {
                 h.map_inplace(groupsa_tensor::ops::relu);
             }
         }

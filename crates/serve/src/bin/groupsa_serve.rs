@@ -1,0 +1,128 @@
+//! The `groupsa-serve` binary: freeze a model and serve NDJSON over
+//! TCP.
+//!
+//! ```text
+//! groupsa-serve [--port N] [--workers N] [--queue N] [--batch N]
+//!               [--deadline-ms N] [--dataset tiny|yelp|douban]
+//!               [--seed N] [--checkpoint PATH]
+//! ```
+//!
+//! `--port 0` (the default) binds an ephemeral port; the chosen
+//! address is announced on stdout as `LISTENING 127.0.0.1:<port>` so
+//! scripts (e.g. the tier-1 smoke test) can discover it. Without
+//! `--checkpoint`, an untrained model is frozen — scores are then
+//! only useful for protocol/throughput testing, which is exactly what
+//! the smoke test and load generator need.
+
+use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
+use groupsa_data::synthetic::{self, SyntheticConfig};
+use groupsa_serve::engine::{Engine, EngineConfig};
+use groupsa_serve::frozen::FrozenModel;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn parse_flags() -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(key) = args.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{key}` (flags are --key value)"));
+        };
+        let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+fn tiny_dataset(seed: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        name: format!("serve-tiny-{seed}"),
+        seed,
+        num_users: 60,
+        num_items: 40,
+        num_groups: 25,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.5,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.8,
+        social_influence: 0.3,
+        expertise_sharpness: 2.0,
+        taste_temperature: 0.3,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let flags = parse_flags()?;
+    let port: u16 = num(&flags, "port", 0)?;
+    let cfg = EngineConfig {
+        workers: num(&flags, "workers", 2)?,
+        queue_capacity: num(&flags, "queue", 256)?,
+        max_batch: num(&flags, "batch", 8)?,
+        default_deadline_ms: num(&flags, "deadline-ms", 0)?,
+    };
+    let seed: u64 = num(&flags, "seed", 1)?;
+    let dataset_name = flags.get("dataset").map(String::as_str).unwrap_or("tiny");
+    let (syn, model_cfg) = match dataset_name {
+        "tiny" => (tiny_dataset(seed), GroupSaConfig::tiny()),
+        "yelp" => (synthetic::yelp_sim(), GroupSaConfig::paper()),
+        "douban" => (synthetic::douban_sim(), GroupSaConfig::paper()),
+        other => return Err(format!("--dataset: unknown `{other}` (tiny|yelp|douban)")),
+    };
+
+    eprintln!("generating dataset `{}`...", syn.name);
+    let dataset = synthetic::generate(&syn);
+    let model = match flags.get("checkpoint") {
+        Some(path) => {
+            eprintln!("loading checkpoint {path}...");
+            GroupSa::load(path).map_err(|e| format!("--checkpoint {path}: {e}"))?
+        }
+        None => GroupSa::new(model_cfg, dataset.num_users, dataset.num_items),
+    };
+    let ctx = DataContext::from_train_view(&dataset, model.config());
+
+    eprintln!(
+        "freezing model ({} users, {} items, {} groups)...",
+        ctx.num_users,
+        ctx.num_items,
+        ctx.num_groups()
+    );
+    let frozen = Arc::new(FrozenModel::freeze(model, ctx));
+    let engine = Engine::start(frozen, cfg);
+
+    let listener =
+        TcpListener::bind(("127.0.0.1", port)).map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Announced on stdout (diagnostics go to stderr) so callers can
+    // `awk` the ephemeral port out of the log.
+    println!("LISTENING {addr}");
+
+    groupsa_serve::server::run(listener, Arc::clone(&engine)).map_err(|e| e.to_string())?;
+    let stats = engine.stats();
+    println!("{}", groupsa_json::to_string_pretty(&stats));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("groupsa-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The inference engine: a bounded admission queue drained by a pool
+//! of worker threads with batch coalescing, per-request deadlines, and
+//! graceful drain-then-stop shutdown. Built entirely on `std` —
+//! `Mutex<VecDeque>` + `Condvar`, no external runtime.
+//!
+//! Submitters block until their reply arrives (a rendezvous
+//! `sync_channel(1)` per request), so backpressure is structural: at
+//! most `queue_capacity` requests wait, and anything beyond that is
+//! rejected immediately rather than buffered unboundedly.
+
+use crate::frozen::FrozenModel;
+use crate::metrics::{Metrics, StatsSnapshot};
+use crate::protocol::{RecommendRequest, Response};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Worker-pool tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Admission-queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Most requests one worker pops per queue lock (batch coalescing).
+    pub max_batch: usize,
+    /// Default per-request deadline in milliseconds, applied when the
+    /// request's own `deadline_ms` is `0`; `0` here means "no
+    /// deadline".
+    pub default_deadline_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { workers: 2, queue_capacity: 256, max_batch: 8, default_deadline_ms: 0 }
+    }
+}
+
+struct Job {
+    req: RecommendRequest,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: SyncSender<Response>,
+}
+
+struct Shared {
+    frozen: Arc<FrozenModel>,
+    cfg: EngineConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stopping: AtomicBool,
+    metrics: Metrics,
+}
+
+/// A running worker pool over a [`FrozenModel`].
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Spawns `cfg.workers` threads over the frozen snapshot.
+    pub fn start(frozen: Arc<FrozenModel>, cfg: EngineConfig) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            frozen,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            metrics: Metrics::new(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Arc::new(Self { shared, workers: Mutex::new(workers) })
+    }
+
+    /// Submits one request and blocks until its response is ready.
+    /// Admission fails fast (an `Error` response) when the engine is
+    /// stopping or the queue is full.
+    pub fn submit(&self, req: RecommendRequest) -> Response {
+        let id = req.id;
+        let deadline_ms = match req.deadline_ms {
+            0 => self.shared.cfg.default_deadline_ms,
+            ms => ms,
+        };
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                self.shared.metrics.note_rejected();
+                return Response::Error { id, error: "engine is shutting down".into() };
+            }
+            if queue.len() >= self.shared.cfg.queue_capacity {
+                self.shared.metrics.note_rejected();
+                return Response::Error {
+                    id,
+                    error: format!("queue full ({} pending)", queue.len()),
+                };
+            }
+            let now = Instant::now();
+            queue.push_back(Job {
+                req,
+                deadline: (deadline_ms > 0)
+                    .then(|| now + std::time::Duration::from_millis(deadline_ms)),
+                enqueued: now,
+                reply: tx,
+            });
+            self.shared.metrics.note_submitted();
+            self.shared.metrics.note_queue_depth(queue.len());
+        }
+        self.shared.available.notify_one();
+        rx.recv().unwrap_or(Response::Error { id, error: "worker dropped the request".into() })
+    }
+
+    /// A live metrics snapshot (engine counters + frozen-cache stats).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.metrics.snapshot(self.shared.frozen.cache_stats())
+    }
+
+    /// Whether [`Engine::shutdown`] has begun.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop admitting, let workers drain every
+    /// queued request, join them, and return the final metrics.
+    /// Idempotent — later calls just re-snapshot.
+    pub fn shutdown(&self) -> StatsSnapshot {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    /// The frozen snapshot the workers score against.
+    pub fn frozen(&self) -> &FrozenModel {
+        &self.shared.frozen
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if !queue.is_empty() {
+                    let n = queue.len().min(shared.cfg.max_batch.max(1));
+                    break queue.drain(..n).collect::<Vec<Job>>();
+                }
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return; // queue drained and no more admissions
+                }
+                queue = shared.available.wait(queue).expect("queue poisoned");
+            }
+        };
+        shared.metrics.note_batch(batch.len());
+        for job in batch {
+            let response = execute(shared, &job);
+            shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
+            // A submitter that gave up (impossible today — submit
+            // blocks) would surface as a send error; drop silently.
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+impl Metrics {
+    fn note_completed_kind(&self, response: &Response, latency: std::time::Duration) {
+        match response {
+            Response::Error { .. } => self.note_error(),
+            _ => self.note_completed(latency),
+        }
+    }
+}
+
+fn execute(shared: &Shared, job: &Job) -> Response {
+    let id = job.req.id;
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            shared.metrics.note_expired();
+            return Response::Error { id, error: "deadline exceeded while queued".into() };
+        }
+    }
+    match shared.frozen.recommend(
+        job.req.target,
+        job.req.k,
+        job.req.exclude_seen,
+        job.req.mode.group_mode(),
+    ) {
+        Ok(items) => Response::Recommend { id, items },
+        Err(error) => Response::Error { id, error },
+    }
+}

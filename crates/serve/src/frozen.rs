@@ -1,0 +1,187 @@
+//! An immutable serving snapshot of a trained [`GroupSa`] model.
+//!
+//! Freezing walks every user and group **once**, precomputing the two
+//! expensive intermediates of the scoring paths through the tape-free
+//! twins in `groupsa_core::freeze`:
+//!
+//! * the enhanced user latent factor `h_j` (Eq. 19) per user, and
+//! * the post-voting member representations (Eq. 1–6) per group.
+//!
+//! Per-request work then reduces to embedding lookups, one
+//! item-conditioned attention, and the prediction towers — the paper's
+//! §II-F observation that the voting network dominates inference
+//! latency, applied to the full path instead of approximating it.
+//! Frozen scores are bit-identical to the graph eval path (the golden
+//! tests in `tests/golden.rs` assert exact equality), so the snapshot
+//! is a pure speedup, not an approximation.
+//!
+//! The snapshot is immutable after construction — worker threads share
+//! it through an `Arc` with no locking. Model reload goes through
+//! [`FrozenModel::rebuild`], which validates the replacement against
+//! the frozen universe and recomputes every cache.
+
+use crate::metrics::CacheStats;
+use crate::protocol::Target;
+use groupsa_core::{top_k, DataContext, GroupMode, GroupSa, Recommendation};
+use groupsa_tensor::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A trained model plus its precomputed per-user / per-group caches.
+pub struct FrozenModel {
+    model: GroupSa,
+    ctx: DataContext,
+    /// `h_j` per user (`None`: user modeling ablated or cold user).
+    user_latents: Vec<Option<Matrix>>,
+    /// Post-voting `l×d` member representations per group.
+    group_reps: Vec<Matrix>,
+    latent_hits: AtomicU64,
+    rep_hits: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+impl FrozenModel {
+    /// Snapshots `model` against `ctx`, precomputing every user latent
+    /// and every group's member representations.
+    ///
+    /// # Panics
+    /// If the model's embedding tables don't cover the context's
+    /// universe.
+    pub fn freeze(model: GroupSa, ctx: DataContext) -> Self {
+        assert_eq!(model.num_users(), ctx.num_users, "model/context user universe mismatch");
+        assert_eq!(model.num_items(), ctx.num_items, "model/context item universe mismatch");
+        let (user_latents, group_reps) = Self::precompute(&model, &ctx);
+        Self {
+            model,
+            ctx,
+            user_latents,
+            group_reps,
+            latent_hits: AtomicU64::new(0),
+            rep_hits: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    fn precompute(model: &GroupSa, ctx: &DataContext) -> (Vec<Option<Matrix>>, Vec<Matrix>) {
+        let user_latents: Vec<Option<Matrix>> =
+            (0..ctx.num_users).map(|u| model.user_latent_frozen(ctx, u)).collect();
+        let group_reps: Vec<Matrix> =
+            (0..ctx.num_groups()).map(|g| model.member_reps_frozen(ctx, g, &user_latents)).collect();
+        (user_latents, group_reps)
+    }
+
+    /// Replaces the model (e.g. after a checkpoint reload) and rebuilds
+    /// every cache. Rejects models trained for a different universe so
+    /// cached id spaces can never dangle.
+    pub fn rebuild(&mut self, model: GroupSa) -> Result<(), String> {
+        if model.num_users() != self.ctx.num_users || model.num_items() != self.ctx.num_items {
+            return Err(format!(
+                "model universe {}u/{}i does not match frozen context {}u/{}i",
+                model.num_users(),
+                model.num_items(),
+                self.ctx.num_users,
+                self.ctx.num_items
+            ));
+        }
+        let (user_latents, group_reps) = Self::precompute(&model, &self.ctx);
+        self.model = model;
+        self.user_latents = user_latents;
+        self.group_reps = group_reps;
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The frozen model (parameter access, config).
+    pub fn model(&self) -> &GroupSa {
+        &self.model
+    }
+
+    /// The frozen context (universe sizes, interaction graphs).
+    pub fn context(&self) -> &DataContext {
+        &self.ctx
+    }
+
+    /// Top-`k` recommendations for `target`, mirroring
+    /// [`GroupSa::recommend_for_user`] / `recommend_for_group`
+    /// bit-for-bit (same candidate filter, same scores, same
+    /// deterministic ranking) while only touching the caches.
+    pub fn recommend(
+        &self,
+        target: Target,
+        k: usize,
+        exclude_seen: bool,
+        mode: GroupMode,
+    ) -> Result<Vec<Recommendation>, String> {
+        let candidates = match target {
+            Target::User { id } => {
+                if id >= self.ctx.num_users {
+                    return Err(format!("user {id} out of range (num_users = {})", self.ctx.num_users));
+                }
+                self.candidates(|i| !exclude_seen || !self.ctx.user_item_graph.has_interaction(id, i))
+            }
+            Target::Group { id } => {
+                if id >= self.ctx.num_groups() {
+                    return Err(format!("group {id} out of range (num_groups = {})", self.ctx.num_groups()));
+                }
+                self.candidates(|i| !exclude_seen || !self.ctx.group_item_graph.has_interaction(id, i))
+            }
+        };
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let scores = match target {
+            Target::User { id } => self.user_scores(id, &candidates),
+            Target::Group { id } => match mode {
+                GroupMode::Voting => {
+                    self.rep_hits.fetch_add(1, Ordering::Relaxed);
+                    self.model.score_group_items_frozen(&self.group_reps[id], &candidates)
+                }
+                GroupMode::Fast(agg) => {
+                    let members = &self.ctx.members[id];
+                    if members.is_empty() {
+                        return Err(format!("group {id} has no members"));
+                    }
+                    let per_member: Vec<Vec<f32>> =
+                        members.iter().map(|&u| self.user_scores(u, &candidates)).collect();
+                    (0..candidates.len())
+                        .map(|idx| {
+                            let column: Vec<f32> = per_member.iter().map(|row| row[idx]).collect();
+                            agg.combine(&column)
+                        })
+                        .collect()
+                }
+            },
+        };
+        Ok(top_k(
+            candidates
+                .into_iter()
+                .zip(scores)
+                .map(|(item, score)| Recommendation { item, score })
+                .collect(),
+            k,
+        ))
+    }
+
+    fn candidates(&self, keep: impl Fn(usize) -> bool) -> Vec<usize> {
+        (0..self.ctx.num_items).filter(|&i| keep(i)).collect()
+    }
+
+    fn user_scores(&self, user: usize, items: &[usize]) -> Vec<f32> {
+        let latent = self.user_latents[user].as_ref();
+        if latent.is_some() {
+            self.latent_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.model.score_user_items_frozen(user, items, latent)
+    }
+
+    /// Point-in-time cache counters for the metrics snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            latent_hits: self.latent_hits.load(Ordering::Relaxed),
+            group_rep_hits: self.rep_hits.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            num_users: self.ctx.num_users,
+            num_items: self.ctx.num_items,
+            num_groups: self.ctx.num_groups(),
+        }
+    }
+}

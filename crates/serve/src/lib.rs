@@ -1,0 +1,46 @@
+//! # groupsa-serve
+//!
+//! Frozen-model inference serving for GroupSA.
+//!
+//! Training wants gradients; serving wants throughput. This crate
+//! takes a trained [`groupsa_core::GroupSa`] and turns it into a
+//! request-serving process in four layers:
+//!
+//! * [`frozen`] — [`frozen::FrozenModel`] snapshots the model once at
+//!   load: every user's enhanced latent factor (Eq. 19) and every
+//!   group's post-voting member representations (Eq. 1–6) are
+//!   precomputed through the tape-free eval twins in
+//!   `groupsa_core::freeze`, so per-request work is embedding lookups
+//!   plus the prediction towers. Scores are bit-identical to the
+//!   training-graph eval path — the snapshot is a speedup, not an
+//!   approximation (generalising the paper's §II-F fast-inference
+//!   idea, which *is* also available as a request mode).
+//! * [`engine`] — a hermetic worker pool (`std::thread` + channels):
+//!   bounded admission queue, batch-coalescing dequeue, per-request
+//!   deadlines, graceful drain-then-stop shutdown.
+//! * [`protocol`] — the typed NDJSON request/response wire format,
+//!   serialised by `groupsa-json`. Responses carry no timing fields,
+//!   so response bytes depend only on the request and the snapshot.
+//! * [`server`] — NDJSON over TCP: one connection per client thread,
+//!   `Stats` queries answered inline, `Shutdown` drains and exits.
+//!
+//! [`metrics`] threads through all of it: atomic counters and a
+//! log₂-bucketed latency histogram, queryable live (`Stats`) and
+//! dumped at shutdown.
+//!
+//! The `groupsa-serve` binary wires these to a dataset/checkpoint and
+//! a TCP port; `serve_bench` (in `groupsa-bench`) load-tests either
+//! in-process or over TCP.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod frozen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig};
+pub use frozen::FrozenModel;
+pub use metrics::{CacheStats, Metrics, StatsSnapshot};
+pub use protocol::{RecommendRequest, Request, Response, ServeMode, Target};

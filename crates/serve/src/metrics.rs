@@ -1,0 +1,318 @@
+//! Lock-free engine metrics: atomic counters plus a log₂-bucketed
+//! latency histogram, snapshotted on demand (`stats` requests) and on
+//! shutdown.
+
+use groupsa_json::impl_json_struct;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets; bucket `i > 0` covers
+/// `[2^(i−1), 2^i)` microseconds, bucket 0 covers `< 1 µs`. 2⁸⁹ µs is
+/// far beyond any real latency, so the top bucket never saturates in
+/// practice.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Live counters, updated by workers and the admission path with
+/// relaxed atomics (metrics never synchronise data).
+#[derive(Debug)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+    max_queue_depth: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+fn bucket_of(micros: u64) -> usize {
+    ((u64::BITS - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Upper bound (µs) of a bucket — the value percentiles report.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << bucket
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Counts one admitted request.
+    pub fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request rejected at admission (queue full / engine
+    /// stopping).
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request dropped because its deadline passed while it
+    /// waited in the queue.
+    pub fn note_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered with an error.
+    pub fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successfully answered request and records its
+    /// admission-to-reply latency.
+    pub fn note_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced batch of `n` requests popped together.
+    pub fn note_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records the queue depth observed right after an enqueue.
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (relaxed reads; exact
+    /// once the engine is quiescent, e.g. at shutdown).
+    pub fn snapshot(&self, cache: CacheStats) -> StatsSnapshot {
+        let counts: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            mean_latency_us: if completed == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+            p50_latency_us: percentile(&counts, total, 0.50),
+            p95_latency_us: percentile(&counts, total, 0.95),
+            p99_latency_us: percentile(&counts, total, 0.99),
+            latent_cache_hits: cache.latent_hits,
+            group_rep_cache_hits: cache.group_rep_hits,
+            rebuilds: cache.rebuilds,
+            num_users: cache.num_users,
+            num_items: cache.num_items,
+            num_groups: cache.num_groups,
+        }
+    }
+}
+
+/// Histogram percentile: the upper bound of the first bucket whose
+/// cumulative count reaches `q·total` — exact to within the bucket's
+/// power-of-two resolution.
+fn percentile(counts: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(counts.len() - 1)
+}
+
+/// Cache statistics contributed by the `FrozenModel`, merged into the
+/// engine snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// User-latent cache reads that found a precomputed entry.
+    pub latent_hits: u64,
+    /// Group-representation cache reads.
+    pub group_rep_hits: u64,
+    /// Times the snapshot was rebuilt from a reloaded model.
+    pub rebuilds: u64,
+    /// Users in the frozen universe.
+    pub num_users: usize,
+    /// Items in the frozen universe.
+    pub num_items: usize,
+    /// Groups in the frozen universe.
+    pub num_groups: usize,
+}
+
+/// The queryable/serialisable metrics snapshot (`stats` responses,
+/// shutdown dump, bench artifacts). Latency percentiles are
+/// histogram-derived upper bounds in microseconds (power-of-two
+/// resolution); the mean is exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Requests dropped on deadline expiry.
+    pub expired: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Largest batch.
+    pub max_batch: u64,
+    /// Deepest queue observed at enqueue time.
+    pub max_queue_depth: u64,
+    /// Mean admission-to-reply latency (µs, exact).
+    pub mean_latency_us: f64,
+    /// Median latency (µs, bucket upper bound).
+    pub p50_latency_us: u64,
+    /// 95th-percentile latency (µs, bucket upper bound).
+    pub p95_latency_us: u64,
+    /// 99th-percentile latency (µs, bucket upper bound).
+    pub p99_latency_us: u64,
+    /// User-latent cache hits.
+    pub latent_cache_hits: u64,
+    /// Group-representation cache hits.
+    pub group_rep_cache_hits: u64,
+    /// Frozen-snapshot rebuilds since load.
+    pub rebuilds: u64,
+    /// Users in the frozen universe (lets clients pick valid ids).
+    pub num_users: usize,
+    /// Items in the frozen universe.
+    pub num_items: usize,
+    /// Groups in the frozen universe.
+    pub num_groups: usize,
+}
+
+impl_json_struct!(StatsSnapshot {
+    submitted,
+    completed,
+    errors,
+    rejected,
+    expired,
+    batches,
+    mean_batch,
+    max_batch,
+    max_queue_depth,
+    mean_latency_us,
+    p50_latency_us,
+    p95_latency_us,
+    p99_latency_us,
+    latent_cache_hits,
+    group_rep_cache_hits,
+    rebuilds,
+    num_users,
+    num_items,
+    num_groups,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_upper_bounds() {
+        let m = Metrics::new();
+        // 90 fast requests (~8 µs), 10 slow (~1000 µs).
+        for _ in 0..90 {
+            m.note_completed(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            m.note_completed(Duration::from_micros(1000));
+        }
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.p50_latency_us, 16, "8 µs lands in (4,8] → upper bound 16");
+        assert_eq!(s.p95_latency_us, 1024);
+        assert_eq!(s.p99_latency_us, 1024);
+        assert!((s.mean_latency_us - (90.0 * 8.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_and_queue_stats_track_extremes() {
+        let m = Metrics::new();
+        m.note_batch(1);
+        m.note_batch(7);
+        m.note_batch(4);
+        m.note_queue_depth(3);
+        m.note_queue_depth(11);
+        m.note_queue_depth(2);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.max_batch, 7);
+        assert!((s.mean_batch - 4.0).abs() < 1e-12);
+        assert_eq!(s.max_queue_depth, 11);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let s = Metrics::new().snapshot(CacheStats::default());
+        assert_eq!(s.p50_latency_us, 0);
+        assert_eq!(s.mean_latency_us, 0.0);
+        assert_eq!(s.mean_batch, 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_as_json() {
+        let m = Metrics::new();
+        m.note_submitted();
+        m.note_completed(Duration::from_micros(42));
+        let s = m.snapshot(CacheStats { num_users: 3, ..CacheStats::default() });
+        let text = groupsa_json::to_string(&s);
+        assert_eq!(groupsa_json::from_str::<StatsSnapshot>(&text).unwrap(), s);
+    }
+}

@@ -1,0 +1,86 @@
+//! NDJSON-over-TCP front end for the [`Engine`].
+//!
+//! One connection = one client; each line is a [`Request`], each reply
+//! a [`Response`] on its own line. Connections are handled on
+//! dedicated threads (the engine's queue, not the connection count, is
+//! the concurrency bound that matters). A `Shutdown` request stops the
+//! accept loop, drains the engine, and returns.
+
+use crate::engine::Engine;
+use crate::protocol::{Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Serves `engine` on `listener` until a client sends `Shutdown` (or
+/// the listener errors). Returns after every connection thread has
+/// been joined and the engine has drained.
+pub fn run(listener: TcpListener, engine: Arc<Engine>) -> io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let local = listener.local_addr()?;
+    let mut handles = Vec::new();
+    loop {
+        let (stream, _) = listener.accept()?;
+        if stop.load(Ordering::SeqCst) {
+            break; // the self-connect wake-up (or a post-shutdown client)
+        }
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            if handle_connection(stream, &engine, &stop) {
+                // Shutdown requested: wake the accept loop, which
+                // blocks in `accept` with no timeout.
+                let _ = TcpStream::connect(local);
+            }
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    engine.shutdown();
+    Ok(())
+}
+
+/// Runs one connection to completion; `true` when the client requested
+/// shutdown.
+fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> bool {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client went away mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match groupsa_json::from_str::<Request>(&line) {
+            Err(e) => Response::Error { id: 0, error: format!("bad request: {e}") },
+            Ok(Request::Stats { id }) => Response::Stats { id, stats: engine.stats() },
+            Ok(Request::Shutdown { id }) => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = send(&mut writer, &Response::Bye { id });
+                return true;
+            }
+            Ok(req) => {
+                let req = req.into_recommend().expect("only Recommend remains");
+                engine.submit(req)
+            }
+        };
+        if send(&mut writer, &response).is_err() {
+            break; // client stopped reading
+        }
+    }
+    false
+}
+
+fn send(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut text = groupsa_json::to_string(response);
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}

@@ -1,0 +1,135 @@
+//! Golden equivalence: `FrozenModel` must reproduce the graph eval
+//! path **bit-for-bit** — same items, same score bits — for every
+//! serving mode. A frozen snapshot is a speedup, never an
+//! approximation.
+
+use groupsa_core::{DataContext, GroupMode, GroupSa, GroupSaConfig, Recommendation, ScoreAggregation};
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use groupsa_data::Dataset;
+use groupsa_serve::protocol::Target;
+use groupsa_serve::FrozenModel;
+
+fn tiny_world(seed: u64) -> (Dataset, DataContext) {
+    let dataset = generate(&SyntheticConfig {
+        name: format!("serve-golden-{seed}"),
+        seed,
+        num_users: 60,
+        num_items: 40,
+        num_groups: 25,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.5,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.8,
+        social_influence: 0.3,
+        expertise_sharpness: 2.0,
+        taste_temperature: 0.3,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    });
+    let ctx = DataContext::from_train_view(&dataset, &GroupSaConfig::tiny());
+    (dataset, ctx)
+}
+
+fn assert_identical(frozen: &[Recommendation], graph: &[Recommendation], what: &str) {
+    assert_eq!(frozen.len(), graph.len(), "{what}: length");
+    for (f, g) in frozen.iter().zip(graph) {
+        assert_eq!(f.item, g.item, "{what}: item order");
+        assert_eq!(f.score.to_bits(), g.score.to_bits(), "{what}: score bits for item {}", f.item);
+    }
+}
+
+#[test]
+fn frozen_user_recommendations_match_graph_path_bit_for_bit() {
+    let (d, ctx) = tiny_world(71);
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let frozen = FrozenModel::freeze(model, ctx);
+    for user in 0..d.num_users {
+        let got = frozen.recommend(Target::User { id: user }, 10, true, GroupMode::Voting).unwrap();
+        let want = frozen.model().recommend_for_user(frozen.context(), user, 10);
+        assert_identical(&got, &want, &format!("user {user}"));
+    }
+}
+
+#[test]
+fn frozen_group_recommendations_match_graph_path_in_every_mode() {
+    let (d, ctx) = tiny_world(72);
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let num_groups = ctx.num_groups();
+    let frozen = FrozenModel::freeze(model, ctx);
+    let modes = [
+        GroupMode::Voting,
+        GroupMode::Fast(ScoreAggregation::Average),
+        GroupMode::Fast(ScoreAggregation::LeastMisery),
+        GroupMode::Fast(ScoreAggregation::MaxSatisfaction),
+    ];
+    for group in 0..num_groups {
+        for mode in modes {
+            let got = frozen.recommend(Target::Group { id: group }, 5, true, mode).unwrap();
+            let want = frozen.model().recommend_for_group(frozen.context(), group, 5, mode);
+            assert_identical(&got, &want, &format!("group {group} mode {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn include_seen_scores_every_item() {
+    let (d, ctx) = tiny_world(73);
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let frozen = FrozenModel::freeze(model, ctx);
+    let got = frozen.recommend(Target::User { id: 0 }, d.num_items + 5, false, GroupMode::Voting).unwrap();
+    assert_eq!(got.len(), d.num_items, "exclude_seen=false ranks the full catalogue");
+}
+
+#[test]
+fn out_of_range_targets_error_instead_of_panicking() {
+    let (d, ctx) = tiny_world(74);
+    let num_groups = ctx.num_groups();
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let frozen = FrozenModel::freeze(model, ctx);
+    assert!(frozen.recommend(Target::User { id: d.num_users }, 5, true, GroupMode::Voting).is_err());
+    assert!(frozen.recommend(Target::Group { id: num_groups }, 5, true, GroupMode::Voting).is_err());
+}
+
+#[test]
+fn rebuild_swaps_models_and_validates_the_universe() {
+    let (d, ctx) = tiny_world(75);
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let mut frozen = FrozenModel::freeze(model, ctx);
+    let before = frozen.recommend(Target::Group { id: 0 }, 5, true, GroupMode::Voting).unwrap();
+
+    // A model with a different seed produces different parameters, so
+    // the rebuilt snapshot must produce different recommendations —
+    // proving the caches were actually recomputed.
+    let mut other_cfg = GroupSaConfig::tiny();
+    other_cfg.seed = 999;
+    let other = GroupSa::new(other_cfg, d.num_users, d.num_items);
+    frozen.rebuild(other).unwrap();
+    assert_eq!(frozen.cache_stats().rebuilds, 1);
+    let after = frozen.recommend(Target::Group { id: 0 }, 5, true, GroupMode::Voting).unwrap();
+    let same = before.len() == after.len()
+        && before.iter().zip(&after).all(|(a, b)| a.item == b.item && a.score.to_bits() == b.score.to_bits());
+    assert!(!same, "rebuild must refresh the precomputed caches");
+
+    // Wrong universe → rejected, snapshot untouched.
+    let wrong = GroupSa::new(GroupSaConfig::tiny(), d.num_users + 1, d.num_items);
+    assert!(frozen.rebuild(wrong).is_err());
+    assert_eq!(frozen.cache_stats().rebuilds, 1);
+}
+
+#[test]
+fn cache_hit_counters_advance() {
+    let (d, ctx) = tiny_world(76);
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let frozen = FrozenModel::freeze(model, ctx);
+    frozen.recommend(Target::User { id: 0 }, 5, true, GroupMode::Voting).unwrap();
+    frozen.recommend(Target::Group { id: 0 }, 5, true, GroupMode::Voting).unwrap();
+    let stats = frozen.cache_stats();
+    assert!(stats.latent_hits >= 1, "user scoring should consume the latent cache");
+    assert_eq!(stats.group_rep_hits, 1);
+    assert_eq!(stats.num_users, d.num_users);
+    assert_eq!(stats.num_items, d.num_items);
+}

@@ -7,5 +7,32 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+# --workspace on the build: the serve smoke test below needs the
+# groupsa-serve and serve_bench release binaries, which the root
+# package alone would not produce.
+cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Serving smoke test: boot groupsa-serve on an ephemeral port, drive it
+# with the load generator over TCP (which validates every response),
+# ask it to shut down, and require a clean exit from both processes.
+serve_log="$(mktemp)"
+trap 'rm -f "$serve_log"' EXIT
+./target/release/groupsa-serve --dataset tiny --port 0 --workers 2 >"$serve_log" 2>/dev/null &
+serve_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(awk '/^LISTENING /{print $2; exit}' "$serve_log")"
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "tier1: groupsa-serve never announced its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+
+./target/release/serve_bench --addr "$addr" --clients 3 --requests 8 --shutdown true
+wait "$serve_pid"
+echo "tier1: serve smoke test passed"
