@@ -1,0 +1,213 @@
+//! Throughput benchmark for the deterministic data-parallel trainer.
+//!
+//! Two modes:
+//!
+//! * **Sweep** (default): trains the same synthetic world at 1/2/4
+//!   workers, asserts the final parameters are **bit-identical** across
+//!   thread counts, and writes per-thread-count throughput and speedup
+//!   (plus the machine's core count — speedup is bounded by it) to
+//!   `results/train_bench.json`.
+//! * **Digest** (`--digest`): runs a short fixed training with the
+//!   worker count taken from `GROUPSA_TRAIN_THREADS` (the trainer's
+//!   normal env knob) and prints the `TrainReport` plus a parameter
+//!   checksum as one JSON line. CI runs this at two thread counts and
+//!   diffs the output — any divergence breaks the determinism
+//!   contract.
+
+use groupsa_core::{DataContext, GroupSa, GroupSaConfig, TrainReport, Trainer};
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use groupsa_data::Dataset;
+use groupsa_json::impl_json_struct;
+use std::time::Instant;
+
+fn world(seed: u64, cfg: &GroupSaConfig) -> (Dataset, DataContext) {
+    let dataset = generate(&SyntheticConfig {
+        name: format!("train-bench-{seed}"),
+        seed,
+        num_users: 150,
+        num_items: 80,
+        num_groups: 50,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 10.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 2.0,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.8,
+        social_influence: 0.3,
+        expertise_sharpness: 2.0,
+        taste_temperature: 0.3,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    });
+    let ctx = DataContext::from_train_view(&dataset, cfg);
+    (dataset, ctx)
+}
+
+/// FNV-1a over the bit patterns of every parameter scalar — equal
+/// checksums mean bit-identical models.
+fn param_checksum(model: &GroupSa) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for m in model.store().snapshot_values() {
+        for &v in m.as_slice() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    format!("{h:016x}")
+}
+
+fn bench_cfg() -> GroupSaConfig {
+    let mut cfg = GroupSaConfig::tiny();
+    cfg.dropout = 0.2; // exercise the per-example mask streams
+    cfg.num_negatives = 4;
+    cfg
+}
+
+// ------------------------------------------------------------- sweep
+
+#[derive(Debug)]
+struct ThreadRun {
+    threads: usize,
+    elapsed_s: f64,
+    examples_per_sec: f64,
+    speedup_vs_serial: f64,
+    param_checksum: String,
+}
+
+impl_json_struct!(ThreadRun { threads, elapsed_s, examples_per_sec, speedup_vs_serial, param_checksum });
+
+#[derive(Debug)]
+struct TrainBenchReport {
+    machine_cores: usize,
+    user_examples_per_epoch: usize,
+    group_examples_per_epoch: usize,
+    timed_user_epochs: usize,
+    timed_group_epochs: usize,
+    runs: Vec<ThreadRun>,
+    note: String,
+}
+
+impl_json_struct!(TrainBenchReport {
+    machine_cores,
+    user_examples_per_epoch,
+    group_examples_per_epoch,
+    timed_user_epochs,
+    timed_group_epochs,
+    runs,
+    note,
+});
+
+fn sweep() {
+    const USER_EPOCHS: usize = 2;
+    const GROUP_EPOCHS: usize = 4;
+    let cfg = bench_cfg();
+    let (d, ctx) = world(41, &cfg);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "train_bench: {} user pairs, {} group pairs, {} core(s)",
+        ctx.train_user_item.len(),
+        ctx.train_group_item.len(),
+        cores
+    );
+
+    let mut runs: Vec<ThreadRun> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
+        let mut trainer = Trainer::new(cfg.clone()).with_threads(threads);
+        // Warmup (untimed): one user epoch to touch every code path and
+        // fault in allocations.
+        trainer.user_epoch(&mut model, &ctx);
+        let start = Instant::now();
+        for _ in 0..USER_EPOCHS {
+            trainer.user_epoch(&mut model, &ctx);
+        }
+        for _ in 0..GROUP_EPOCHS {
+            trainer.group_epoch(&mut model, &ctx);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let examples =
+            USER_EPOCHS * ctx.train_user_item.len() + GROUP_EPOCHS * ctx.train_group_item.len();
+        let throughput = examples as f64 / elapsed;
+        let speedup = if runs.is_empty() { 1.0 } else { throughput / runs[0].examples_per_sec };
+        let checksum = param_checksum(&model);
+        println!(
+            "  T={threads}: {elapsed:.3}s, {throughput:.0} examples/s, speedup {speedup:.2}x, checksum {checksum}"
+        );
+        runs.push(ThreadRun {
+            threads,
+            elapsed_s: elapsed,
+            examples_per_sec: throughput,
+            speedup_vs_serial: speedup,
+            param_checksum: checksum,
+        });
+    }
+
+    // The determinism contract, enforced on every sweep: thread count
+    // must not change a single parameter bit.
+    for run in &runs[1..] {
+        assert_eq!(
+            run.param_checksum, runs[0].param_checksum,
+            "T={} diverged from serial training",
+            run.threads
+        );
+    }
+
+    let report = TrainBenchReport {
+        machine_cores: cores,
+        user_examples_per_epoch: ctx.train_user_item.len(),
+        group_examples_per_epoch: ctx.train_group_item.len(),
+        timed_user_epochs: USER_EPOCHS,
+        timed_group_epochs: GROUP_EPOCHS,
+        runs,
+        note: "All thread counts produce bit-identical parameters (checksums asserted equal). \
+               Speedup is bounded by machine_cores; on a single-core machine extra workers only \
+               add scheduling overhead."
+            .into(),
+    };
+    match groupsa_bench::output::save_json("train_bench", &report) {
+        Ok(path) => println!("[saved {}]", path.display()),
+        Err(e) => {
+            eprintln!("[error] could not save train_bench.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+// ------------------------------------------------------------ digest
+
+#[derive(Debug)]
+struct Digest {
+    report: TrainReport,
+    param_checksum: String,
+}
+
+impl_json_struct!(Digest { report, param_checksum });
+
+/// A short fixed training whose serialized outcome must be identical at
+/// every `GROUPSA_TRAIN_THREADS` value. The worker count goes to stderr
+/// so stdout can be diffed verbatim across thread counts.
+fn digest() {
+    let mut cfg = bench_cfg();
+    cfg.user_epochs = 1;
+    cfg.group_epochs = 2;
+    let (d, ctx) = world(43, &cfg);
+    let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
+    let mut trainer = Trainer::new(cfg);
+    eprintln!("train_bench --digest: {} worker(s)", trainer.threads());
+    let report = trainer.fit(&mut model, &ctx);
+    let digest = Digest { report, param_checksum: param_checksum(&model) };
+    println!("{}", groupsa_json::to_string(&digest));
+}
+
+fn main() {
+    let digest_mode = std::env::args().skip(1).any(|a| a == "--digest");
+    if digest_mode {
+        digest();
+    } else {
+        sweep();
+    }
+}

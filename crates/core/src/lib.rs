@@ -55,6 +55,8 @@ pub mod config;
 pub mod context;
 #[cfg(test)]
 pub(crate) mod test_fixtures;
+#[cfg(test)]
+mod gradcheck;
 pub mod explain;
 pub mod fast;
 pub mod freeze;

@@ -10,17 +10,44 @@
 //! Following the paper, each gradient step draws one positive example
 //! and `N` negatives (per-example Adam with row-sparse embedding
 //! updates).
+//!
+//! # Deterministic data parallelism
+//!
+//! Training is data-parallel over each `batch_size` window: a
+//! `std::thread::scope` worker pool reads the model immutably, each
+//! worker builds its own [`Graph`] per example, runs forward/backward,
+//! and hands back a detached [`GradSink`]; the training thread merges
+//! the sinks **in ascending example order** and applies one optimizer
+//! step per window. Because
+//!
+//! 1. every example's negatives and dropout masks come from an RNG
+//!    stream keyed by `(seed, round, example_index)` (never from a
+//!    shared sequential generator),
+//! 2. parameters are only mutated between windows, so every example in
+//!    a window sees identical parameters, and
+//! 3. the reduction replays the same floating-point additions in the
+//!    same order regardless of which thread produced each sink,
+//!
+//! training with `T` workers is *bit-identical* to `T = 1`. The worker
+//! count comes from the `GROUPSA_TRAIN_THREADS` environment variable
+//! (`0` = all available cores, unset = 1) or [`Trainer::with_threads`].
 
 use crate::config::GroupSaConfig;
 use crate::context::DataContext;
 use crate::model::GroupSa;
-use groupsa_data::sampling::bpr_epoch;
+use groupsa_data::sampling::{bpr_epoch_streams, BprExample};
 use groupsa_eval::{evaluate, EvalTask};
+use groupsa_json::impl_json_struct;
 use groupsa_nn::loss::bpr_one_vs_rest;
 use groupsa_nn::optim::{Adam, Optimizer};
-use groupsa_tensor::rng::{seeded, StdRng};
+use groupsa_nn::GradSink;
+use groupsa_tensor::rng::stream_rng;
 use groupsa_tensor::Graph;
-use groupsa_json::impl_json_struct;
+
+/// Salt folded into the seed for dropout-mask streams, so an example's
+/// dropout RNG never collides with its negative-sampling RNG (which
+/// shares the same `(round, index)` key).
+const DROPOUT_SALT: u64 = 0xD80F_0D20_57A7_1C55;
 
 /// Per-epoch mean losses recorded during training.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -48,24 +75,105 @@ impl TrainReport {
     }
 }
 
+/// Which BPR task an epoch trains (selects the forward graph).
+#[derive(Clone, Copy)]
+enum Task {
+    User,
+    Group,
+}
+
+/// Worker count from `GROUPSA_TRAIN_THREADS`: unset or unparsable → 1,
+/// `0` → all available cores, `n` → `n`.
+fn threads_from_env() -> usize {
+    match std::env::var("GROUPSA_TRAIN_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Ok(n) => n,
+            Err(_) => 1,
+        },
+        Err(_) => 1,
+    }
+}
+
+/// One example's forward/backward, self-contained: reads the model
+/// immutably and derives its dropout stream from the example's own key,
+/// so it can run on any thread.
+fn example_pass(
+    model: &GroupSa,
+    ctx: &DataContext,
+    cfg: &GroupSaConfig,
+    task: Task,
+    round: u64,
+    index: usize,
+    ex: &BprExample,
+) -> (f32, GradSink) {
+    let mut items = Vec::with_capacity(1 + ex.negatives.len());
+    items.push(ex.positive);
+    items.extend_from_slice(&ex.negatives);
+    let mut g = Graph::new();
+    let scores = match task {
+        Task::User => model.user_scores_graph(&mut g, ctx, ex.entity, &items),
+        Task::Group => {
+            let mut dropout_rng = stream_rng(cfg.seed ^ DROPOUT_SALT, round, index as u64);
+            model.group_scores_graph(&mut g, &mut dropout_rng, ctx, ex.entity, &items, true)
+        }
+    };
+    let loss = bpr_one_vs_rest(&mut g, scores);
+    let value = g.value(loss).scalar();
+    let grads = g.backward(loss);
+    (value, GradSink::collect(&g, &grads))
+}
+
 /// Drives the two-stage optimisation of a [`GroupSa`] model.
 pub struct Trainer {
     cfg: GroupSaConfig,
-    sample_rng: StdRng,
-    dropout_rng: StdRng,
     optimizer: Adam,
+    threads: usize,
+    /// Monotone pass counter: every epoch-like pass (stage-1 epoch,
+    /// stage-2 epoch, partial mixing pass) consumes one round, keying
+    /// that pass's shuffle, negative-sampling and dropout streams.
+    round: u64,
 }
 
 impl Trainer {
-    /// A trainer with Adam configured from `cfg` (§III-E).
+    /// A trainer with Adam configured from `cfg` (§III-E) and the
+    /// worker count from `GROUPSA_TRAIN_THREADS`.
     pub fn new(cfg: GroupSaConfig) -> Self {
         let optimizer = Adam { weight_decay: cfg.weight_decay, ..Adam::new(cfg.learning_rate) };
-        Self {
-            sample_rng: seeded(cfg.seed.wrapping_add(0x5A4D)),
-            dropout_rng: seeded(cfg.seed.wrapping_add(0xD0)),
-            cfg,
-            optimizer,
-        }
+        Self { cfg, optimizer, threads: threads_from_env(), round: 0 }
+    }
+
+    /// Overrides the worker count (`0` is clamped to 1). Any `T`
+    /// produces bit-identical training results.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The data-parallel worker count in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The optimizer's current learning rate (moves under the plateau
+    /// schedule during [`Trainer::fit`]).
+    pub fn learning_rate(&self) -> f32 {
+        self.optimizer.learning_rate()
+    }
+
+    /// The plateau schedule's next learning rate: halve, but never
+    /// below `min(initial, 1e-3)`. The floor is *relative to the
+    /// configured rate* — an absolute `max(1e-3)` would silently
+    /// *raise* any sweep configured below 1e-3 (e.g. 5e-4) on its first
+    /// non-improving epoch.
+    fn plateau_lr(current: f32, initial: f32) -> f32 {
+        (current * 0.5).max(initial.min(1e-3))
+    }
+
+    fn next_round(&mut self) -> u64 {
+        let r = self.round;
+        self.round += 1;
+        r
     }
 
     /// Runs the full two-stage schedule on `model` over `ctx`.
@@ -114,8 +222,8 @@ impl Trainer {
                 } else {
                     since_best += 1;
                     // Plateau schedule: halve the learning rate while
-                    // validation stalls (floor 1e-3), then stop.
-                    let lr = (self.optimizer.learning_rate() * 0.5).max(1e-3);
+                    // validation stalls, then stop.
+                    let lr = Self::plateau_lr(self.optimizer.learning_rate(), self.cfg.learning_rate);
                     self.optimizer.set_learning_rate(lr);
                     if since_best >= PATIENCE {
                         break;
@@ -148,29 +256,10 @@ impl Trainer {
     /// shuffled order, with fresh negatives. Returns the mean loss.
     pub fn user_epoch(&mut self, model: &mut GroupSa, ctx: &DataContext) -> f32 {
         assert!(!ctx.train_user_item.is_empty(), "stage 1 requires user-item training data");
-        let examples: Vec<_> = bpr_epoch(
-            &mut self.sample_rng,
-            &ctx.train_user_item,
-            &ctx.user_item_graph,
-            self.cfg.num_negatives,
-        )
-        .collect();
-        let mut total = 0.0;
-        for (i, ex) in examples.iter().enumerate() {
-            let mut items = Vec::with_capacity(1 + ex.negatives.len());
-            items.push(ex.positive);
-            items.extend_from_slice(&ex.negatives);
-
-            let mut g = Graph::new();
-            let scores = model.user_scores_graph(&mut g, ctx, ex.entity, &items);
-            let loss = bpr_one_vs_rest(&mut g, scores);
-            total += g.value(loss).scalar();
-            let grads = g.backward(loss);
-            model.store_mut().accumulate(&g, &grads);
-            if (i + 1) % self.cfg.batch_size == 0 || i + 1 == examples.len() {
-                self.optimizer.step(model.store_mut());
-            }
-        }
+        let round = self.next_round();
+        let examples =
+            bpr_epoch_streams(self.cfg.seed, round, &ctx.train_user_item, &ctx.user_item_graph, self.cfg.num_negatives);
+        let total = self.run_examples(model, ctx, &examples, Task::User, round);
         total / examples.len() as f32
     }
 
@@ -178,58 +267,88 @@ impl Trainer {
     /// pairs (stage-2 joint mixing).
     fn partial_user_epoch(&mut self, model: &mut GroupSa, ctx: &DataContext, frac: f64) {
         let take = ((ctx.train_user_item.len() as f64 * frac).ceil() as usize).max(1);
-        let examples: Vec<_> = bpr_epoch(
-            &mut self.sample_rng,
-            &ctx.train_user_item,
-            &ctx.user_item_graph,
-            self.cfg.num_negatives,
-        )
-        .take(take)
-        .collect();
-        for (i, ex) in examples.iter().enumerate() {
-            let mut items = Vec::with_capacity(1 + ex.negatives.len());
-            items.push(ex.positive);
-            items.extend_from_slice(&ex.negatives);
-            let mut g = Graph::new();
-            let scores = model.user_scores_graph(&mut g, ctx, ex.entity, &items);
-            let loss = bpr_one_vs_rest(&mut g, scores);
-            let grads = g.backward(loss);
-            model.store_mut().accumulate(&g, &grads);
-            if (i + 1) % self.cfg.batch_size == 0 || i + 1 == examples.len() {
-                self.optimizer.step(model.store_mut());
-            }
-        }
+        let round = self.next_round();
+        let mut examples =
+            bpr_epoch_streams(self.cfg.seed, round, &ctx.train_user_item, &ctx.user_item_graph, self.cfg.num_negatives);
+        examples.truncate(take);
+        self.run_examples(model, ctx, &examples, Task::User, round);
     }
 
     /// One stage-2 epoch over the group-item pairs. Returns the mean
     /// loss.
     pub fn group_epoch(&mut self, model: &mut GroupSa, ctx: &DataContext) -> f32 {
         assert!(!ctx.train_group_item.is_empty(), "stage 2 requires group-item training data");
-        let examples: Vec<_> = bpr_epoch(
-            &mut self.sample_rng,
-            &ctx.train_group_item,
-            &ctx.group_item_graph,
-            self.cfg.num_negatives,
-        )
-        .collect();
-        let mut total = 0.0;
-        for (i, ex) in examples.iter().enumerate() {
-            let mut items = Vec::with_capacity(1 + ex.negatives.len());
-            items.push(ex.positive);
-            items.extend_from_slice(&ex.negatives);
-
-            let mut g = Graph::new();
-            let scores =
-                model.group_scores_graph(&mut g, &mut self.dropout_rng, ctx, ex.entity, &items, true);
-            let loss = bpr_one_vs_rest(&mut g, scores);
-            total += g.value(loss).scalar();
-            let grads = g.backward(loss);
-            model.store_mut().accumulate(&g, &grads);
-            if (i + 1) % self.cfg.batch_size == 0 || i + 1 == examples.len() {
-                self.optimizer.step(model.store_mut());
-            }
-        }
+        let round = self.next_round();
+        let examples =
+            bpr_epoch_streams(self.cfg.seed, round, &ctx.train_group_item, &ctx.group_item_graph, self.cfg.num_negatives);
+        let total = self.run_examples(model, ctx, &examples, Task::Group, round);
         total / examples.len() as f32
+    }
+
+    /// Trains over `examples` window by window: each `batch_size`
+    /// window is sharded across the worker pool, the per-example
+    /// [`GradSink`]s are merged in ascending example order, and one
+    /// optimizer step is applied per window. Returns the summed loss.
+    fn run_examples(
+        &mut self,
+        model: &mut GroupSa,
+        ctx: &DataContext,
+        examples: &[BprExample],
+        task: Task,
+        round: u64,
+    ) -> f32 {
+        let threads = self.threads.max(1);
+        let mut total = 0.0f32;
+        let mut start = 0;
+        while start < examples.len() {
+            let end = (start + self.cfg.batch_size).min(examples.len());
+            let window = &examples[start..end];
+            let results: Vec<(f32, GradSink)> = if threads == 1 || window.len() == 1 {
+                window
+                    .iter()
+                    .enumerate()
+                    .map(|(j, ex)| example_pass(model, ctx, &self.cfg, task, round, start + j, ex))
+                    .collect()
+            } else {
+                let shared: &GroupSa = model;
+                let cfg = &self.cfg;
+                std::thread::scope(|s| {
+                    // Strided sharding: worker w takes window offsets
+                    // w, w+T, w+2T, … — a static assignment, so no
+                    // work-stealing nondeterminism.
+                    let workers: Vec<_> = (0..threads.min(window.len()))
+                        .map(|w| {
+                            s.spawn(move || {
+                                window
+                                    .iter()
+                                    .enumerate()
+                                    .skip(w)
+                                    .step_by(threads)
+                                    .map(|(j, ex)| (j, example_pass(shared, ctx, cfg, task, round, start + j, ex)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    let mut slots: Vec<Option<(f32, GradSink)>> = Vec::new();
+                    slots.resize_with(window.len(), || None);
+                    for worker in workers {
+                        for (j, result) in worker.join().expect("training worker panicked") {
+                            slots[j] = Some(result);
+                        }
+                    }
+                    slots.into_iter().map(|r| r.expect("every window offset has a worker")).collect()
+                })
+            };
+            // Fixed-order reduction: losses and gradients are folded in
+            // example order, exactly as the sequential loop would.
+            for (loss, sink) in &results {
+                total += loss;
+                model.store_mut().merge(sink);
+            }
+            self.optimizer.step(model.store_mut());
+            start = end;
+        }
+        total
     }
 }
 
@@ -238,6 +357,7 @@ mod tests {
     use super::*;
     use crate::config::Ablation;
     use crate::test_fixtures::tiny_world;
+    use groupsa_data::split_dataset;
     use groupsa_eval::{evaluate, EvalTask};
 
     #[test]
@@ -281,7 +401,7 @@ mod tests {
         cfg.group_epochs = 2;
         let run = |cfg: &GroupSaConfig| {
             let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
-            let rep = Trainer::new(cfg.clone()).fit(&mut model, &ctx);
+            let rep = Trainer::new(cfg.clone()).with_threads(1).fit(&mut model, &ctx);
             (rep, model.score_group_items(&ctx, 0, &[0, 1, 2]))
         };
         let (r1, s1) = run(&cfg);
@@ -292,6 +412,75 @@ mod tests {
         cfg2.seed += 1;
         let (_, s3) = run(&cfg2);
         assert_ne!(s1, s3);
+    }
+
+    /// The tentpole invariant: training with 2 or 4 workers produces a
+    /// byte-identical `TrainReport` and bit-identical final parameters
+    /// to single-threaded training.
+    #[test]
+    fn parallel_matches_serial() {
+        let (d, ctx) = tiny_world(21);
+        let mut cfg = GroupSaConfig::tiny();
+        cfg.user_epochs = 2;
+        cfg.group_epochs = 3;
+        // Non-zero dropout so the per-example mask streams are part of
+        // what must match.
+        cfg.dropout = 0.2;
+        let run = |threads: usize| {
+            let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
+            let report = Trainer::new(cfg.clone()).with_threads(threads).fit(&mut model, &ctx);
+            (report, model.store().snapshot_values())
+        };
+        let (serial_report, serial_params) = run(1);
+        for t in [2usize, 4] {
+            let (report, params) = run(t);
+            assert_eq!(serial_report, report, "TrainReport must be identical at T={t}");
+            assert_eq!(serial_params.len(), params.len());
+            for (i, (a, b)) in serial_params.iter().zip(&params).enumerate() {
+                assert_eq!(a, b, "parameter {i} must be bit-identical at T={t}");
+            }
+        }
+    }
+
+    /// Regression (pre-fix: `(lr * 0.5).max(1e-3)`): a sweep configured
+    /// below the absolute floor, e.g. 5e-4, must never be *raised* by
+    /// the plateau schedule.
+    #[test]
+    fn plateau_floor_is_relative_to_configured_rate() {
+        assert_eq!(Trainer::plateau_lr(0.02, 0.02), 0.01);
+        // Large initial rates keep the absolute 1e-3 floor…
+        assert_eq!(Trainer::plateau_lr(1.5e-3, 0.02), 1e-3);
+        assert_eq!(Trainer::plateau_lr(1e-3, 0.02), 1e-3);
+        // …but a small configured rate floors at itself: the schedule
+        // must never exceed it (pre-fix this returned 1e-3 > 5e-4).
+        let lr = Trainer::plateau_lr(5e-4, 5e-4);
+        assert!(lr <= 5e-4, "schedule raised the lr: {lr} > 5e-4");
+        assert!(lr > 0.0);
+    }
+
+    /// End-to-end form of the same regression: after a full fit with
+    /// `learning_rate = 5e-4` and a validation split (so the plateau
+    /// schedule actually fires), the lr must not exceed its initial
+    /// value.
+    #[test]
+    fn lr_never_exceeds_initial_during_fit() {
+        let (d, _) = tiny_world(24);
+        let mut cfg = GroupSaConfig::tiny();
+        cfg.learning_rate = 5e-4;
+        cfg.user_epochs = 1;
+        cfg.group_epochs = 8;
+        let split = split_dataset(&d, 0.2, 0.2, 5);
+        let ctx = DataContext::build(&d, &split, &cfg);
+        let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
+        let mut trainer = Trainer::new(cfg.clone());
+        let report = trainer.fit(&mut model, &ctx);
+        assert!(!report.valid_hr.is_empty(), "validation split must be in play");
+        assert!(
+            trainer.learning_rate() <= cfg.learning_rate,
+            "plateau schedule raised the lr: {} > {}",
+            trainer.learning_rate(),
+            cfg.learning_rate
+        );
     }
 
     #[test]

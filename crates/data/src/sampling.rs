@@ -102,6 +102,48 @@ pub fn bpr_epoch<'a, R: Rng>(
     })
 }
 
+/// Stream index reserved for the epoch's shuffle; example indices are
+/// `0..pairs.len()`, so `u64::MAX` can never collide with one.
+const SHUFFLE_INDEX: u64 = u64::MAX;
+
+/// One full BPR epoch with *per-example RNG streams*: the visit order
+/// comes from the `(seed, epoch, SHUFFLE_INDEX)` stream, and the
+/// negatives of the example at epoch position `i` come from the
+/// `(seed, epoch, i)` stream.
+///
+/// Unlike [`bpr_epoch`], whose single sequential RNG makes example `i`
+/// depend on how many draws examples `0..i` made, every example here is
+/// an independent function of its key — so examples can be generated or
+/// trained on in any order (or in parallel) with identical results.
+/// This is the epoch used by the data-parallel trainer.
+///
+/// # Panics
+/// If `pairs` is empty.
+pub fn bpr_epoch_streams(
+    seed: u64,
+    epoch: u64,
+    pairs: &[(usize, usize)],
+    interactions: &Bipartite,
+    n: usize,
+) -> Vec<BprExample> {
+    assert!(!pairs.is_empty(), "bpr_epoch_streams: no positive pairs");
+    let mut shuffle_rng = groupsa_tensor::rng::stream_rng(seed, epoch, SHUFFLE_INDEX);
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, shuffle_rng.random_range(0..=i));
+    }
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(i, idx)| {
+            let (entity, positive) = pairs[idx];
+            let mut rng = groupsa_tensor::rng::stream_rng(seed, epoch, i as u64);
+            let negatives = sample_negatives(&mut rng, interactions, entity, n, false);
+            BprExample { entity, positive, negatives }
+        })
+        .collect()
+}
+
 /// The paper's evaluation candidate set: the held-out positive plus
 /// `num_candidates` distinct items never interacted by the entity in
 /// *either* split (`full_interactions` should therefore be built from
@@ -191,6 +233,49 @@ mod tests {
         let mut expected = pairs.clone();
         expected.sort_unstable();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn stream_epoch_visits_every_positive_once() {
+        let b = graph();
+        let pairs = vec![(0, 0), (0, 1), (1, 2)];
+        let examples = bpr_epoch_streams(7, 0, &pairs, &b, 2);
+        assert_eq!(examples.len(), pairs.len());
+        let mut seen: Vec<_> = examples.iter().map(|e| (e.entity, e.positive)).collect();
+        seen.sort_unstable();
+        let mut expected = pairs.clone();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+        for ex in &examples {
+            assert_eq!(ex.negatives.len(), 2);
+            for &n in &ex.negatives {
+                assert!(!b.has_interaction(ex.entity, n));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_epoch_examples_are_independent_of_each_other() {
+        // Example i must be a pure function of (seed, epoch, i): the
+        // full epoch and a re-derivation of one example must agree.
+        let b = graph();
+        let pairs = vec![(0, 0), (0, 1), (1, 2)];
+        let epoch = bpr_epoch_streams(9, 3, &pairs, &b, 4);
+        for (i, ex) in epoch.iter().enumerate() {
+            let mut rng = groupsa_tensor::rng::stream_rng(9, 3, i as u64);
+            let negs = sample_negatives(&mut rng, &b, ex.entity, 4, false);
+            assert_eq!(negs, ex.negatives, "example {i} must not depend on its neighbours");
+        }
+    }
+
+    #[test]
+    fn stream_epoch_varies_across_epochs_and_seeds() {
+        let b = graph();
+        let pairs = vec![(0, 0), (0, 1), (1, 2)];
+        let a = bpr_epoch_streams(9, 0, &pairs, &b, 3);
+        assert_eq!(a, bpr_epoch_streams(9, 0, &pairs, &b, 3));
+        assert_ne!(a, bpr_epoch_streams(9, 1, &pairs, &b, 3));
+        assert_ne!(a, bpr_epoch_streams(10, 0, &pairs, &b, 3));
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use init::Init;
 pub use layernorm::LayerNorm;
 pub use linear::Linear;
 pub use mlp::Mlp;
-pub use param::{ParamStore, Parameter};
+pub use param::{GradSink, ParamStore, Parameter};

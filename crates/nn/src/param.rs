@@ -100,6 +100,55 @@ impl Parameter {
     }
 }
 
+/// A detached gradient accumulation: the per-parameter contributions of
+/// one backward pass, captured *without* touching a [`ParamStore`].
+///
+/// This is the hand-off type of the data-parallel trainer: each worker
+/// thread holds the store immutably, runs forward/backward on its own
+/// [`Graph`], and collects the resulting binding gradients into a sink;
+/// the training thread then [`ParamStore::merge`]s the sinks in a fixed
+/// example order. Entries preserve the graph's binding order, and
+/// `merge` replays exactly the additions [`ParamStore::accumulate`]
+/// would have performed, so the two paths are bit-identical.
+pub struct GradSink {
+    entries: Vec<(usize, SinkGrad)>,
+}
+
+enum SinkGrad {
+    /// A dense gradient for the whole parameter.
+    Full(Matrix),
+    /// Row gradients to scatter-add at the given table rows.
+    Rows(Vec<usize>, Matrix),
+}
+
+impl GradSink {
+    /// Captures the gradients of every bound leaf of `graph` that the
+    /// loss reached, in binding order.
+    pub fn collect(graph: &Graph, grads: &Grads) -> Self {
+        let mut entries = Vec::new();
+        for (node, binding) in graph.bindings() {
+            let Some(g) = grads.get(*node) else { continue };
+            match binding {
+                Binding::Full { slot } => entries.push((*slot, SinkGrad::Full(g.clone()))),
+                Binding::Rows { slot, indices } => {
+                    entries.push((*slot, SinkGrad::Rows(indices.clone(), g.clone())))
+                }
+            }
+        }
+        Self { entries }
+    }
+
+    /// Number of captured binding gradients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the loss reached no bound parameter.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// An append-only registry of [`Parameter`]s addressed by `usize` slots.
 ///
 /// Layers remember the slots they registered; the trainer owns the store.
@@ -181,6 +230,25 @@ impl ParamStore {
                 }
                 Binding::Rows { slot, indices } => {
                     let p = &mut self.params[*slot];
+                    p.grad.scatter_add_rows(indices, g);
+                    p.mark_rows(indices.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Accumulates a detached [`GradSink`] into the parameters, in the
+    /// sink's entry order — the same additions, in the same order, as
+    /// [`ParamStore::accumulate`] on the originating graph.
+    pub fn merge(&mut self, sink: &GradSink) {
+        for (slot, grad) in &sink.entries {
+            let p = &mut self.params[*slot];
+            match grad {
+                SinkGrad::Full(g) => {
+                    p.grad.add_assign(g);
+                    p.mark_full();
+                }
+                SinkGrad::Rows(indices, g) => {
                     p.grad.scatter_add_rows(indices, g);
                     p.mark_rows(indices.iter().copied());
                 }
@@ -324,6 +392,63 @@ mod tests {
         let pre2 = store.clip_grad_norm(10.0);
         assert!((pre2 - 1.0).abs() < 1e-5);
         assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sink_merge_is_bit_identical_to_direct_accumulate() {
+        // Two stores with identical parameters; one accumulates the
+        // backward pass directly, the other through a detached sink.
+        let build = || {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Matrix::from_vec(1, 2, vec![0.25, -1.5]));
+            let emb = store.add("emb", Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 0.3));
+            (store, w, emb)
+        };
+        let (mut direct, w, emb) = build();
+        let (mut via_sink, _, _) = build();
+
+        let run = |store: &ParamStore| {
+            let mut g = Graph::new();
+            let ws = g.param_full(w, store.value(w));
+            let rows = g.param_rows(emb, store.value(emb), &[2, 0, 2]);
+            let sq = g.mul_elem(ws, ws);
+            let a = g.sum_all(sq);
+            let b = g.sum_all(rows);
+            let loss = g.add(a, b);
+            let grads = g.backward(loss);
+            (g, grads)
+        };
+
+        let (g1, grads1) = run(&direct);
+        direct.accumulate(&g1, &grads1);
+
+        let (g2, grads2) = run(&via_sink);
+        let sink = GradSink::collect(&g2, &grads2);
+        assert_eq!(sink.len(), 2);
+        via_sink.merge(&sink);
+
+        for slot in [w, emb] {
+            assert_eq!(direct.get(slot).grad, via_sink.get(slot).grad);
+            assert_eq!(direct.get(slot).dirty, via_sink.get(slot).dirty);
+        }
+    }
+
+    #[test]
+    fn sink_skips_unreached_bindings() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::ones(1, 1));
+        let u = store.add("unused", Matrix::ones(1, 1));
+        let mut g = Graph::new();
+        let ws = g.param_full(w, store.value(w));
+        let _orphan = g.param_full(u, store.value(u));
+        let loss = g.sum_all(ws);
+        let grads = g.backward(loss);
+        let sink = GradSink::collect(&g, &grads);
+        assert_eq!(sink.len(), 1);
+        assert!(!sink.is_empty());
+        store.merge(&sink);
+        assert!(store.get(w).has_grad());
+        assert!(!store.get(u).has_grad());
     }
 
     #[test]

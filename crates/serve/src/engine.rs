@@ -168,8 +168,17 @@ fn worker_loop(shared: &Shared) {
         };
         shared.metrics.note_batch(batch.len());
         for job in batch {
-            let response = execute(shared, &job);
-            shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
+            let (response, expired) = execute(shared, &job);
+            // Exactly one counter per drained job, so the categories
+            // stay disjoint and `submitted = completed + errors +
+            // expired` holds after a drain. (An expired request also
+            // *answers* with an `Error` response, but it must not be
+            // double-counted under `errors`.)
+            if expired {
+                shared.metrics.note_expired();
+            } else {
+                shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
+            }
             // A submitter that gave up (impossible today — submit
             // blocks) would surface as a send error; drop silently.
             let _ = job.reply.send(response);
@@ -186,15 +195,16 @@ impl Metrics {
     }
 }
 
-fn execute(shared: &Shared, job: &Job) -> Response {
+/// Runs one job, returning its response and whether it was dropped on
+/// deadline expiry (metrics accounting happens in the caller).
+fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
     let id = job.req.id;
     if let Some(deadline) = job.deadline {
         if Instant::now() > deadline {
-            shared.metrics.note_expired();
-            return Response::Error { id, error: "deadline exceeded while queued".into() };
+            return (Response::Error { id, error: "deadline exceeded while queued".into() }, true);
         }
     }
-    match shared.frozen.recommend(
+    let response = match shared.frozen.recommend(
         job.req.target,
         job.req.k,
         job.req.exclude_seen,
@@ -202,5 +212,6 @@ fn execute(shared: &Shared, job: &Job) -> Response {
     ) {
         Ok(items) => Response::Recommend { id, items },
         Err(error) => Response::Error { id, error },
-    }
+    };
+    (response, false)
 }

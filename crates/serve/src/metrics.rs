@@ -78,12 +78,15 @@ impl Metrics {
     }
 
     /// Counts one request dropped because its deadline passed while it
-    /// waited in the queue.
+    /// waited in the queue. Disjoint from [`Metrics::note_error`]: a
+    /// drained request is counted under exactly one of
+    /// completed/errors/expired, so `submitted = completed + errors +
+    /// expired` once the queue is drained.
     pub fn note_expired(&self) {
         self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts one request answered with an error.
+    /// Counts one request answered with a (non-deadline) error.
     pub fn note_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
@@ -191,11 +194,12 @@ pub struct StatsSnapshot {
     pub submitted: u64,
     /// Requests answered successfully.
     pub completed: u64,
-    /// Requests answered with an error.
+    /// Requests answered with a non-deadline error.
     pub errors: u64,
-    /// Requests refused at admission.
+    /// Requests refused at admission (never counted as submitted).
     pub rejected: u64,
-    /// Requests dropped on deadline expiry.
+    /// Requests dropped on deadline expiry (disjoint from `errors`;
+    /// after a drain, `submitted == completed + errors + expired`).
     pub expired: u64,
     /// Coalesced batches executed.
     pub batches: u64,

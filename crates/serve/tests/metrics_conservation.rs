@@ -1,0 +1,134 @@
+//! Metrics accounting: every request admitted to the engine is counted
+//! under **exactly one** of `completed` / `errors` / `expired`, and
+//! rejected requests are never counted as submitted. Pre-fix, a
+//! deadline-expired request was double-counted (`expired` *and*
+//! `errors`), so the conservation law below failed whenever anything
+//! expired.
+
+use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
+use groupsa_data::synthetic::{generate, SyntheticConfig};
+use groupsa_serve::engine::{Engine, EngineConfig};
+use groupsa_serve::protocol::{RecommendRequest, Response, ServeMode, Target};
+use groupsa_serve::FrozenModel;
+use std::sync::Arc;
+
+const NUM_GROUPS: usize = 25;
+
+/// A synthetic world with a wide item universe, so group-voting
+/// requests take long enough that queued 1 ms deadlines actually
+/// expire behind them.
+fn frozen_world(seed: u64) -> Arc<FrozenModel> {
+    let dataset = generate(&SyntheticConfig {
+        name: format!("serve-conserve-{seed}"),
+        seed,
+        num_users: 60,
+        num_items: 400,
+        num_groups: NUM_GROUPS,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.5,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.8,
+        social_influence: 0.3,
+        expertise_sharpness: 2.0,
+        taste_temperature: 0.3,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    });
+    let ctx = DataContext::from_train_view(&dataset, &GroupSaConfig::tiny());
+    let model = GroupSa::new(GroupSaConfig::tiny(), dataset.num_users, dataset.num_items);
+    Arc::new(FrozenModel::freeze(model, ctx))
+}
+
+fn request(id: u64, group: usize, deadline_ms: u64) -> RecommendRequest {
+    RecommendRequest {
+        id,
+        target: Target::Group { id: group },
+        k: 10,
+        exclude_seen: false,
+        mode: ServeMode::Voting,
+        deadline_ms,
+    }
+}
+
+#[test]
+fn drained_categories_are_disjoint_and_conserve_submissions() {
+    let frozen = frozen_world(7);
+    // One worker, so concurrent submitters pile up in the queue and
+    // 1 ms deadlines expire while waiting behind heavier requests.
+    let engine = Engine::start(
+        Arc::clone(&frozen),
+        EngineConfig { workers: 1, queue_capacity: 256, max_batch: 4, default_deadline_ms: 0 },
+    );
+
+    let mut handles = Vec::new();
+    // Heavy lane: 6 threads × 8 slow group-voting requests with no
+    // deadline — these keep the single worker saturated.
+    for t in 0..6u64 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut submitted = 0u64;
+            for i in 0..8u64 {
+                let id = 1_000 + t * 100 + i;
+                engine.submit(request(id, (t as usize + i as usize) % NUM_GROUPS, 0));
+                submitted += 1;
+            }
+            submitted
+        }));
+    }
+    // Expiring lane: 4 threads × 12 requests with a 1 ms deadline;
+    // queued behind the heavy lane, (many of) these expire.
+    for t in 0..4u64 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut submitted = 0u64;
+            for i in 0..12u64 {
+                let id = 2_000 + t * 100 + i;
+                engine.submit(request(id, (t as usize * 3 + i as usize) % NUM_GROUPS, 1));
+                submitted += 1;
+            }
+            submitted
+        }));
+    }
+    // Error lane: out-of-range group ids answered with an error (no
+    // deadline, so never expired).
+    for t in 0..2u64 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut submitted = 0u64;
+            for i in 0..5u64 {
+                let resp = engine.submit(request(3_000 + t * 100 + i, NUM_GROUPS + 1, 0));
+                assert!(matches!(resp, Response::Error { .. }));
+                submitted += 1;
+            }
+            submitted
+        }));
+    }
+    let accepted_calls: u64 = handles.into_iter().map(|h| h.join().expect("submitter panicked")).sum();
+
+    // Shutdown drains the queue; afterwards submissions are rejected
+    // and must NOT appear in `submitted`.
+    let drained = engine.shutdown();
+    assert_eq!(
+        drained.submitted,
+        drained.completed + drained.errors + drained.expired,
+        "drained categories must partition submissions: {drained:?}"
+    );
+    assert_eq!(drained.submitted, accepted_calls);
+    assert!(drained.completed > 0, "heavy lane must complete: {drained:?}");
+    assert!(drained.errors >= 10, "all error-lane requests must count once: {drained:?}");
+    assert!(drained.expired > 0, "1 ms deadlines behind a saturated worker must expire: {drained:?}");
+
+    let rejected_probes = 3u64;
+    for i in 0..rejected_probes {
+        let resp = engine.submit(request(4_000 + i, 0, 0));
+        assert!(matches!(resp, Response::Error { .. }), "post-shutdown submits are refused");
+    }
+    let after = engine.stats();
+    assert_eq!(after.rejected, drained.rejected + rejected_probes);
+    assert_eq!(after.submitted, drained.submitted, "rejected requests are never submitted");
+    assert_eq!(after.submitted, after.completed + after.errors + after.expired);
+}

@@ -13,6 +13,22 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# Deterministic data-parallel training: the core trainer tests must
+# pass at 1 and at 4 workers, and a short training run must produce
+# byte-identical results (losses, validation curve, parameter
+# checksum) at both thread counts.
+GROUPSA_TRAIN_THREADS=1 cargo test -q --offline -p groupsa-core --lib train
+GROUPSA_TRAIN_THREADS=4 cargo test -q --offline -p groupsa-core --lib train
+digest1="$(GROUPSA_TRAIN_THREADS=1 ./target/release/train_bench --digest 2>/dev/null)"
+digest4="$(GROUPSA_TRAIN_THREADS=4 ./target/release/train_bench --digest 2>/dev/null)"
+if [ "$digest1" != "$digest4" ]; then
+    echo "tier1: training digest differs between 1 and 4 workers" >&2
+    echo "  T=1: $digest1" >&2
+    echo "  T=4: $digest4" >&2
+    exit 1
+fi
+echo "tier1: parallel-training digest matches serial"
+
 # Serving smoke test: boot groupsa-serve on an ephemeral port, drive it
 # with the load generator over TCP (which validates every response),
 # ask it to shut down, and require a clean exit from both processes.
