@@ -15,10 +15,17 @@
 //!   response.
 //!
 //! ```text
-//! serve_bench [--clients N] [--requests N] [--k N]
+//! serve_bench [--clients N] [--requests N] [--k N] [--save true|false]
 //!             [--addr HOST:PORT] [--shutdown true|false]
 //! ```
-//! `--requests` is the per-client request count.
+//! `--requests` is the per-client request count. `--save false` skips
+//! writing `results/serve_bench.json` (used by CI smoke runs that must
+//! not clobber committed results).
+//!
+//! The in-process sweep defaults `GROUPSA_TRACE` to
+//! `results/serve_bench_trace.jsonl` so every sweep leaves a
+//! machine-readable request/batch trace behind; set the variable
+//! yourself (or run the TCP mode, which never defaults it) to override.
 
 use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
 use groupsa_data::synthetic::{generate, SyntheticConfig};
@@ -163,7 +170,12 @@ fn exact_percentiles(latencies: &mut [u64]) -> (u64, u64, u64, f64) {
 
 // ----------------------------------------------------- in-process mode
 
-fn in_process_sweep(clients: usize, per_client: usize, k: usize) -> Result<(), String> {
+fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> Result<(), String> {
+    let unset = std::env::var(groupsa_obs::TRACE_ENV).map(|v| v.trim().is_empty()).unwrap_or(true);
+    if unset {
+        std::env::set_var(groupsa_obs::TRACE_ENV, "results/serve_bench_trace.jsonl");
+    }
+    groupsa_obs::emit("run", &[("label", groupsa_obs::to_json(&"serve_bench_sweep"))]);
     let syn = SyntheticConfig {
         name: "serve-bench".into(),
         seed: 7,
@@ -238,16 +250,20 @@ fn in_process_sweep(clients: usize, per_client: usize, k: usize) -> Result<(), S
         runs.push(run);
     }
 
-    let report = BenchReport {
-        dataset: syn.name.clone(),
-        num_users: users,
-        num_items,
-        num_groups: groups,
-        k,
-        runs,
-    };
-    let path = groupsa_bench::output::save_json("serve_bench", &report).map_err(|e| e.to_string())?;
-    println!("[saved {}]", path.display());
+    if save {
+        let report = BenchReport {
+            dataset: syn.name.clone(),
+            num_users: users,
+            num_items,
+            num_groups: groups,
+            k,
+            runs,
+        };
+        let path = groupsa_bench::output::save_json("serve_bench", &report).map_err(|e| e.to_string())?;
+        println!("[saved {}]", path.display());
+    } else {
+        println!("[--save false: skipped results/serve_bench.json]");
+    }
     Ok(())
 }
 
@@ -367,7 +383,10 @@ fn run() -> Result<(), String> {
             let shutdown = matches!(flags.get("shutdown").map(String::as_str), Some("true"));
             tcp_bench(addr, clients, per_client, k, shutdown)
         }
-        None => in_process_sweep(clients, per_client, k),
+        None => {
+            let save = !matches!(flags.get("save").map(String::as_str), Some("false"));
+            in_process_sweep(clients, per_client, k, save)
+        }
     }
 }
 

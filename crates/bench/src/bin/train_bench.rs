@@ -20,6 +20,18 @@ use groupsa_data::Dataset;
 use groupsa_json::impl_json_struct;
 use std::time::Instant;
 
+/// Sweep runs default to writing a machine-readable trace under
+/// `results/` unless the caller set `GROUPSA_TRACE` themselves (any
+/// non-empty value, including a different path). Digest mode does NOT
+/// call this: its stdout must be byte-identical across configurations,
+/// and tracing stays a caller decision there.
+fn default_trace_path(name: &str) {
+    let unset = std::env::var(groupsa_obs::TRACE_ENV).map(|v| v.trim().is_empty()).unwrap_or(true);
+    if unset {
+        std::env::set_var(groupsa_obs::TRACE_ENV, format!("results/{name}_trace.jsonl"));
+    }
+}
+
 fn world(seed: u64, cfg: &GroupSaConfig) -> (Dataset, DataContext) {
     let dataset = generate(&SyntheticConfig {
         name: format!("train-bench-{seed}"),
@@ -104,6 +116,8 @@ impl_json_struct!(TrainBenchReport {
 fn sweep() {
     const USER_EPOCHS: usize = 2;
     const GROUP_EPOCHS: usize = 4;
+    default_trace_path("train_bench");
+    groupsa_obs::emit("run", &[("label", groupsa_obs::to_json(&"train_bench_sweep"))]);
     let cfg = bench_cfg();
     let (d, ctx) = world(41, &cfg);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -188,8 +202,11 @@ struct Digest {
 impl_json_struct!(Digest { report, param_checksum });
 
 /// A short fixed training whose serialized outcome must be identical at
-/// every `GROUPSA_TRAIN_THREADS` value. The worker count goes to stderr
-/// so stdout can be diffed verbatim across thread counts.
+/// every `GROUPSA_TRAIN_THREADS` value — and whether or not
+/// `GROUPSA_TRACE` is set (observability must not perturb training).
+/// The worker count goes to stderr so stdout can be diffed verbatim;
+/// wall-clock epoch times are zeroed before serialising for the same
+/// reason (they are the one legitimately nondeterministic field).
 fn digest() {
     let mut cfg = bench_cfg();
     cfg.user_epochs = 1;
@@ -198,7 +215,9 @@ fn digest() {
     let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
     let mut trainer = Trainer::new(cfg);
     eprintln!("train_bench --digest: {} worker(s)", trainer.threads());
-    let report = trainer.fit(&mut model, &ctx);
+    groupsa_obs::emit("run", &[("label", groupsa_obs::to_json(&"train_bench_digest"))]);
+    let mut report = trainer.fit(&mut model, &ctx);
+    report.zero_wall_clock();
     let digest = Digest { report, param_checksum: param_checksum(&model) };
     println!("{}", groupsa_json::to_string(&digest));
 }

@@ -43,14 +43,24 @@ use groupsa_nn::optim::{Adam, Optimizer};
 use groupsa_nn::GradSink;
 use groupsa_tensor::rng::stream_rng;
 use groupsa_tensor::Graph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Salt folded into the seed for dropout-mask streams, so an example's
 /// dropout RNG never collides with its negative-sampling RNG (which
 /// shares the same `(round, index)` key).
 const DROPOUT_SALT: u64 = 0xD80F_0D20_57A7_1C55;
 
-/// Per-epoch mean losses recorded during training.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// Per-epoch mean losses, wall-clock times, and effective learning
+/// rates recorded during training.
+///
+/// Equality deliberately ignores the wall-clock fields
+/// (`user_epoch_seconds` / `group_epoch_seconds`): determinism tests
+/// compare reports across worker counts and re-runs, and elapsed time
+/// is the one thing allowed to differ. Every deterministic field —
+/// losses, validation HR, per-epoch learning rates — must still match
+/// exactly.
+#[derive(Clone, Debug, Default)]
 pub struct TrainReport {
     /// Mean BPR loss per stage-1 (user-item) epoch.
     pub user_losses: Vec<f32>,
@@ -59,9 +69,38 @@ pub struct TrainReport {
     /// Validation HR@10 after each stage-2 epoch (empty without a
     /// validation split).
     pub valid_hr: Vec<f64>,
+    /// Wall-clock seconds per stage-1 epoch (excluded from `==`).
+    pub user_epoch_seconds: Vec<f64>,
+    /// Wall-clock seconds per stage-2 epoch, including the joint
+    /// mixing pass and validation scoring (excluded from `==`).
+    pub group_epoch_seconds: Vec<f64>,
+    /// Effective learning rate at the start of each stage-1 epoch.
+    pub user_epoch_lr: Vec<f32>,
+    /// Effective learning rate at the start of each stage-2 epoch —
+    /// makes the plateau schedule's halvings visible in the report.
+    pub group_epoch_lr: Vec<f32>,
 }
 
-impl_json_struct!(TrainReport { user_losses, group_losses, valid_hr });
+impl PartialEq for TrainReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Wall-clock vectors are intentionally not compared.
+        self.user_losses == other.user_losses
+            && self.group_losses == other.group_losses
+            && self.valid_hr == other.valid_hr
+            && self.user_epoch_lr == other.user_epoch_lr
+            && self.group_epoch_lr == other.group_epoch_lr
+    }
+}
+
+impl_json_struct!(TrainReport {
+    user_losses,
+    group_losses,
+    valid_hr,
+    user_epoch_seconds,
+    group_epoch_seconds,
+    user_epoch_lr,
+    group_epoch_lr
+});
 
 impl TrainReport {
     /// Final stage-1 epoch loss, if stage 1 ran.
@@ -72,6 +111,14 @@ impl TrainReport {
     /// Final stage-2 epoch loss, if stage 2 ran.
     pub fn final_group_loss(&self) -> Option<f32> {
         self.group_losses.last().copied()
+    }
+
+    /// Zeroes the wall-clock vectors in place (lengths are kept, so
+    /// the epoch count stays visible). Digest outputs that must be
+    /// byte-identical across runs call this before serialising.
+    pub fn zero_wall_clock(&mut self) {
+        self.user_epoch_seconds.iter_mut().for_each(|s| *s = 0.0);
+        self.group_epoch_seconds.iter_mut().for_each(|s| *s = 0.0);
     }
 }
 
@@ -95,9 +142,20 @@ fn threads_from_env() -> usize {
     }
 }
 
+/// Per-window forward/backward time accumulators, shared read-only
+/// across the worker pool. Only allocated when `GROUPSA_TRACE` is on —
+/// the untraced hot path passes `None` and never reads the clock.
+#[derive(Default)]
+struct PassTimers {
+    forward_us: AtomicU64,
+    backward_us: AtomicU64,
+}
+
 /// One example's forward/backward, self-contained: reads the model
 /// immutably and derives its dropout stream from the example's own key,
-/// so it can run on any thread.
+/// so it can run on any thread. With `timers` set, the forward
+/// (graph build + loss value) and backward (gradients + sink collect)
+/// phases are accumulated into the window's totals.
 fn example_pass(
     model: &GroupSa,
     ctx: &DataContext,
@@ -106,11 +164,13 @@ fn example_pass(
     round: u64,
     index: usize,
     ex: &BprExample,
+    timers: Option<&PassTimers>,
 ) -> (f32, GradSink) {
     let mut items = Vec::with_capacity(1 + ex.negatives.len());
     items.push(ex.positive);
     items.extend_from_slice(&ex.negatives);
     let mut g = Graph::new();
+    let forward_started = timers.map(|_| Instant::now());
     let scores = match task {
         Task::User => model.user_scores_graph(&mut g, ctx, ex.entity, &items),
         Task::Group => {
@@ -120,8 +180,30 @@ fn example_pass(
     };
     let loss = bpr_one_vs_rest(&mut g, scores);
     let value = g.value(loss).scalar();
+    let backward_started = timers.map(|t| {
+        let started = forward_started.expect("forward_started set whenever timers are");
+        t.forward_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        Instant::now()
+    });
     let grads = g.backward(loss);
-    (value, GradSink::collect(&g, &grads))
+    let sink = GradSink::collect(&g, &grads);
+    if let (Some(t), Some(started)) = (timers, backward_started) {
+        t.backward_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+    }
+    (value, sink)
+}
+
+/// What [`Trainer::run_examples`] hands back: the summed loss (folded
+/// in example order, exactly as before instrumentation) plus the
+/// traced time breakdown (all zeros when tracing is disabled).
+#[derive(Default)]
+struct EpochTotals {
+    loss_sum: f32,
+    examples: usize,
+    forward_us: u64,
+    backward_us: u64,
+    merge_us: u64,
+    step_us: u64,
 }
 
 /// Drives the two-stage optimisation of a [`GroupSa`] model.
@@ -133,6 +215,12 @@ pub struct Trainer {
     /// stage-2 epoch, partial mixing pass) consumes one round, keying
     /// that pass's shuffle, negative-sampling and dropout streams.
     round: u64,
+    /// Stage-1 epochs run so far — the `epoch` index in trace events.
+    user_epochs_run: usize,
+    /// Stage-2 epochs run so far.
+    group_epochs_run: usize,
+    /// Joint mixing passes run so far.
+    mix_passes_run: usize,
 }
 
 impl Trainer {
@@ -140,7 +228,15 @@ impl Trainer {
     /// worker count from `GROUPSA_TRAIN_THREADS`.
     pub fn new(cfg: GroupSaConfig) -> Self {
         let optimizer = Adam { weight_decay: cfg.weight_decay, ..Adam::new(cfg.learning_rate) };
-        Self { cfg, optimizer, threads: threads_from_env(), round: 0 }
+        Self {
+            cfg,
+            optimizer,
+            threads: threads_from_env(),
+            round: 0,
+            user_epochs_run: 0,
+            group_epochs_run: 0,
+            mix_passes_run: 0,
+        }
     }
 
     /// Overrides the worker count (`0` is clamped to 1). Any `T`
@@ -182,10 +278,14 @@ impl Trainer {
     /// If the group-item training set is empty, or stage 1 is enabled
     /// with an empty user-item training set.
     pub fn fit(&mut self, model: &mut GroupSa, ctx: &DataContext) -> TrainReport {
+        let _fit_span = groupsa_obs::span!("fit", "threads" => self.threads);
         let mut report = TrainReport::default();
         if self.cfg.ablation.joint_training {
             for _ in 0..self.cfg.user_epochs {
+                report.user_epoch_lr.push(self.optimizer.learning_rate());
+                let started = Instant::now();
                 report.user_losses.push(self.user_epoch(model, ctx));
+                report.user_epoch_seconds.push(started.elapsed().as_secs_f64());
             }
             // Fresh optimizer state for fine-tuning: stage-1 second
             // moments would otherwise shrink the group-task steps.
@@ -200,6 +300,8 @@ impl Trainer {
         let mut best_snapshot: Option<Vec<groupsa_tensor::Matrix>> = None;
         let mut since_best = 0;
         for _ in 0..self.cfg.group_epochs {
+            report.group_epoch_lr.push(self.optimizer.learning_rate());
+            let started = Instant::now();
             report.group_losses.push(self.group_epoch(model, ctx));
             // Joint optimisation (abstract: both tasks are learned
             // "simultaneously"): every group epoch is followed by a
@@ -212,6 +314,7 @@ impl Trainer {
                 let frac = (ctx.train_group_item.len() as f64 / ctx.train_user_item.len().max(1) as f64).min(1.0);
                 self.partial_user_epoch(model, ctx, frac);
             }
+            let mut stop = false;
             if !ctx.valid_group_item.is_empty() {
                 let hr = self.validation_hr(model, ctx);
                 report.valid_hr.push(hr);
@@ -225,14 +328,25 @@ impl Trainer {
                     // validation stalls, then stop.
                     let lr = Self::plateau_lr(self.optimizer.learning_rate(), self.cfg.learning_rate);
                     self.optimizer.set_learning_rate(lr);
-                    if since_best >= PATIENCE {
-                        break;
-                    }
+                    stop = since_best >= PATIENCE;
                 }
+            }
+            report.group_epoch_seconds.push(started.elapsed().as_secs_f64());
+            if stop {
+                break;
             }
         }
         if let Some(snapshot) = best_snapshot {
             model.store_mut().restore_values(&snapshot);
+        }
+        // One registry dump per fit: the cross-cutting timers (the
+        // `nn.*` per-call histograms) land in the trace as a single
+        // summarising `metrics` event.
+        if groupsa_obs::enabled() {
+            groupsa_obs::emit(
+                "metrics",
+                &[("registry", groupsa_obs::to_json(&groupsa_obs::global().snapshot()))],
+            );
         }
         report
     }
@@ -252,15 +366,55 @@ impl Trainer {
         (res.hr(10) + res.ndcg(5)) / 2.0
     }
 
+    /// Emits one `epoch` trace event (no-op when tracing is off):
+    /// stage, epoch index, loss, current LR, wall-clock seconds,
+    /// throughput, and the summed per-window time breakdown.
+    fn emit_epoch_event(
+        &self,
+        stage: &'static str,
+        epoch: usize,
+        loss: f32,
+        elapsed: Duration,
+        totals: &EpochTotals,
+    ) {
+        if !groupsa_obs::enabled() {
+            return;
+        }
+        let seconds = elapsed.as_secs_f64();
+        let examples_per_sec = if seconds > 0.0 { totals.examples as f64 / seconds } else { 0.0 };
+        groupsa_obs::emit(
+            "epoch",
+            &[
+                ("stage", groupsa_obs::to_json(&stage)),
+                ("epoch", groupsa_obs::to_json(&epoch)),
+                ("loss", groupsa_obs::to_json(&loss)),
+                ("lr", groupsa_obs::to_json(&self.optimizer.learning_rate())),
+                ("seconds", groupsa_obs::to_json(&seconds)),
+                ("examples", groupsa_obs::to_json(&totals.examples)),
+                ("examples_per_sec", groupsa_obs::to_json(&examples_per_sec)),
+                ("forward_us", groupsa_obs::to_json(&totals.forward_us)),
+                ("backward_us", groupsa_obs::to_json(&totals.backward_us)),
+                ("merge_us", groupsa_obs::to_json(&totals.merge_us)),
+                ("step_us", groupsa_obs::to_json(&totals.step_us)),
+            ],
+        );
+    }
+
     /// One stage-1 epoch: every training user-item pair once, in a
     /// shuffled order, with fresh negatives. Returns the mean loss.
     pub fn user_epoch(&mut self, model: &mut GroupSa, ctx: &DataContext) -> f32 {
         assert!(!ctx.train_user_item.is_empty(), "stage 1 requires user-item training data");
         let round = self.next_round();
+        let epoch = self.user_epochs_run;
+        self.user_epochs_run += 1;
+        let _span = groupsa_obs::span!("user_epoch", "round" => round, "epoch" => epoch);
+        let started = Instant::now();
         let examples =
             bpr_epoch_streams(self.cfg.seed, round, &ctx.train_user_item, &ctx.user_item_graph, self.cfg.num_negatives);
-        let total = self.run_examples(model, ctx, &examples, Task::User, round);
-        total / examples.len() as f32
+        let totals = self.run_examples(model, ctx, &examples, Task::User, round, "user");
+        let mean = totals.loss_sum / examples.len() as f32;
+        self.emit_epoch_event("user", epoch, mean, started.elapsed(), &totals);
+        mean
     }
 
     /// A partial user-task epoch over a random `frac` of the training
@@ -268,10 +422,16 @@ impl Trainer {
     fn partial_user_epoch(&mut self, model: &mut GroupSa, ctx: &DataContext, frac: f64) {
         let take = ((ctx.train_user_item.len() as f64 * frac).ceil() as usize).max(1);
         let round = self.next_round();
+        let epoch = self.mix_passes_run;
+        self.mix_passes_run += 1;
+        let _span = groupsa_obs::span!("mix_pass", "round" => round, "epoch" => epoch);
+        let started = Instant::now();
         let mut examples =
             bpr_epoch_streams(self.cfg.seed, round, &ctx.train_user_item, &ctx.user_item_graph, self.cfg.num_negatives);
         examples.truncate(take);
-        self.run_examples(model, ctx, &examples, Task::User, round);
+        let totals = self.run_examples(model, ctx, &examples, Task::User, round, "mix");
+        let mean = totals.loss_sum / examples.len() as f32;
+        self.emit_epoch_event("mix", epoch, mean, started.elapsed(), &totals);
     }
 
     /// One stage-2 epoch over the group-item pairs. Returns the mean
@@ -279,16 +439,26 @@ impl Trainer {
     pub fn group_epoch(&mut self, model: &mut GroupSa, ctx: &DataContext) -> f32 {
         assert!(!ctx.train_group_item.is_empty(), "stage 2 requires group-item training data");
         let round = self.next_round();
+        let epoch = self.group_epochs_run;
+        self.group_epochs_run += 1;
+        let _span = groupsa_obs::span!("group_epoch", "round" => round, "epoch" => epoch);
+        let started = Instant::now();
         let examples =
             bpr_epoch_streams(self.cfg.seed, round, &ctx.train_group_item, &ctx.group_item_graph, self.cfg.num_negatives);
-        let total = self.run_examples(model, ctx, &examples, Task::Group, round);
-        total / examples.len() as f32
+        let totals = self.run_examples(model, ctx, &examples, Task::Group, round, "group");
+        let mean = totals.loss_sum / examples.len() as f32;
+        self.emit_epoch_event("group", epoch, mean, started.elapsed(), &totals);
+        mean
     }
 
     /// Trains over `examples` window by window: each `batch_size`
     /// window is sharded across the worker pool, the per-example
     /// [`GradSink`]s are merged in ascending example order, and one
-    /// optimizer step is applied per window. Returns the summed loss.
+    /// optimizer step is applied per window. With `GROUPSA_TRACE` set,
+    /// each window additionally emits a `window` trace event with its
+    /// forward/backward/merge/step time breakdown; the instrumentation
+    /// never touches an RNG and only reads the clock when enabled, so
+    /// the numeric results are identical either way.
     fn run_examples(
         &mut self,
         model: &mut GroupSa,
@@ -296,18 +466,22 @@ impl Trainer {
         examples: &[BprExample],
         task: Task,
         round: u64,
-    ) -> f32 {
+        stage: &'static str,
+    ) -> EpochTotals {
         let threads = self.threads.max(1);
-        let mut total = 0.0f32;
+        let traced = groupsa_obs::enabled();
+        let mut totals = EpochTotals::default();
         let mut start = 0;
         while start < examples.len() {
             let end = (start + self.cfg.batch_size).min(examples.len());
             let window = &examples[start..end];
+            let pass_timers = traced.then(PassTimers::default);
+            let timers = pass_timers.as_ref();
             let results: Vec<(f32, GradSink)> = if threads == 1 || window.len() == 1 {
                 window
                     .iter()
                     .enumerate()
-                    .map(|(j, ex)| example_pass(model, ctx, &self.cfg, task, round, start + j, ex))
+                    .map(|(j, ex)| example_pass(model, ctx, &self.cfg, task, round, start + j, ex, timers))
                     .collect()
             } else {
                 let shared: &GroupSa = model;
@@ -324,7 +498,9 @@ impl Trainer {
                                     .enumerate()
                                     .skip(w)
                                     .step_by(threads)
-                                    .map(|(j, ex)| (j, example_pass(shared, ctx, cfg, task, round, start + j, ex)))
+                                    .map(|(j, ex)| {
+                                        (j, example_pass(shared, ctx, cfg, task, round, start + j, ex, timers))
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -341,14 +517,40 @@ impl Trainer {
             };
             // Fixed-order reduction: losses and gradients are folded in
             // example order, exactly as the sequential loop would.
+            let merge_started = traced.then(Instant::now);
             for (loss, sink) in &results {
-                total += loss;
+                totals.loss_sum += loss;
                 model.store_mut().merge(sink);
             }
+            let merge_us = merge_started.map_or(0, |t| t.elapsed().as_micros() as u64);
+            let step_started = traced.then(Instant::now);
             self.optimizer.step(model.store_mut());
+            let step_us = step_started.map_or(0, |t| t.elapsed().as_micros() as u64);
+            totals.examples += window.len();
+            if traced {
+                let forward_us = timers.map_or(0, |t| t.forward_us.load(Ordering::Relaxed));
+                let backward_us = timers.map_or(0, |t| t.backward_us.load(Ordering::Relaxed));
+                totals.forward_us += forward_us;
+                totals.backward_us += backward_us;
+                totals.merge_us += merge_us;
+                totals.step_us += step_us;
+                groupsa_obs::emit(
+                    "window",
+                    &[
+                        ("stage", groupsa_obs::to_json(&stage)),
+                        ("round", groupsa_obs::to_json(&round)),
+                        ("start", groupsa_obs::to_json(&start)),
+                        ("len", groupsa_obs::to_json(&window.len())),
+                        ("forward_us", groupsa_obs::to_json(&forward_us)),
+                        ("backward_us", groupsa_obs::to_json(&backward_us)),
+                        ("merge_us", groupsa_obs::to_json(&merge_us)),
+                        ("step_us", groupsa_obs::to_json(&step_us)),
+                    ],
+                );
+            }
             start = end;
         }
-        total
+        totals
     }
 }
 
@@ -481,6 +683,53 @@ mod tests {
             trainer.learning_rate(),
             cfg.learning_rate
         );
+    }
+
+    /// Satellite: the report records wall-clock seconds and effective
+    /// LR per epoch, one entry per loss entry.
+    #[test]
+    fn report_records_wall_clock_and_lr_per_epoch() {
+        let (d, ctx) = tiny_world(21);
+        let mut cfg = GroupSaConfig::tiny();
+        cfg.user_epochs = 3;
+        cfg.group_epochs = 4;
+        let mut model = GroupSa::new(cfg.clone(), d.num_users, d.num_items);
+        let report = Trainer::new(cfg.clone()).fit(&mut model, &ctx);
+        assert_eq!(report.user_epoch_seconds.len(), report.user_losses.len());
+        assert_eq!(report.user_epoch_lr.len(), report.user_losses.len());
+        assert_eq!(report.group_epoch_seconds.len(), report.group_losses.len());
+        assert_eq!(report.group_epoch_lr.len(), report.group_losses.len());
+        assert!(report.user_epoch_seconds.iter().all(|s| s.is_finite() && *s >= 0.0));
+        assert!(report.group_epoch_seconds.iter().all(|s| s.is_finite() && *s >= 0.0));
+        // The schedule starts at the configured rate and never raises it.
+        assert_eq!(report.user_epoch_lr[0], cfg.learning_rate);
+        assert_eq!(report.group_epoch_lr[0], cfg.learning_rate);
+        assert!(report.group_epoch_lr.iter().all(|lr| *lr <= cfg.learning_rate));
+    }
+
+    /// `TrainReport` equality must ignore wall-clock time (it is what
+    /// the determinism tests compare across worker counts) but must
+    /// still see every deterministic field.
+    #[test]
+    fn report_equality_ignores_wall_clock_only() {
+        let mut a = TrainReport {
+            user_losses: vec![1.0, 0.5],
+            group_losses: vec![0.9],
+            valid_hr: vec![0.4],
+            user_epoch_seconds: vec![1.25, 1.5],
+            group_epoch_seconds: vec![2.0],
+            user_epoch_lr: vec![0.02, 0.02],
+            group_epoch_lr: vec![0.02],
+        };
+        let mut b = a.clone();
+        b.user_epoch_seconds = vec![9.0, 9.0];
+        b.group_epoch_seconds = vec![9.0];
+        assert_eq!(a, b, "wall-clock differences must not break equality");
+        b.group_epoch_lr = vec![0.01];
+        assert_ne!(a, b, "LR differences are deterministic and must be seen");
+        a.zero_wall_clock();
+        assert_eq!(a.user_epoch_seconds, vec![0.0, 0.0]);
+        assert_eq!(a.group_epoch_seconds, vec![0.0]);
     }
 
     #[test]

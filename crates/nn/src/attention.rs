@@ -15,8 +15,28 @@
 //!   (or item / friend) representations.
 
 use crate::{Dropout, FeedForward, Init, LayerNorm, Linear, ParamStore};
+use groupsa_obs::{Histogram, ScopedTimer};
 use groupsa_tensor::{ops, Graph, Matrix, NodeId};
 use rand::Rng;
+use std::sync::{Arc, OnceLock};
+
+/// A per-call timer into the named histogram of the process-wide
+/// metrics registry — `None` (one atomic load, no clock read) unless
+/// `GROUPSA_TRACE` is on. The `Arc` handle is cached in `slot`, so the
+/// registry lock is taken once per histogram per process.
+fn layer_timer(slot: &'static OnceLock<Arc<Histogram>>, name: &'static str) -> Option<ScopedTimer<'static>> {
+    if !groupsa_obs::enabled() {
+        return None;
+    }
+    groupsa_obs::maybe_timer(slot.get_or_init(|| groupsa_obs::global().histogram(name)))
+}
+
+static ATTN_FORWARD: OnceLock<Arc<Histogram>> = OnceLock::new();
+static ATTN_INFER: OnceLock<Arc<Histogram>> = OnceLock::new();
+static VOTING_FORWARD: OnceLock<Arc<Histogram>> = OnceLock::new();
+static VOTING_INFER: OnceLock<Arc<Histogram>> = OnceLock::new();
+static VANILLA_FORWARD: OnceLock<Arc<Histogram>> = OnceLock::new();
+static VANILLA_INFER: OnceLock<Arc<Histogram>> = OnceLock::new();
 
 /// Builds the `{0, −∞}` additive mask of paper Eq. (5) from a boolean
 /// adjacency: `allowed[i][j] == true` keeps the attention edge `i → j`.
@@ -67,6 +87,7 @@ impl SelfAttention {
     /// an `l×l` additive bias (`0` or `−∞`). Returns the `l×d_model`
     /// sub-group representations `z_i` of Eq. (3).
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId, mask: Option<&Matrix>) -> NodeId {
+        let _t = layer_timer(&ATTN_FORWARD, "nn.attention.forward_us");
         let wq = g.param_full(self.wq, store.value(self.wq));
         let wk = g.param_full(self.wk, store.value(self.wk));
         let wv = g.param_full(self.wv, store.value(self.wv));
@@ -87,6 +108,7 @@ impl SelfAttention {
     /// Gradient-free forward pass; also returns the `l×l` attention
     /// distribution (used by the Table IV case-study explainer).
     pub fn forward_inference(&self, store: &ParamStore, x: &Matrix, mask: Option<&Matrix>) -> (Matrix, Matrix) {
+        let _t = layer_timer(&ATTN_INFER, "nn.attention.infer_us");
         let q = x.matmul(store.value(self.wq));
         let k = x.matmul(store.value(self.wk));
         let v = x.matmul(store.value(self.wv));
@@ -142,6 +164,7 @@ impl TransformerLayer {
         mask: Option<&Matrix>,
         training: bool,
     ) -> NodeId {
+        let _t = layer_timer(&VOTING_FORWARD, "nn.voting_round.forward_us");
         let z = self.attn.forward(g, store, x, mask);
         let z = self.dropout.forward(g, rng, z, training);
         let res = g.add(x, z);
@@ -155,6 +178,7 @@ impl TransformerLayer {
 
     /// Gradient-free forward pass.
     pub fn forward_inference(&self, store: &ParamStore, x: &Matrix, mask: Option<&Matrix>) -> Matrix {
+        let _t = layer_timer(&VOTING_INFER, "nn.voting_round.infer_us");
         let (z, _) = self.attn.forward_inference(store, x, mask);
         let h = self.ln1.forward_inference(store, &x.add(&z));
         let f = self.ffn.forward_inference(store, &h);
@@ -206,6 +230,7 @@ impl VanillaAttention {
     /// Records the scorer: `rows` is `n×in_dim`; returns the `1×n`
     /// softmax weight row.
     pub fn weights(&self, g: &mut Graph, store: &ParamStore, rows: NodeId) -> NodeId {
+        let _t = layer_timer(&VANILLA_FORWARD, "nn.vanilla_attention.forward_us");
         let s = self.raw_scores(g, store, rows);
         g.softmax_rows(s)
     }
@@ -220,6 +245,7 @@ impl VanillaAttention {
     /// Gradient-free weights for inference / explanation (activation
     /// applied in place — no tape, no extra allocation).
     pub fn weights_inference(&self, store: &ParamStore, rows: &Matrix) -> Matrix {
+        let _t = layer_timer(&VANILLA_INFER, "nn.vanilla_attention.infer_us");
         let mut h = self.l1.forward_inference(store, rows);
         h.map_inplace(ops::relu);
         let s = self.l2.forward_inference(store, &h); // n×1

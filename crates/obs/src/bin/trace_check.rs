@@ -1,0 +1,43 @@
+//! CI validator for `GROUPSA_TRACE` JSONL files.
+//!
+//! ```text
+//! trace_check FILE [required_kind...]
+//! ```
+//!
+//! Validates every line against the schema in `groupsa_obs::schema`,
+//! prints the per-kind event counts, and exits nonzero if any line is
+//! malformed, the file is empty, or any of the listed `required_kind`s
+//! has no events.
+
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().ok_or("usage: trace_check FILE [required_kind...]")?;
+    let required: Vec<String> = args.collect();
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = groupsa_obs::schema::validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    if summary.events == 0 {
+        return Err(format!("{path}: trace contains no events"));
+    }
+    let counts: Vec<String> =
+        summary.kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!("trace_check: {path}: {} events ({})", summary.events, counts.join(" "));
+    for kind in &required {
+        if summary.count(kind) == 0 {
+            return Err(format!("{path}: no '{kind}' events (required)"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

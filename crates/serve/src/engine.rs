@@ -139,10 +139,17 @@ impl Engine {
         self.shared.stopping.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
         let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        let drained_any = !handles.is_empty();
         for handle in handles {
             let _ = handle.join();
         }
-        self.stats()
+        let stats = self.stats();
+        // Dump the final snapshot into the trace once, when the pool
+        // actually drained (idempotent re-snapshots stay silent).
+        if drained_any && groupsa_obs::enabled() {
+            groupsa_obs::emit("stats", &[("stats", groupsa_obs::to_json(&stats))]);
+        }
+        stats
     }
 
     /// The frozen snapshot the workers score against.
@@ -153,12 +160,20 @@ impl Engine {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let batch = {
+        // The `GROUPSA_TRACE` gate, re-read per iteration: one atomic
+        // load, so untraced serving pays nothing for the lifecycle
+        // events below.
+        let traced = groupsa_obs::enabled();
+        let (batch, form_us) = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
                 if !queue.is_empty() {
+                    // Batch-form time: the drain itself, not the idle
+                    // condvar wait before work arrived.
+                    let t0 = traced.then(Instant::now);
                     let n = queue.len().min(shared.cfg.max_batch.max(1));
-                    break queue.drain(..n).collect::<Vec<Job>>();
+                    let batch = queue.drain(..n).collect::<Vec<Job>>();
+                    break (batch, t0.map_or(0, |t| t.elapsed().as_micros() as u64));
                 }
                 if shared.stopping.load(Ordering::SeqCst) {
                     return; // queue drained and no more admissions
@@ -166,9 +181,26 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.available.wait(queue).expect("queue poisoned");
             }
         };
+        let popped = Instant::now();
         shared.metrics.note_batch(batch.len());
+        if traced {
+            groupsa_obs::emit(
+                "batch",
+                &[
+                    ("n", groupsa_obs::to_json(&batch.len())),
+                    ("form_us", groupsa_obs::to_json(&form_us)),
+                ],
+            );
+        }
         for job in batch {
+            // Request lifecycle, phase by phase: queue-wait (enqueue →
+            // popped) is recorded for every drained job, scoring time
+            // only for jobs that actually ran the model.
+            let queue_wait = popped.saturating_duration_since(job.enqueued);
+            shared.metrics.note_queue_wait(queue_wait);
+            let score_started = Instant::now();
             let (response, expired) = execute(shared, &job);
+            let score_elapsed = score_started.elapsed();
             // Exactly one counter per drained job, so the categories
             // stay disjoint and `submitted = completed + errors +
             // expired` holds after a drain. (An expired request also
@@ -177,7 +209,26 @@ fn worker_loop(shared: &Shared) {
             if expired {
                 shared.metrics.note_expired();
             } else {
+                shared.metrics.note_score(score_elapsed);
                 shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
+            }
+            if traced {
+                let outcome = if expired {
+                    "expired"
+                } else if matches!(response, Response::Error { .. }) {
+                    "error"
+                } else {
+                    "ok"
+                };
+                groupsa_obs::emit(
+                    "request",
+                    &[
+                        ("id", groupsa_obs::to_json(&job.req.id)),
+                        ("outcome", groupsa_obs::to_json(&outcome)),
+                        ("queue_us", groupsa_obs::to_json(&(queue_wait.as_micros() as u64))),
+                        ("score_us", groupsa_obs::to_json(&(score_elapsed.as_micros() as u64))),
+                    ],
+                );
             }
             // A submitter that gave up (impossible today — submit
             // blocks) would surface as a send error; drop silently.

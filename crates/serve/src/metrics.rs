@@ -1,80 +1,53 @@
-//! Lock-free engine metrics: atomic counters plus a log₂-bucketed
-//! latency histogram, snapshotted on demand (`stats` requests) and on
-//! shutdown.
+//! Engine metrics, built on the `groupsa-obs` primitives: atomic
+//! counters, last+high-watermark gauges, and log₂-bucketed histograms
+//! with derived p50/p95/p99, snapshotted on demand (`stats` requests)
+//! and on shutdown.
+//!
+//! The primitives are *embedded* (not registered in the process-global
+//! registry) so every [`Metrics`] instance — one per engine — has its
+//! own counters; tests that spin up several engines in one process
+//! never share state. What this module adds on top of `groupsa-obs` is
+//! only the request-accounting vocabulary (submitted / completed /
+//! errors / expired / rejected and the conservation law between them)
+//! and the serialisable [`StatsSnapshot`].
 
 use groupsa_json::impl_json_struct;
-use std::sync::atomic::{AtomicU64, Ordering};
+use groupsa_obs::{Counter, Gauge, Histogram};
 use std::time::Duration;
-
-/// Number of log₂ latency buckets; bucket `i > 0` covers
-/// `[2^(i−1), 2^i)` microseconds, bucket 0 covers `< 1 µs`. 2⁸⁹ µs is
-/// far beyond any real latency, so the top bucket never saturates in
-/// practice.
-const LATENCY_BUCKETS: usize = 40;
 
 /// Live counters, updated by workers and the admission path with
 /// relaxed atomics (metrics never synchronise data).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Metrics {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    errors: AtomicU64,
-    rejected: AtomicU64,
-    expired: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    max_batch: AtomicU64,
-    max_queue_depth: AtomicU64,
-    latency_sum_us: AtomicU64,
-    latency: [AtomicU64; LATENCY_BUCKETS],
-}
-
-fn bucket_of(micros: u64) -> usize {
-    ((u64::BITS - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
-}
-
-/// Upper bound (µs) of a bucket — the value percentiles report.
-fn bucket_upper(bucket: usize) -> u64 {
-    if bucket == 0 {
-        0
-    } else {
-        1u64 << bucket
-    }
-}
-
-impl Default for Metrics {
-    fn default() -> Self {
-        Self::new()
-    }
+    submitted: Counter,
+    completed: Counter,
+    errors: Counter,
+    rejected: Counter,
+    expired: Counter,
+    batches: Counter,
+    batched_requests: Counter,
+    max_batch: Gauge,
+    queue_depth: Gauge,
+    latency: Histogram,
+    queue_wait: Histogram,
+    score: Histogram,
 }
 
 impl Metrics {
     /// Fresh, all-zero metrics.
     pub fn new() -> Self {
-        Self {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
-            max_batch: AtomicU64::new(0),
-            max_queue_depth: AtomicU64::new(0),
-            latency_sum_us: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
+        Self::default()
     }
 
     /// Counts one admitted request.
     pub fn note_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
     }
 
     /// Counts one request rejected at admission (queue full / engine
     /// stopping).
     pub fn note_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Counts one request dropped because its deadline passed while it
@@ -83,61 +56,75 @@ impl Metrics {
     /// completed/errors/expired, so `submitted = completed + errors +
     /// expired` once the queue is drained.
     pub fn note_expired(&self) {
-        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.expired.inc();
     }
 
     /// Counts one request answered with a (non-deadline) error.
     pub fn note_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Counts one successfully answered request and records its
     /// admission-to-reply latency.
     pub fn note_completed(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        self.latency[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.completed.inc();
+        self.latency.record_duration(latency);
     }
 
     /// Records one coalesced batch of `n` requests popped together.
     pub fn note_batch(&self, n: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
-        self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_requests.add(n as u64);
+        self.max_batch.set(n as u64);
     }
 
-    /// Records the queue depth observed right after an enqueue.
+    /// Records the queue depth observed right after an enqueue — both
+    /// the last-sampled value and the high-watermark, so saturation
+    /// stays visible in snapshots even after the queue drains.
     pub fn note_queue_depth(&self, depth: usize) {
-        self.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+        self.queue_depth.set(depth as u64);
+    }
+
+    /// Records how long one request sat queued before a worker popped
+    /// it (the queue-wait lifecycle phase).
+    pub fn note_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record_duration(wait);
+    }
+
+    /// Records the model-scoring time of one request (the score
+    /// lifecycle phase; deadline-expired requests are not recorded).
+    pub fn note_score(&self, elapsed: Duration) {
+        self.score.record_duration(elapsed);
     }
 
     /// A consistent-enough point-in-time copy (relaxed reads; exact
     /// once the engine is quiescent, e.g. at shutdown).
     pub fn snapshot(&self, cache: CacheStats) -> StatsSnapshot {
-        let counts: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let latency = self.latency.snapshot();
+        let queue_wait = self.queue_wait.snapshot();
+        let score = self.score.snapshot();
+        let batches = self.batches.get();
+        let batched = self.batched_requests.get();
         StatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed,
-            errors: self.errors.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            errors: self.errors.get(),
+            rejected: self.rejected.get(),
+            expired: self.expired.get(),
             batches,
             mean_batch: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            mean_latency_us: if completed == 0 {
-                0.0
-            } else {
-                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
-            },
-            p50_latency_us: percentile(&counts, total, 0.50),
-            p95_latency_us: percentile(&counts, total, 0.95),
-            p99_latency_us: percentile(&counts, total, 0.99),
+            max_batch: self.max_batch.max(),
+            max_queue_depth: self.queue_depth.max(),
+            last_queue_depth: self.queue_depth.last(),
+            mean_latency_us: latency.mean,
+            p50_latency_us: latency.p50,
+            p95_latency_us: latency.p95,
+            p99_latency_us: latency.p99,
+            latency_buckets: latency.buckets,
+            mean_queue_wait_us: queue_wait.mean,
+            p95_queue_wait_us: queue_wait.p95,
+            mean_score_us: score.mean,
+            p95_score_us: score.p95,
             latent_cache_hits: cache.latent_hits,
             group_rep_cache_hits: cache.group_rep_hits,
             rebuilds: cache.rebuilds,
@@ -146,24 +133,6 @@ impl Metrics {
             num_groups: cache.num_groups,
         }
     }
-}
-
-/// Histogram percentile: the upper bound of the first bucket whose
-/// cumulative count reaches `q·total` — exact to within the bucket's
-/// power-of-two resolution.
-fn percentile(counts: &[u64], total: u64, q: f64) -> u64 {
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-    let mut cum = 0;
-    for (i, &c) in counts.iter().enumerate() {
-        cum += c;
-        if cum >= rank {
-            return bucket_upper(i);
-        }
-    }
-    bucket_upper(counts.len() - 1)
 }
 
 /// Cache statistics contributed by the `FrozenModel`, merged into the
@@ -185,9 +154,11 @@ pub struct CacheStats {
 }
 
 /// The queryable/serialisable metrics snapshot (`stats` responses,
-/// shutdown dump, bench artifacts). Latency percentiles are
-/// histogram-derived upper bounds in microseconds (power-of-two
-/// resolution); the mean is exact.
+/// shutdown dump, bench artifacts). Latency/queue-wait/score
+/// percentiles are histogram-derived upper bounds in microseconds
+/// (power-of-two resolution); the means are exact. The raw latency
+/// bucket array is exposed alongside the derived percentiles so
+/// downstream tooling can recompute any quantile.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StatsSnapshot {
     /// Requests admitted to the queue.
@@ -207,8 +178,11 @@ pub struct StatsSnapshot {
     pub mean_batch: f64,
     /// Largest batch.
     pub max_batch: u64,
-    /// Deepest queue observed at enqueue time.
+    /// Deepest queue observed at enqueue time (high-watermark).
     pub max_queue_depth: u64,
+    /// Most recently sampled queue depth (pairs with the watermark:
+    /// a drained queue shows `last = 0` while `max` keeps the peak).
+    pub last_queue_depth: u64,
     /// Mean admission-to-reply latency (µs, exact).
     pub mean_latency_us: f64,
     /// Median latency (µs, bucket upper bound).
@@ -217,6 +191,17 @@ pub struct StatsSnapshot {
     pub p95_latency_us: u64,
     /// 99th-percentile latency (µs, bucket upper bound).
     pub p99_latency_us: u64,
+    /// Raw log₂ latency bucket counts (bucket `i > 0` covers
+    /// `[2^(i−1), 2^i)` µs; bucket 0 is `< 1 µs`).
+    pub latency_buckets: Vec<u64>,
+    /// Mean time a request sat queued before a worker popped it (µs).
+    pub mean_queue_wait_us: f64,
+    /// 95th-percentile queue wait (µs, bucket upper bound).
+    pub p95_queue_wait_us: u64,
+    /// Mean model-scoring time per answered request (µs).
+    pub mean_score_us: f64,
+    /// 95th-percentile scoring time (µs, bucket upper bound).
+    pub p95_score_us: u64,
     /// User-latent cache hits.
     pub latent_cache_hits: u64,
     /// Group-representation cache hits.
@@ -241,10 +226,16 @@ impl_json_struct!(StatsSnapshot {
     mean_batch,
     max_batch,
     max_queue_depth,
+    last_queue_depth,
     mean_latency_us,
     p50_latency_us,
     p95_latency_us,
     p99_latency_us,
+    latency_buckets,
+    mean_queue_wait_us,
+    p95_queue_wait_us,
+    mean_score_us,
+    p95_score_us,
     latent_cache_hits,
     group_rep_cache_hits,
     rebuilds,
@@ -256,6 +247,7 @@ impl_json_struct!(StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use groupsa_obs::bucket_of;
 
     #[test]
     fn buckets_are_log2() {
@@ -265,7 +257,7 @@ mod tests {
         assert_eq!(bucket_of(3), 2);
         assert_eq!(bucket_of(4), 3);
         assert_eq!(bucket_of(1024), 11);
-        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), groupsa_obs::NUM_BUCKETS - 1);
     }
 
     #[test]
@@ -287,6 +279,26 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_exposes_raw_buckets_consistent_with_percentiles() {
+        let m = Metrics::new();
+        for _ in 0..90 {
+            m.note_completed(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            m.note_completed(Duration::from_micros(1000));
+        }
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.latency_buckets.len(), groupsa_obs::NUM_BUCKETS);
+        assert_eq!(s.latency_buckets[bucket_of(8)], 90);
+        assert_eq!(s.latency_buckets[bucket_of(1000)], 10);
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), s.completed);
+        // The exposed buckets must re-derive the reported percentiles.
+        let total: u64 = s.latency_buckets.iter().sum();
+        assert_eq!(groupsa_obs::percentile(&s.latency_buckets, total, 0.50), s.p50_latency_us);
+        assert_eq!(groupsa_obs::percentile(&s.latency_buckets, total, 0.99), s.p99_latency_us);
+    }
+
+    #[test]
     fn batch_and_queue_stats_track_extremes() {
         let m = Metrics::new();
         m.note_batch(1);
@@ -302,12 +314,41 @@ mod tests {
         assert_eq!(s.max_queue_depth, 11);
     }
 
+    /// Regression: the snapshot must expose BOTH the last-sampled depth
+    /// and the high-watermark — a queue that saturated and then drained
+    /// used to be invisible behind a single number.
+    #[test]
+    fn queue_depth_keeps_high_watermark_after_drain() {
+        let m = Metrics::new();
+        m.note_queue_depth(64);
+        m.note_queue_depth(0); // drained
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.last_queue_depth, 0, "last sample is the drained queue");
+        assert_eq!(s.max_queue_depth, 64, "saturation must stay visible");
+    }
+
+    #[test]
+    fn lifecycle_phase_timings_are_recorded() {
+        let m = Metrics::new();
+        m.note_queue_wait(Duration::from_micros(100));
+        m.note_queue_wait(Duration::from_micros(300));
+        m.note_score(Duration::from_micros(50));
+        let s = m.snapshot(CacheStats::default());
+        assert!((s.mean_queue_wait_us - 200.0).abs() < 1e-9);
+        assert_eq!(s.p95_queue_wait_us, 512, "300 µs lands in (256,512]");
+        assert!((s.mean_score_us - 50.0).abs() < 1e-9);
+        assert_eq!(s.p95_score_us, 64);
+    }
+
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
         let s = Metrics::new().snapshot(CacheStats::default());
         assert_eq!(s.p50_latency_us, 0);
         assert_eq!(s.mean_latency_us, 0.0);
         assert_eq!(s.mean_batch, 0.0);
+        assert_eq!(s.last_queue_depth, 0);
+        assert_eq!(s.mean_queue_wait_us, 0.0);
+        assert!(s.latency_buckets.iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -52,3 +52,29 @@ fi
 ./target/release/serve_bench --addr "$addr" --clients 3 --requests 8 --shutdown true
 wait "$serve_pid"
 echo "tier1: serve smoke test passed"
+
+# Observability: with GROUPSA_TRACE set, a training run must leave a
+# schema-valid JSONL trace behind — and its stdout digest must be
+# byte-identical to the untraced runs above (tracing must not perturb
+# training; wall-clock fields are zeroed in the digest for exactly
+# this comparison).
+trace_dir="$(mktemp -d)"
+trap 'rm -f "$serve_log"; rm -rf "$trace_dir"' EXIT
+digest_traced="$(GROUPSA_TRAIN_THREADS=4 GROUPSA_TRACE="$trace_dir/train_trace.jsonl" \
+    ./target/release/train_bench --digest 2>/dev/null)"
+if [ "$digest1" != "$digest_traced" ]; then
+    echo "tier1: tracing perturbed the training digest" >&2
+    echo "  untraced: $digest1" >&2
+    echo "  traced:   $digest_traced" >&2
+    exit 1
+fi
+./target/release/trace_check "$trace_dir/train_trace.jsonl" run span epoch window metrics
+echo "tier1: traced training digest matches untraced; trace is schema-valid"
+
+# Traced serving: a small in-process serve_bench sweep (--save false so
+# the committed results/serve_bench.json is untouched) must emit
+# request/batch lifecycle events and a final stats snapshot.
+GROUPSA_TRACE="$trace_dir/serve_trace.jsonl" \
+    ./target/release/serve_bench --clients 2 --requests 8 --save false >/dev/null
+./target/release/trace_check "$trace_dir/serve_trace.jsonl" run batch request stats
+echo "tier1: traced serve sweep emitted a schema-valid lifecycle trace"
