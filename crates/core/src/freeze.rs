@@ -128,7 +128,9 @@ impl GroupSa {
 
         let w = self.cfg.w_u;
         let scores = match latent {
-            Some(h) if w != 0.0 => {
+            // Exact-zero gate on a config weight, not an arithmetic
+            // result: w_u = 0.0 means "tower disabled", set literally.
+            Some(h) if w != 0.0 => { // lint: allow(float-eq)
                 let h_rep = h.repeat_rows(n);
                 let xv = self.lat_item.lookup_inference(&self.store, items); // n×d
                 let cat2 = h_rep.concat_cols(&xv).concat_cols(&h_rep.mul_elem(&xv)); // n×3d

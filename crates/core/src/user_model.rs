@@ -86,7 +86,9 @@ impl GroupSa {
         let r1 = self.pred_user.forward(g, &self.store, cat1); // n×1
 
         let w = self.cfg.w_u;
-        if w == 0.0 {
+        // Exact-zero gate on a config weight (w_u = 0.0 disables the
+        // latent tower), not a computed value.
+        if w == 0.0 { // lint: allow(float-eq)
             return r1;
         }
         let Some(h) = self.user_latent_graph(g, ctx, user) else {

@@ -39,7 +39,9 @@ pub fn sample_negatives(
         );
     }
     let mut out = Vec::with_capacity(n);
-    let mut taken = std::collections::HashSet::new();
+    // Membership queries only (dedup of drawn negatives); the output
+    // order comes from the RNG draws, never from set iteration.
+    let mut taken = std::collections::HashSet::new(); // lint: allow(hash-container)
     while out.len() < n {
         let cand = rng.random_range(0..num_items);
         if interactions.has_interaction(entity, cand) {

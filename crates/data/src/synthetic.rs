@@ -35,7 +35,10 @@ use crate::dataset::Dataset;
 use groupsa_tensor::rng::{seeded, standard_normal};
 use rand::{Rng, RngExt};
 use groupsa_json::impl_json_struct;
-use std::collections::HashSet;
+// Every HashSet below is either membership-only or sorted before
+// iteration (see the per-site notes), so iteration order never reaches
+// an output.
+use std::collections::HashSet; // lint: allow(hash-container)
 
 /// Everything that controls a synthetic dataset. See the module docs
 /// for the role of each knob.
@@ -250,7 +253,9 @@ pub fn generate_with_truth(cfg: &SyntheticConfig) -> (Dataset, GroundTruth) {
         cluster_members[c].push(u);
     }
     let target_edges = (cfg.num_users as f64 * cfg.avg_friends_per_user / 2.0) as usize;
-    let mut edge_set: HashSet<(usize, usize)> = HashSet::with_capacity(target_edges * 2);
+    // Dedup only; the edges are sorted into a Vec before any iteration
+    // that could reach the dataset.
+    let mut edge_set: HashSet<(usize, usize)> = HashSet::with_capacity(target_edges * 2); // lint: allow(hash-container)
     let mut attempts = 0usize;
     let max_attempts = target_edges * 50;
     while edge_set.len() < target_edges && attempts < max_attempts {
@@ -282,7 +287,9 @@ pub fn generate_with_truth(cfg: &SyntheticConfig) -> (Dataset, GroundTruth) {
     }
     let user_latent: Vec<Vec<f32>> = (0..cfg.num_users)
         .map(|u| {
-            if friends[u].is_empty() || cfg.social_influence == 0.0 {
+            // Exact-zero config gate: social_influence = 0.0 means
+            // "feature off", set literally.
+            if friends[u].is_empty() || cfg.social_influence == 0.0 { // lint: allow(float-eq)
                 return base_taste[u].clone();
             }
             let mut mean = vec![0.0f32; d];
@@ -308,7 +315,8 @@ pub fn generate_with_truth(cfg: &SyntheticConfig) -> (Dataset, GroundTruth) {
         // Log-normal-ish activity spread around the target mean.
         let mult = (0.4 * standard_normal(&mut rng) as f64).exp();
         let count = ((cfg.avg_items_per_user * mult).round() as usize).clamp(3, cfg.num_items / 2);
-        let mut chosen: HashSet<usize> = HashSet::with_capacity(count);
+        // Dedup only; drained into a sorted Vec before use.
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(count); // lint: allow(hash-container)
         let mut guard = 0;
         while chosen.len() < count && guard < count * 20 {
             guard += 1;
@@ -344,7 +352,8 @@ pub fn generate_with_truth(cfg: &SyntheticConfig) -> (Dataset, GroundTruth) {
     for (t, members) in groups.iter().enumerate() {
         let vote = GroupVote::new(members, &friends, &user_latent, &expertise, cfg);
         let count = sample_shifted_geometric(&mut rng, cfg.avg_items_per_group);
-        let mut chosen: HashSet<usize> = HashSet::with_capacity(count);
+        // Dedup only; drained into a sorted Vec before use.
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(count); // lint: allow(hash-container)
         let mut guard = 0;
         while chosen.len() < count && guard < count * 20 {
             guard += 1;
@@ -403,13 +412,16 @@ impl GroupVote {
         expertise: &[Vec<f32>],
         cfg: &SyntheticConfig,
     ) -> Self {
-        let in_group: HashSet<usize> = members.iter().copied().collect();
+        // Membership queries only (`contains`), never iterated.
+        let in_group: HashSet<usize> = members.iter().copied().collect(); // lint: allow(hash-container)
         let rho = cfg.consensus_blend as f32;
         let mut effective = Vec::with_capacity(members.len());
         let mut conn_bias = Vec::with_capacity(members.len());
         for &u in members {
             let peers: Vec<usize> = friends[u].iter().copied().filter(|f| in_group.contains(f)).collect();
-            let taste = if peers.is_empty() || rho == 0.0 {
+            // Exact-zero config gate: consensus_blend = 0.0 disables
+            // the blend, set literally.
+            let taste = if peers.is_empty() || rho == 0.0 { // lint: allow(float-eq)
                 user_latent[u].clone()
             } else {
                 let inv = 1.0 / peers.len() as f32;
@@ -522,7 +534,8 @@ fn grow_group(
 ) -> Vec<usize> {
     let seed = rng.random_range(0..num_users);
     let mut members = vec![seed];
-    let mut in_group: HashSet<usize> = HashSet::from([seed]);
+    // Membership queries only (`contains`), never iterated.
+    let mut in_group: HashSet<usize> = HashSet::from([seed]); // lint: allow(hash-container)
     let mut stall = 0;
     while members.len() < size {
         let anchor = members[rng.random_range(0..members.len())];

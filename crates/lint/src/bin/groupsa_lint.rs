@@ -1,0 +1,81 @@
+//! `groupsa-lint` — workspace static analysis for determinism,
+//! panic-safety, hermeticity, and float-hygiene invariants.
+//!
+//! ```text
+//! groupsa-lint [--root <dir>] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exits `0` on a clean tree, `1` when any non-allowed finding exists,
+//! `2` on usage or IO errors. `--format json` emits the schema in
+//! DESIGN.md §11 (version, files_scanned, suppressed, findings[]).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                other => return usage(&format!("--format expects text|json, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root expects a directory"),
+            },
+            "--list-rules" => {
+                for rule in groupsa_lint::RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: groupsa-lint [--root <dir>] [--format text|json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => return fail(&format!("cannot read current dir: {e}")),
+            };
+            match groupsa_lint::find_workspace_root(&cwd) {
+                Some(d) => d,
+                None => return fail("no workspace root found above the current directory"),
+            }
+        }
+    };
+
+    let report = match groupsa_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("analysis failed: {e}")),
+    };
+    match format.as_str() {
+        "json" => println!("{}", report.to_json_string()),
+        _ => print!("{}", report.to_text()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("groupsa-lint: {message}");
+    eprintln!("usage: groupsa-lint [--root <dir>] [--format text|json] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("groupsa-lint: {message}");
+    ExitCode::from(2)
+}

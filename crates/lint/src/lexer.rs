@@ -1,0 +1,443 @@
+//! A small Rust lexer for the rule engine.
+//!
+//! This is not a parser: it turns a `.rs` source file into a flat
+//! stream of line-numbered tokens (identifiers, numbers, strings,
+//! lifetimes, punctuation) with comments and string contents stripped
+//! out, which is exactly the altitude the rules need — `Instant :: now`
+//! is three tokens regardless of formatting, and a `HashMap` inside a
+//! string literal or a doc comment is not a finding.
+//!
+//! Two comment shapes are load-bearing and therefore extracted rather
+//! than discarded:
+//!
+//! * `// lint: allow(rule-a, rule-b)` — the per-line escape hatch. An
+//!   allow comment suppresses matching findings on its own line; when
+//!   the comment stands alone on a line it also covers the next line,
+//!   so the justification can sit above the flagged statement.
+//! * `// bounds: <why the index is in range>` — the justification the
+//!   panic-safety indexing check accepts (same own-line/next-line
+//!   reach as allow comments).
+//!
+//! Only line comments participate; block comments are skipped whole.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`use`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A numeric literal (`3`, `0.5`, `1e-9`, `0xff`, `2f32`, …).
+    Number,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators (`==`, `::`, `->`, …)
+    /// arrive as one token.
+    Punct,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokenKind,
+    /// The lexeme text (empty for [`TokenKind::Str`] — contents are
+    /// deliberately not retained).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Every token, in source order.
+    pub tokens: Vec<Token>,
+    /// Per-line allow sets parsed from `// lint: allow(…)` comments.
+    pub allows: BTreeMap<usize, BTreeSet<String>>,
+    /// Lines covered by a `// bounds: …` justification comment.
+    pub bounds_ok: BTreeSet<usize>,
+}
+
+impl LexedFile {
+    /// Whether `rule` is allowed (suppressed) on `line`.
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows.get(&line).is_some_and(|set| set.contains(rule))
+    }
+
+    /// Whether `line` carries (or is covered by) a bounds justification.
+    pub fn has_bounds_comment(&self, line: usize) -> bool {
+        self.bounds_ok.contains(&line)
+    }
+}
+
+/// Multi-character operators recognised as single tokens, longest
+/// first so `==` never lexes as two `=`.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "->", "=>", "::", "..", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes one Rust source file.
+pub fn lex(source: &str) -> LexedFile {
+    let mut out = LexedFile::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    // Whether any token has been emitted on the current line — decides
+    // if a line comment "stands alone" and so also covers the next line.
+    let mut line_has_token = false;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_token = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                note_comment(&mut out, &text, line, line_has_token);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comments, per the Rust grammar.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                out.tokens.push(Token { kind: TokenKind::Str, text: String::new(), line });
+                line_has_token = true;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1).copied();
+                let after = chars.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                    && after != Some('\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    out.tokens.push(Token { kind: TokenKind::Lifetime, text, line });
+                } else {
+                    i += 1; // opening quote
+                    while i < chars.len() && chars[i] != '\'' {
+                        if chars[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    out.tokens.push(Token { kind: TokenKind::Char, text: String::new(), line });
+                }
+                line_has_token = true;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i = skip_number(&chars, i);
+                let text: String = chars[start..i].iter().collect();
+                out.tokens.push(Token { kind: TokenKind::Number, text, line });
+                line_has_token = true;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw/byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#` lex as an ident glued to a string start.
+                let is_raw_prefix = matches!(text.as_str(), "r" | "b" | "br")
+                    && matches!(chars.get(i), Some('"') | Some('#'));
+                if is_raw_prefix {
+                    i = skip_raw_string(&chars, i, &mut line);
+                    out.tokens.push(Token { kind: TokenKind::Str, text: String::new(), line });
+                } else {
+                    out.tokens.push(Token { kind: TokenKind::Ident, text, line });
+                }
+                line_has_token = true;
+            }
+            _ => {
+                let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+                let mut matched = None;
+                for op in MULTI_PUNCT {
+                    if rest.starts_with(op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                let text = match matched {
+                    Some(op) => {
+                        i += op.len();
+                        op.to_string()
+                    }
+                    None => {
+                        i += 1;
+                        c.to_string()
+                    }
+                };
+                out.tokens.push(Token { kind: TokenKind::Punct, text, line });
+                line_has_token = true;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at the opening quote; returns the
+/// index past the closing quote. Tracks embedded newlines.
+fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string from the first `#` or `"` after the `r`/`br`
+/// prefix; returns the index past the closing delimiter.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // `r#foo` raw identifier, not a string — leave it
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        } else if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a numeric literal (decimal, hex/octal/binary, float with
+/// fraction/exponent, type suffix). Stops before `..` (ranges) and
+/// before `.method()` calls on literals.
+fn skip_number(chars: &[char], mut i: usize) -> usize {
+    let hex = chars[i] == '0' && matches!(chars.get(i + 1), Some('x') | Some('X'));
+    loop {
+        // Digits, hex digits, type suffixes, and a bare `e` exponent
+        // are all alphanumeric runs.
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        // Fractional part: `.` followed by a digit (so `1..n` ranges
+        // and `1.max()` method calls are left alone).
+        if !hex && chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            i += 1;
+            continue;
+        }
+        // Signed exponent: the `e`/`E` was consumed by the run above;
+        // `1e-9` / `1.5E+3` stop at the sign, consumed here.
+        if !hex
+            && matches!(chars.get(i.wrapping_sub(1)), Some('e') | Some('E'))
+            && matches!(chars.get(i), Some('+') | Some('-'))
+            && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            i += 1;
+            continue;
+        }
+        return i;
+    }
+}
+
+/// `true` when a [`TokenKind::Number`] token is a float literal: it has
+/// a fraction, a decimal exponent, or an `f32`/`f64` suffix.
+pub fn number_is_float(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains(['e', 'E'])
+}
+
+/// Records allow/bounds information from one line comment.
+fn note_comment(out: &mut LexedFile, text: &str, line: usize, line_has_token: bool) {
+    // A comment with no code before it on its line covers the next
+    // line too, so justifications can sit above the flagged statement.
+    let covered: &[usize] = if line_has_token { &[line] } else { &[line, line + 1] };
+    if let Some(idx) = text.find("lint: allow(") {
+        let rest = &text[idx + "lint: allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    for &l in covered {
+                        out.allows.entry(l).or_default().insert(rule.to_string());
+                    }
+                }
+            }
+        }
+    }
+    if text.contains("bounds:") {
+        for &l in covered {
+            out.bounds_ok.insert(l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_tokens() {
+        let src = "// HashMap in a comment\nlet x = \"HashMap in a string\"; /* HashMap\n in a block */ let y = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let ids = idents("/* a /* nested */ still comment */ fin");
+        assert_eq!(ids, vec!["fin"]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_contents() {
+        let ids = idents("let s = r#\"Instant::now() \"quoted\" \"#; done");
+        assert_eq!(ids, vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = toks.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = lex("a == b != c :: d -> e");
+        let puncts: Vec<String> = toks
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let toks = lex("0.5 1e-9 2f32 42 0xff 10u64 1..5");
+        let nums: Vec<(String, bool)> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| (t.text.clone(), number_is_float(&t.text)))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("0.5".to_string(), true),
+                ("1e-9".to_string(), true),
+                ("2f32".to_string(), true),
+                ("42".to_string(), false),
+                ("0xff".to_string(), false),
+                ("10u64".to_string(), false),
+                ("1".to_string(), false),
+                ("5".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "first\n/* two\nlines */\nfourth";
+        let toks = lex(src);
+        assert_eq!(toks.tokens[0].line, 1);
+        assert_eq!(toks.tokens[1].line, 4);
+    }
+
+    #[test]
+    fn allow_comment_covers_own_and_next_line_when_alone() {
+        let src = "// lint: allow(hash-container)\nlet m = HashMap::new();\nlet n = 2; // lint: allow(float-eq)\nlet k = 3;";
+        let f = lex(src);
+        assert!(f.is_allowed(1, "hash-container"));
+        assert!(f.is_allowed(2, "hash-container"));
+        assert!(f.is_allowed(3, "float-eq"));
+        assert!(!f.is_allowed(4, "float-eq"), "trailing comment covers only its own line");
+    }
+
+    #[test]
+    fn allow_comment_parses_multiple_rules() {
+        let f = lex("x(); // lint: allow(panic-path, float-eq)");
+        assert!(f.is_allowed(1, "panic-path"));
+        assert!(f.is_allowed(1, "float-eq"));
+        assert!(!f.is_allowed(1, "hash-container"));
+    }
+
+    #[test]
+    fn bounds_comment_is_recorded() {
+        let f = lex("// bounds: idx < len checked above\nlet v = xs[idx];");
+        assert!(f.has_bounds_comment(1));
+        assert!(f.has_bounds_comment(2));
+    }
+}

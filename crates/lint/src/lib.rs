@@ -1,0 +1,172 @@
+//! # groupsa-lint
+//!
+//! A std-only, in-tree static analyzer that mechanically enforces the
+//! invariants the reproduction's guarantees rest on (DESIGN.md §11):
+//!
+//! * **determinism** — no ambient time, ambient entropy, or
+//!   randomized-order hash containers in the numeric crates whose
+//!   outputs must be bit-identical across runs and thread counts;
+//! * **panic-safety** — no `unwrap`/`expect`/`panic!`/unjustified
+//!   indexing on the serve request paths (typed errors only);
+//! * **hermeticity** — no `extern crate`, no `use` roots outside the
+//!   workspace, and every `Cargo.toml` dependency resolving to an
+//!   in-tree path (subsuming the hermeticity-guard test);
+//! * **float hygiene** — no direct `==`/`!=` against float literals
+//!   outside tests.
+//!
+//! Per the hermeticity policy the analyzer has no external parser: a
+//! small comment/string/attribute-aware lexer ([`lexer`]) feeds a rule
+//! engine ([`rules`]), manifests get a dedicated line-oriented checker
+//! ([`manifest`]), and findings serialise through `groupsa-json`
+//! ([`report`]). Escape hatches are per-line `// lint: allow(<rule>)`
+//! comments (`# lint: allow(cargo-dep)` in TOML) and the per-rule file
+//! allowlist in [`rules::ALLOWED_FILES`].
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+pub use report::{Finding, Report, REPORT_VERSION};
+pub use rules::{Analyzer, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, VCS internals, and the
+/// lint fixtures (which contain violations *on purpose*).
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+
+/// Path fragment that marks intentional-violation fixture trees.
+const FIXTURE_MARKER: &str = "tests/fixtures";
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collects workspace-relative paths (`/`-separated, sorted) of every
+/// `.rs` file and `Cargo.toml` under `root`, skipping [`SKIP_DIRS`]
+/// and fixture trees.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            if rel.contains(FIXTURE_MARKER) {
+                continue;
+            }
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full analysis over a workspace tree and assembles the
+/// [`Report`]. IO errors on individual files become findings (a file
+/// the analyzer cannot read cannot be declared clean).
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let files = collect_files(root)?;
+
+    // Pass 1 — manifests: package names (the legitimate `use` roots)
+    // and the root [workspace.dependencies] keys.
+    let mut package_names = Vec::new();
+    let mut workspace_dep_keys = std::collections::BTreeSet::new();
+    for rel in files.iter().filter(|f| f.ends_with("Cargo.toml")) {
+        if let Ok(text) = std::fs::read_to_string(root.join(rel)) {
+            let info = manifest::manifest_info(&text);
+            package_names.extend(info.package_name);
+            if rel == "Cargo.toml" {
+                workspace_dep_keys = info.workspace_dep_keys;
+            }
+        }
+    }
+    let analyzer = Analyzer::new(package_names);
+
+    // Pass 2 — rules.
+    let mut findings = Vec::new();
+    let mut suppressed = 0;
+    for rel in &files {
+        let text = match std::fs::read_to_string(root.join(rel)) {
+            Ok(t) => t,
+            Err(e) => {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: 0,
+                    rule: "io".to_string(),
+                    message: format!("could not read file: {e}"),
+                });
+                continue;
+            }
+        };
+        let (mut f, s) = if rel.ends_with("Cargo.toml") {
+            manifest::check_manifest(rel, &text, root, &workspace_dep_keys)
+        } else {
+            analyzer.analyze_source(rel, &text)
+        };
+        findings.append(&mut f);
+        suppressed += s;
+    }
+    Ok(Report::new(files.len(), suppressed, findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // crates/lint → workspace root.
+        find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap()
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_a_crate_dir() {
+        let root = repo_root();
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/lint").is_dir());
+    }
+
+    #[test]
+    fn collect_skips_target_and_fixtures() {
+        let files = collect_files(&repo_root()).unwrap();
+        assert!(files.iter().any(|f| f == "crates/lint/src/lib.rs"));
+        assert!(files.iter().any(|f| f == "Cargo.toml"));
+        assert!(!files.iter().any(|f| f.starts_with("target/")));
+        assert!(!files.iter().any(|f| f.contains("tests/fixtures")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "scan order must be deterministic");
+    }
+}

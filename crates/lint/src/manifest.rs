@@ -1,0 +1,364 @@
+//! The `cargo-dep` rule: every dependency in every `Cargo.toml` must
+//! resolve *inside* this workspace.
+//!
+//! This subsumes the hermeticity-guard integration test (a dependency
+//! must be a `path` dependency or a `workspace = true` reference) and
+//! extends it two ways:
+//!
+//! * a `path` dependency's target must actually exist, contain a
+//!   `Cargo.toml`, and stay inside the workspace root (no escaping via
+//!   `../../elsewhere`);
+//! * a `workspace = true` reference must name a key that the root
+//!   `[workspace.dependencies]` table defines (as a path dependency).
+//!
+//! Suppression uses the TOML comment form of the escape hatch:
+//! `# lint: allow(cargo-dep)` on the offending line.
+
+use crate::report::Finding;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Parsed summary of one manifest: package name (if any) and the keys
+/// its `[workspace.dependencies]` table defines.
+#[derive(Debug, Default)]
+pub struct ManifestInfo {
+    /// `[package] name = "…"`.
+    pub package_name: Option<String>,
+    /// Keys of `[workspace.dependencies]` (root manifest only).
+    pub workspace_dep_keys: BTreeSet<String>,
+}
+
+/// Extracts [`ManifestInfo`] from manifest text (line-oriented; the
+/// workspace's manifests are all in the plain one-key-per-line style).
+pub fn manifest_info(text: &str) -> ManifestInfo {
+    let mut info = ManifestInfo::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if section == "package" && key == "name" {
+                info.package_name = Some(value.trim().trim_matches('"').to_string());
+            }
+            if section == "workspace.dependencies" {
+                info.workspace_dep_keys.insert(key.trim_matches('"').to_string());
+            }
+        }
+    }
+    info
+}
+
+/// Section headers whose entries are dependencies to police.
+fn is_dependency_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || (section.starts_with("target.") && section.ends_with("dependencies"))
+}
+
+/// A dotted dependency section like `[dependencies.foo]`, whose *keys*
+/// form the spec.
+fn dotted_dependency_section(section: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies.", "workspace.dependencies."]
+    {
+        if let Some(name) = section.strip_prefix(prefix) {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for this tree: no `#` inside quoted values.
+    match line.find('#') {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+fn line_allows(raw: &str) -> bool {
+    raw.contains("lint: allow(") && raw.contains("cargo-dep")
+}
+
+/// The `path = "…"` value in a spec, if present.
+fn path_value(spec: &str) -> Option<String> {
+    let idx = spec.find("path")?;
+    let rest = spec[idx + "path".len()..].trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Checks one manifest. `rel_path` is workspace-relative; `root` is the
+/// workspace root on disk (used to resolve and contain path deps);
+/// `workspace_dep_keys` are the root `[workspace.dependencies]` keys.
+/// Returns kept findings and the suppressed count.
+pub fn check_manifest(
+    rel_path: &str,
+    text: &str,
+    root: &Path,
+    workspace_dep_keys: &BTreeSet<String>,
+) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut suppressed = 0;
+    let manifest_dir = root.join(rel_path).parent().map(Path::to_path_buf).unwrap_or_default();
+
+    let mut report = |line_no: usize, raw: &str, message: String| {
+        if line_allows(raw) {
+            suppressed += 1;
+        } else {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: line_no,
+                rule: "cargo-dep".to_string(),
+                message,
+            });
+        }
+    };
+
+    let mut section = String::new();
+    // For `[dependencies.foo]` sections: (name, header line, header raw,
+    // saw a hermetic key).
+    let mut dotted: Option<(String, usize, String, bool)> = None;
+    let close_dotted = |d: &mut Option<(String, usize, String, bool)>,
+                            report: &mut dyn FnMut(usize, &str, String)| {
+        if let Some((name, line_no, raw, hermetic)) = d.take() {
+            if !hermetic {
+                report(
+                    line_no,
+                    &raw,
+                    format!("dependency `{name}` has no `path` or `workspace = true` source"),
+                );
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            close_dotted(&mut dotted, &mut report);
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            if let Some(name) = dotted_dependency_section(&section) {
+                dotted = Some((name.to_string(), line_no, raw.to_string(), false));
+            }
+            continue;
+        }
+        if let Some((_, _, _, hermetic)) = dotted.as_mut() {
+            if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim();
+                let value = value.trim();
+                if key == "workspace" && value == "true" {
+                    *hermetic = true;
+                }
+                if key == "path" {
+                    *hermetic = true;
+                    check_path_target(
+                        value.trim_matches('"'),
+                        &manifest_dir,
+                        root,
+                        line_no,
+                        raw,
+                        &mut report,
+                    );
+                }
+            }
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((key, spec)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let spec = spec.trim();
+        // `foo.workspace = true` inline form.
+        if let Some(name) = key.strip_suffix(".workspace") {
+            if spec == "true" {
+                check_workspace_ref(
+                    name,
+                    section == "workspace.dependencies",
+                    workspace_dep_keys,
+                    line_no,
+                    raw,
+                    &mut report,
+                );
+                continue;
+            }
+        }
+        if let Some(path) = path_value(spec) {
+            check_path_target(&path, &manifest_dir, root, line_no, raw, &mut report);
+        } else if spec.contains("workspace = true") || spec.contains("workspace=true") {
+            check_workspace_ref(
+                key,
+                section == "workspace.dependencies",
+                workspace_dep_keys,
+                line_no,
+                raw,
+                &mut report,
+            );
+        } else {
+            report(
+                line_no,
+                raw,
+                format!("dependency `{key}` is not an in-tree path (registry/git sources violate the hermetic-build policy)"),
+            );
+        }
+    }
+    close_dotted(&mut dotted, &mut report);
+    (findings, suppressed)
+}
+
+/// A `path = "…"` target must exist, be a crate, and stay inside the
+/// workspace root.
+fn check_path_target(
+    path: &str,
+    manifest_dir: &Path,
+    root: &Path,
+    line_no: usize,
+    raw: &str,
+    report: &mut impl FnMut(usize, &str, String),
+) {
+    let target = manifest_dir.join(path);
+    let Ok(resolved) = target.canonicalize() else {
+        report(line_no, raw, format!("path dependency `{path}` does not resolve on disk"));
+        return;
+    };
+    let Ok(root) = root.canonicalize() else {
+        return; // cannot judge containment without a root
+    };
+    if !resolved.starts_with(&root) {
+        report(line_no, raw, format!("path dependency `{path}` escapes the workspace root"));
+    } else if !resolved.join("Cargo.toml").is_file() {
+        report(line_no, raw, format!("path dependency `{path}` has no Cargo.toml"));
+    }
+}
+
+/// A `workspace = true` reference must name a root
+/// `[workspace.dependencies]` key.
+fn check_workspace_ref(
+    name: &str,
+    in_workspace_deps_table: bool,
+    workspace_dep_keys: &BTreeSet<String>,
+    line_no: usize,
+    raw: &str,
+    report: &mut impl FnMut(usize, &str, String),
+) {
+    if in_workspace_deps_table {
+        // `workspace = true` inside [workspace.dependencies] itself
+        // would be circular — that table is what gets referenced.
+        report(
+            line_no,
+            raw,
+            format!("`{name}` uses workspace = true inside [workspace.dependencies]"),
+        );
+        return;
+    }
+    if !workspace_dep_keys.contains(name) {
+        report(
+            line_no,
+            raw,
+            format!("`{name}` references [workspace.dependencies] but the root defines no such key"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(entries: &[&str]) -> BTreeSet<String> {
+        entries.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn registry_dependency_is_flagged() {
+        let (findings, _) = check_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nserde = \"1.0\"\n",
+            Path::new("/nonexistent-root"),
+            &keys(&[]),
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "cargo-dep");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let (findings, suppressed) = check_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nserde = \"1.0\" # lint: allow(cargo-dep)\n",
+            Path::new("/nonexistent-root"),
+            &keys(&[]),
+        );
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn workspace_ref_must_exist_in_root_table() {
+        let (findings, _) = check_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\ngood.workspace = true\nbad.workspace = true\n",
+            Path::new("/nonexistent-root"),
+            &keys(&["good"]),
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("bad"));
+    }
+
+    #[test]
+    fn dotted_section_without_source_is_flagged() {
+        let (findings, _) = check_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies.mystery]\nversion = \"2\"\n\n[features]\n",
+            Path::new("/nonexistent-root"),
+            &keys(&[]),
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn missing_path_target_is_flagged() {
+        let (findings, _) = check_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nghost = { path = \"../ghost\" }\n",
+            Path::new("/nonexistent-root"),
+            &keys(&[]),
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("does not resolve"));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let (findings, _) = check_manifest(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\nversion = \"1.0\"\n[features]\ndefault = []\n",
+            Path::new("/nonexistent-root"),
+            &keys(&[]),
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn manifest_info_reads_name_and_workspace_keys() {
+        let info = manifest_info(
+            "[package]\nname = \"groupsa-x\"\n[workspace.dependencies]\nrand = { path = \"crates/compat/rand\" }\n",
+        );
+        assert_eq!(info.package_name.as_deref(), Some("groupsa-x"));
+        assert!(info.workspace_dep_keys.contains("rand"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Findings and the machine-readable report.
+
+use groupsa_json::impl_json_struct;
+
+/// Current report schema version (bumped on breaking field changes).
+pub const REPORT_VERSION: u32 = 1;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Rule identifier (see [`crate::rules::RULES`]).
+    pub rule: String,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl_json_struct!(Finding { file, line, rule, message });
+
+/// The full analyzer output: what was scanned, what fired, and how
+/// many findings an allow-comment or allowlist suppressed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Schema version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Source files scanned (`.rs` files plus `Cargo.toml` manifests).
+    pub files_scanned: usize,
+    /// Findings suppressed by `// lint: allow(…)` comments or the
+    /// per-rule allowed-files list.
+    pub suppressed: usize,
+    /// Non-suppressed violations, in (file, line, rule) order.
+    pub findings: Vec<Finding>,
+}
+
+impl_json_struct!(Report { version, files_scanned, suppressed, findings });
+
+impl Report {
+    /// Assembles a report, sorting findings into (file, line, rule)
+    /// order so output is deterministic regardless of scan order.
+    pub fn new(files_scanned: usize, suppressed: usize, mut findings: Vec<Finding>) -> Self {
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule))
+        });
+        Self { version: REPORT_VERSION, files_scanned, suppressed, findings }
+    }
+
+    /// Whether the tree is clean (no non-suppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The `--format text` rendering: one `file:line: [rule] message`
+    /// line per finding plus a one-line summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+        }
+        out.push_str(&format!(
+            "groupsa-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// The `--format json` rendering (pretty-printed, stable key order).
+    pub fn to_json_string(&self) -> String {
+        groupsa_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new(
+            3,
+            2,
+            vec![
+                Finding {
+                    file: "b.rs".into(),
+                    line: 9,
+                    rule: "float-eq".into(),
+                    message: "m2".into(),
+                },
+                Finding {
+                    file: "a.rs".into(),
+                    line: 4,
+                    rule: "ambient-time".into(),
+                    message: "m1".into(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn findings_are_sorted_for_deterministic_output() {
+        let r = sample();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.findings[1].file, "b.rs");
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_typed_schema() {
+        let r = sample();
+        let text = r.to_json_string();
+        let back: Report = groupsa_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn text_rendering_names_file_line_and_rule() {
+        let text = sample().to_text();
+        assert!(text.contains("a.rs:4: [ambient-time] m1"));
+        assert!(text.contains("2 suppressed"));
+    }
+}

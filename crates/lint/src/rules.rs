@@ -1,0 +1,494 @@
+//! The rule engine: scope configuration plus the token-stream walks
+//! that produce findings.
+//!
+//! ## Rule catalogue
+//!
+//! | rule | family | scope | fires on |
+//! |------|--------|-------|----------|
+//! | `ambient-time` | determinism | numeric crates | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
+//! | `ambient-entropy` | determinism | numeric crates | `thread_rng`, `from_entropy`, `OsRng` |
+//! | `hash-container` | determinism | numeric crates | any `HashMap` / `HashSet` use |
+//! | `panic-path` | panic-safety | serve request paths | `.unwrap()`, `.expect()`, `panic!`-family macros, indexing without a `// bounds:` comment |
+//! | `float-eq` | float hygiene | numeric crates | `==` / `!=` against a float literal |
+//! | `extern-crate` | hermeticity | whole workspace | any `extern crate` item |
+//! | `foreign-use` | hermeticity | whole workspace | a `use` root outside std/core/alloc and the workspace |
+//! | `cargo-dep` | hermeticity | every `Cargo.toml` | a dependency that is not an in-tree path (see [`crate::manifest`]) |
+//!
+//! Code inside `#[cfg(test)]` regions and under `tests/` directories is
+//! exempt from the determinism, panic-safety, and float-hygiene
+//! families (tests may hash, unwrap, and compare exactly); the
+//! hermeticity family applies everywhere — tests must build offline
+//! too.
+//!
+//! Every rule honours the `// lint: allow(<rule>)` escape hatch parsed
+//! by the lexer. The determinism family additionally has a per-rule
+//! file allowlist ([`ALLOWED_FILES`]) for files whose entire purpose is
+//! the exempted behaviour (e.g. wall-clock timing for tracing).
+
+use crate::lexer::{lex, number_is_float, LexedFile, Token, TokenKind};
+use crate::report::Finding;
+use std::collections::BTreeSet;
+
+/// Every rule identifier the engine knows, in stable order.
+pub const RULES: &[&str] = &[
+    "ambient-time",
+    "ambient-entropy",
+    "hash-container",
+    "panic-path",
+    "float-eq",
+    "extern-crate",
+    "foreign-use",
+    "cargo-dep",
+];
+
+/// Crates whose numerics must be deterministic: the determinism and
+/// float-hygiene families apply to files under these prefixes.
+pub const NUMERIC_SCOPES: &[&str] =
+    &["crates/tensor/src/", "crates/nn/src/", "crates/core/src/", "crates/data/src/"];
+
+/// Serve request-path files where the panic-safety family applies:
+/// everything a request touches between the TCP read and the reply
+/// must use typed errors, never panic.
+pub const PANIC_SCOPES: &[&str] = &[
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/server.rs",
+];
+
+/// Per-rule file allowlist: `(rule, workspace-relative path, why)`.
+/// An entry exempts the whole file from that one rule; the
+/// justification is part of the record on purpose — an allowlist entry
+/// without a reason is a smell.
+pub const ALLOWED_FILES: &[(&str, &str, &str)] = &[(
+    "ambient-time",
+    "crates/core/src/train.rs",
+    "wall-clock timing feeds tracing/metrics only; the digest zeroes every wall-clock field",
+)];
+
+/// Scope/identity context for one analyzer run.
+#[derive(Debug)]
+pub struct Analyzer {
+    /// Underscored package names of every workspace crate — the `use`
+    /// roots that count as in-tree for the `foreign-use` rule.
+    pub workspace_roots: BTreeSet<String>,
+}
+
+/// `use` roots that are always legitimate besides workspace crates.
+const STD_ROOTS: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
+
+impl Analyzer {
+    /// An analyzer that treats `package_names` (dash or underscore
+    /// form) as in-tree `use` roots.
+    pub fn new(package_names: impl IntoIterator<Item = String>) -> Self {
+        let workspace_roots =
+            package_names.into_iter().map(|n| n.replace('-', "_")).collect();
+        Self { workspace_roots }
+    }
+
+    /// Analyzes one `.rs` file. `rel_path` decides which scopes apply;
+    /// returns the kept findings and the number suppressed by allow
+    /// comments or the file allowlist.
+    pub fn analyze_source(&self, rel_path: &str, source: &str) -> (Vec<Finding>, usize) {
+        let lexed = lex(source);
+        let in_tests_dir = rel_path.contains("/tests/") || rel_path.starts_with("tests/");
+        let numeric = !in_tests_dir && NUMERIC_SCOPES.iter().any(|p| rel_path.starts_with(p));
+        let panic_scope = !in_tests_dir && PANIC_SCOPES.contains(&rel_path);
+
+        let mut sink = Sink { rel_path, lexed: &lexed, findings: Vec::new(), suppressed: 0 };
+        let toks = &lexed.tokens;
+        let mut test_region = TestRegionTracker::default();
+
+        // Modules declared in this file: with 2018 uniform paths,
+        // `use sibling::X` is a legitimate local root when `mod
+        // sibling;` appears alongside it (the `pub use module::…`
+        // re-export pattern every crate root here uses).
+        let local_mods: BTreeSet<&str> = toks
+            .windows(2)
+            .filter(|w| {
+                w[0].kind == TokenKind::Ident
+                    && w[0].text == "mod"
+                    && w[1].kind == TokenKind::Ident
+            })
+            .map(|w| w[1].text.as_str())
+            .collect();
+
+        for i in 0..toks.len() {
+            let in_test = test_region.observe(toks, i);
+            let t = &toks[i];
+
+            // Hermeticity: applies everywhere, tests included.
+            if t.kind == TokenKind::Ident && t.text == "extern" && ident_at(toks, i + 1, "crate")
+            {
+                sink.report(
+                    "extern-crate",
+                    t.line,
+                    "`extern crate` bypasses the manifest; declare an in-tree dependency instead",
+                );
+            }
+            if t.kind == TokenKind::Ident && t.text == "use" {
+                if let Some(root) = use_root(toks, i) {
+                    if !STD_ROOTS.contains(&root.text.as_str())
+                        && !self.workspace_roots.contains(&root.text)
+                        && !local_mods.contains(root.text.as_str())
+                    {
+                        sink.report(
+                            "foreign-use",
+                            root.line,
+                            &format!(
+                                "`use {}…` names a root outside std and this workspace",
+                                root.text
+                            ),
+                        );
+                    }
+                }
+            }
+
+            if in_test {
+                continue;
+            }
+
+            if numeric && !self.file_allowed("ambient-time", rel_path) {
+                if t.kind == TokenKind::Ident
+                    && t.text == "Instant"
+                    && punct_at(toks, i + 1, "::")
+                    && ident_at(toks, i + 2, "now")
+                {
+                    sink.report(
+                        "ambient-time",
+                        t.line,
+                        "`Instant::now()` reads ambient wall-clock time in a deterministic numeric crate",
+                    );
+                }
+                if t.kind == TokenKind::Ident && (t.text == "SystemTime" || t.text == "UNIX_EPOCH")
+                {
+                    sink.report(
+                        "ambient-time",
+                        t.line,
+                        &format!("`{}` reads ambient wall-clock time in a deterministic numeric crate", t.text),
+                    );
+                }
+            }
+            if numeric
+                && t.kind == TokenKind::Ident
+                && matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+                && !self.file_allowed("ambient-entropy", rel_path)
+            {
+                sink.report(
+                    "ambient-entropy",
+                    t.line,
+                    &format!("`{}` draws ambient entropy; numeric crates must use seeded streams", t.text),
+                );
+            }
+            if numeric
+                && t.kind == TokenKind::Ident
+                && (t.text == "HashMap" || t.text == "HashSet")
+                && !self.file_allowed("hash-container", rel_path)
+            {
+                sink.report(
+                    "hash-container",
+                    t.line,
+                    &format!(
+                        "`{}` has randomized iteration order; use BTree collections or justify with an allow comment",
+                        t.text
+                    ),
+                );
+            }
+            if numeric && t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=") {
+                let prev_float = i > 0
+                    && toks[i - 1].kind == TokenKind::Number
+                    && number_is_float(&toks[i - 1].text);
+                let next_float = toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Number && number_is_float(&n.text));
+                if prev_float || next_float {
+                    sink.report(
+                        "float-eq",
+                        t.line,
+                        &format!("direct `{}` against a float literal; compare with a tolerance or justify exactness", t.text),
+                    );
+                }
+            }
+
+            if panic_scope {
+                if t.kind == TokenKind::Punct
+                    && t.text == "."
+                    && toks.get(i + 1).is_some_and(|n| {
+                        n.kind == TokenKind::Ident && (n.text == "unwrap" || n.text == "expect")
+                    })
+                    && punct_at(toks, i + 2, "(")
+                {
+                    let name = &toks[i + 1].text;
+                    sink.report(
+                        "panic-path",
+                        toks[i + 1].line,
+                        &format!("`.{name}()` can panic on a request path; return a typed ServeError instead"),
+                    );
+                }
+                if t.kind == TokenKind::Ident
+                    && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                    && punct_at(toks, i + 1, "!")
+                {
+                    sink.report(
+                        "panic-path",
+                        t.line,
+                        &format!("`{}!` aborts a request path; return a typed ServeError instead", t.text),
+                    );
+                }
+                if t.kind == TokenKind::Punct && t.text == "[" && i > 0 {
+                    let prev = &toks[i - 1];
+                    let is_index = matches!(prev.kind, TokenKind::Ident if !is_keyword(&prev.text))
+                        || (prev.kind == TokenKind::Punct
+                            && (prev.text == "]" || prev.text == ")"));
+                    if is_index && !lexed.has_bounds_comment(t.line) {
+                        sink.report(
+                            "panic-path",
+                            t.line,
+                            "indexing can panic on a request path; add a `// bounds: …` justification or use `.get()`",
+                        );
+                    }
+                }
+            }
+        }
+        (sink.findings, sink.suppressed)
+    }
+
+    fn file_allowed(&self, rule: &str, rel_path: &str) -> bool {
+        ALLOWED_FILES.iter().any(|(r, p, _)| *r == rule && *p == rel_path)
+    }
+}
+
+/// Accumulates findings, routing each through the allow-comment check.
+struct Sink<'a> {
+    rel_path: &'a str,
+    lexed: &'a LexedFile,
+    findings: Vec<Finding>,
+    suppressed: usize,
+}
+
+impl Sink<'_> {
+    fn report(&mut self, rule: &str, line: usize, message: &str) {
+        if self.lexed.is_allowed(line, rule) {
+            self.suppressed += 1;
+        } else {
+            self.findings.push(Finding {
+                file: self.rel_path.to_string(),
+                line,
+                rule: rule.to_string(),
+                message: message.to_string(),
+            });
+        }
+    }
+}
+
+/// Tracks `#[cfg(test)]`-attributed items so the in-file test module
+/// is exempt from the scoped rule families.
+#[derive(Default)]
+struct TestRegionTracker {
+    /// A `#[cfg(test)]` attribute was seen and its item hasn't started.
+    pending: bool,
+    /// Brace depth inside the current `#[cfg(test)]` item, if any.
+    depth: Option<usize>,
+}
+
+impl TestRegionTracker {
+    /// Feeds token `i`; returns whether it lies inside a test region.
+    fn observe(&mut self, toks: &[Token], i: usize) -> bool {
+        let t = &toks[i];
+        if let Some(depth) = self.depth.as_mut() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => *depth += 1,
+                    "}" => {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            self.depth = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return true;
+        }
+        // `#` `[` `cfg` `(` `test` … — the attribute that opens a test
+        // region (matches `cfg(test)` and `cfg(all(test, …))`, but not
+        // `cfg(not(test))`, which marks *non*-test code).
+        let cfg_test = t.kind == TokenKind::Punct
+            && t.text == "#"
+            && punct_at(toks, i + 1, "[")
+            && ident_at(toks, i + 2, "cfg")
+            && punct_at(toks, i + 3, "(")
+            && (ident_at(toks, i + 4, "test")
+                || ((ident_at(toks, i + 4, "all") || ident_at(toks, i + 4, "any"))
+                    && toks[i + 5..]
+                        .iter()
+                        .take(4)
+                        .any(|x| x.kind == TokenKind::Ident && x.text == "test")));
+        if cfg_test {
+            self.pending = true;
+            return false;
+        }
+        if self.pending && t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                self.pending = false;
+                self.depth = Some(1);
+                return true;
+            }
+            if t.text == ";" {
+                // `#[cfg(test)] mod tests;` — out-of-line test module;
+                // its file lives under a path the tests-dir check covers.
+                self.pending = false;
+            }
+        }
+        false
+    }
+}
+
+fn ident_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn punct_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Keywords that can precede `[` without it being an index expression.
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "as" | "break" | "const" | "continue" | "crate" | "else" | "enum" | "extern" | "fn"
+            | "for" | "if" | "impl" | "in" | "let" | "loop" | "match" | "mod" | "move" | "mut"
+            | "pub" | "ref" | "return" | "static" | "struct" | "trait" | "type" | "unsafe"
+            | "use" | "where" | "while" | "dyn" | "async" | "await"
+    )
+}
+
+/// The root identifier of a `use` item starting at token `i` (`use`
+/// itself), skipping a leading `::`. `None` when the next token is not
+/// an identifier (brace imports of multiple roots are vanishingly rare
+/// in this tree and would still be caught per-root once split).
+fn use_root(toks: &[Token], i: usize) -> Option<&Token> {
+    let mut j = i + 1;
+    if punct_at(toks, j, "::") {
+        j += 1;
+    }
+    let t = toks.get(j)?;
+    (t.kind == TokenKind::Ident).then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::new(["groupsa-json".to_string(), "rand".to_string()])
+    }
+
+    fn rules_fired(rel: &str, src: &str) -> Vec<(usize, String)> {
+        let (findings, _) = analyzer().analyze_source(rel, src);
+        findings.into_iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn instant_now_fires_only_in_numeric_scope() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(
+            rules_fired("crates/core/src/model.rs", src),
+            vec![(1, "ambient-time".to_string())]
+        );
+        assert!(rules_fired("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowed_file_exempts_one_rule_not_all() {
+        let src = "fn f() { let t = Instant::now(); let m = HashMap::new(); }";
+        let fired = rules_fired("crates/core/src/train.rs", src);
+        assert_eq!(fired, vec![(1, "hash-container".to_string())]);
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_scoped_rules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let m = HashMap::new(); let x = 1.0; if x == 0.0 {} }\n}";
+        assert!(rules_fired("crates/nn/src/linear.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hermeticity_applies_even_inside_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    use serde_json::Value;\n}";
+        assert_eq!(
+            rules_fired("crates/nn/src/linear.rs", src),
+            vec![(3, "foreign-use".to_string())]
+        );
+    }
+
+    #[test]
+    fn foreign_use_accepts_std_and_workspace_roots() {
+        let src = "use std::io;\nuse groupsa_json::Json;\nuse rand::Rng;\nuse crate::x;\nuse serde::Serialize;";
+        assert_eq!(
+            rules_fired("crates/data/src/lib.rs", src),
+            vec![(5, "foreign-use".to_string())]
+        );
+    }
+
+    #[test]
+    fn sibling_module_uniform_paths_are_in_tree() {
+        let src = "mod engine;\npub use engine::Engine;\nuse serde::Serialize;";
+        assert_eq!(
+            rules_fired("crates/serve/src/lib.rs", src),
+            vec![(3, "foreign-use".to_string())]
+        );
+    }
+
+    #[test]
+    fn panic_rules_fire_only_in_request_path_files() {
+        let src = "fn f(v: &[u8]) { v.first().unwrap(); panic!(\"no\"); let x = v[0]; }";
+        let fired = rules_fired("crates/serve/src/engine.rs", src);
+        assert_eq!(
+            fired,
+            vec![
+                (1, "panic-path".to_string()),
+                (1, "panic-path".to_string()),
+                (1, "panic-path".to_string())
+            ]
+        );
+        assert!(rules_fired("crates/serve/src/frozen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bounds_comment_satisfies_the_indexing_check() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    // bounds: caller validated idx against len\n    v[0]\n}";
+        assert!(rules_fired("crates/serve/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }";
+        assert!(rules_fired("crates/serve/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_types_and_attributes_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(v: &[u8], w: [u8; 2]) {}";
+        assert!(rules_fired("crates/serve/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_either_side() {
+        let src = "fn f(x: f32) { if x == 0.0 {} if 1.5 != x {} if x == y {} }";
+        let fired = rules_fired("crates/tensor/src/matrix.rs", src);
+        assert_eq!(fired, vec![(1, "float-eq".to_string()), (1, "float-eq".to_string())]);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_and_counts() {
+        let src = "fn f() {\n    // deterministic: membership only; lint: allow(hash-container)\n    let m = HashSet::new();\n}";
+        let (findings, suppressed) = analyzer().analyze_source("crates/data/src/x.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn tests_directories_are_exempt_from_scoped_rules() {
+        let src = "fn f() { let t = Instant::now(); let x = 1.0 == y; }";
+        assert!(rules_fired("crates/core/tests/golden.rs", src).is_empty());
+    }
+}

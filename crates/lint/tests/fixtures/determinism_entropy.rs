@@ -1,0 +1,14 @@
+//! ambient-entropy fixture: unseeded randomness in a numeric crate.
+
+pub fn ambient() -> u64 {
+    let rng = thread_rng();
+    let other = OsRng;
+    let _ = (rng, other);
+    0
+}
+
+pub fn reseeded() -> u64 {
+    let rng = thread_rng(); // replaced by a fixed seed in prod; lint: allow(ambient-entropy)
+    let _ = rng;
+    0
+}

@@ -1,0 +1,14 @@
+//! hash-container fixture: randomized iteration order in a numeric crate.
+
+use std::collections::HashMap;
+
+pub fn build() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = m;
+}
+
+pub fn membership_only() {
+    // membership checks only, never iterated; lint: allow(hash-container)
+    let s = std::collections::HashSet::<u32>::new();
+    let _ = s;
+}

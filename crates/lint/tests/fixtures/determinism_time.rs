@@ -1,0 +1,15 @@
+//! ambient-time fixture: wall-clock reads in a numeric crate.
+
+pub fn timed() -> u64 {
+    let t0 = Instant::now();
+    let epoch = SystemTime::now();
+    let _ = (t0, epoch);
+    0
+}
+
+pub fn justified() -> u64 {
+    // timing is display-only here; lint: allow(ambient-time)
+    let t0 = Instant::now();
+    let _ = t0;
+    0
+}

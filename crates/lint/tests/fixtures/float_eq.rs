@@ -1,0 +1,16 @@
+//! float-eq fixture: exact comparison against float literals.
+
+pub fn classify(x: f32) -> u32 {
+    if x == 0.0 {
+        return 0;
+    }
+    if 1.5 != x {
+        return 1;
+    }
+    2
+}
+
+pub fn exact_sentinel(w: f32) -> bool {
+    // zero is an exact sentinel written by init; lint: allow(float-eq)
+    w == 0.0
+}

@@ -1,0 +1,11 @@
+//! hermeticity fixture: out-of-workspace roots.
+
+extern crate serde;
+use serde_json::Value;
+use std::io;
+use groupsa_json::Json;
+
+// vendored shim, lives in-tree elsewhere; lint: allow(foreign-use)
+use missing_shim::Thing;
+
+pub fn noop(_v: Value, _j: Json, _t: Thing, _e: io::Error) {}

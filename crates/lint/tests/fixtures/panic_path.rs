@@ -1,0 +1,19 @@
+//! panic-path fixture: aborts on a serve request path.
+
+pub fn handle(v: &[u8], o: Option<u8>) -> u8 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    let c = v[0];
+    a + b + c
+}
+
+pub fn typed(v: &[u8]) -> u8 {
+    let first = v.first().copied().unwrap_or(0);
+    // bounds: caller validated v.len() > 1
+    let second = v[1];
+    let third = v.get(2).copied().unwrap(); // startup-only path; lint: allow(panic-path)
+    first + second + third
+}

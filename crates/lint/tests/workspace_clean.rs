@@ -1,0 +1,27 @@
+//! The acceptance gate: the real workspace must lint clean.
+//!
+//! Every finding in the tree has either been fixed (e.g. the serve
+//! request paths' unwraps became typed `ServeError`s) or carries a
+//! justified `// lint: allow(…)` comment / allowlist entry. A new
+//! violation anywhere in the workspace fails this test — and
+//! `scripts/tier1.sh`, which runs the same analysis via the binary.
+
+use groupsa_lint::find_workspace_root;
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = groupsa_lint::run(&root).expect("analysis runs");
+    assert!(
+        report.files_scanned > 100,
+        "sanity: the scan saw the whole tree, not a subdirectory ({} files)",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.to_text()
+    );
+}

@@ -35,7 +35,9 @@ impl Dropout {
         x: NodeId,
         training: bool,
     ) -> NodeId {
-        if !training || self.p == 0.0 {
+        // Exact-zero gate on the configured drop rate: p = 0.0 means
+        // "dropout disabled", set literally, never computed.
+        if !training || self.p == 0.0 { // lint: allow(float-eq)
             return x;
         }
         let (r, c) = g.value(x).shape();

@@ -8,13 +8,14 @@
 //! most `queue_capacity` requests wait, and anything beyond that is
 //! rejected immediately rather than buffered unboundedly.
 
+use crate::error::ServeError;
 use crate::frozen::FrozenModel;
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::protocol::{RecommendRequest, Response};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -78,7 +79,10 @@ impl Engine {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
+                    // Startup path, not a request path: if the OS can't
+                    // spawn threads the process has no useful degraded
+                    // mode, so aborting here is the right behaviour.
+                    .expect("spawn worker thread") // lint: allow(panic-path)
             })
             .collect();
         Arc::new(Self { shared, workers: Mutex::new(workers) })
@@ -95,17 +99,22 @@ impl Engine {
         };
         let (tx, rx) = mpsc::sync_channel(1);
         {
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            // A poisoned queue means a worker panicked mid-drain; the
+            // submitter gets a typed error instead of a second panic.
+            let mut queue = match self.shared.queue.lock() {
+                Ok(queue) => queue,
+                Err(_) => {
+                    self.shared.metrics.note_rejected();
+                    return ServeError::LockPoisoned { what: "queue" }.into_response(id);
+                }
+            };
             if self.shared.stopping.load(Ordering::SeqCst) {
                 self.shared.metrics.note_rejected();
-                return Response::Error { id, error: "engine is shutting down".into() };
+                return ServeError::ShuttingDown.into_response(id);
             }
             if queue.len() >= self.shared.cfg.queue_capacity {
                 self.shared.metrics.note_rejected();
-                return Response::Error {
-                    id,
-                    error: format!("queue full ({} pending)", queue.len()),
-                };
+                return ServeError::QueueFull { pending: queue.len() }.into_response(id);
             }
             let now = Instant::now();
             queue.push_back(Job {
@@ -119,7 +128,7 @@ impl Engine {
             self.shared.metrics.note_queue_depth(queue.len());
         }
         self.shared.available.notify_one();
-        rx.recv().unwrap_or(Response::Error { id, error: "worker dropped the request".into() })
+        rx.recv().unwrap_or_else(|_| ServeError::WorkerLost.into_response(id))
     }
 
     /// A live metrics snapshot (engine counters + frozen-cache stats).
@@ -138,7 +147,10 @@ impl Engine {
     pub fn shutdown(&self) -> StatsSnapshot {
         self.shared.stopping.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        // Join the pool even if a panicking thread poisoned the handle
+        // list — shutdown must still drain and report.
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
         let drained_any = !handles.is_empty();
         for handle in handles {
             let _ = handle.join();
@@ -165,7 +177,9 @@ fn worker_loop(shared: &Shared) {
         // events below.
         let traced = groupsa_obs::enabled();
         let (batch, form_us) = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            // Poison here means another worker panicked while holding
+            // the lock; this worker retires rather than panicking too.
+            let Ok(mut queue) = shared.queue.lock() else { return };
             loop {
                 if !queue.is_empty() {
                     // Batch-form time: the drain itself, not the idle
@@ -178,7 +192,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.stopping.load(Ordering::SeqCst) {
                     return; // queue drained and no more admissions
                 }
-                queue = shared.available.wait(queue).expect("queue poisoned");
+                queue = match shared.available.wait(queue) {
+                    Ok(queue) => queue,
+                    Err(_) => return, // poisoned mid-wait: retire
+                };
             }
         };
         let popped = Instant::now();
@@ -252,7 +269,7 @@ fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
     let id = job.req.id;
     if let Some(deadline) = job.deadline {
         if Instant::now() > deadline {
-            return (Response::Error { id, error: "deadline exceeded while queued".into() }, true);
+            return (ServeError::DeadlineExceeded.into_response(id), true);
         }
     }
     let response = match shared.frozen.recommend(
@@ -262,7 +279,7 @@ fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
         job.req.mode.group_mode(),
     ) {
         Ok(items) => Response::Recommend { id, items },
-        Err(error) => Response::Error { id, error },
+        Err(message) => ServeError::Model { message }.into_response(id),
     };
     (response, false)
 }

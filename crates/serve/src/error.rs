@@ -1,0 +1,102 @@
+//! Typed request-path errors.
+//!
+//! Everything that can go wrong between a request's admission and its
+//! reply is an explicit [`ServeError`] variant — the request paths in
+//! [`crate::engine`] and [`crate::server`] never `unwrap`/`expect`
+//! (enforced mechanically by `groupsa-lint`'s `panic-path` rule). The
+//! wire format is unchanged: errors still travel as
+//! `Response::Error { id, error }`, with [`ServeError`]'s `Display`
+//! rendering producing the exact strings clients already match on.
+
+use crate::protocol::Response;
+use std::fmt;
+
+/// A typed failure on the serve request path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission refused: the engine has begun shutting down.
+    ShuttingDown,
+    /// Admission refused: the bounded queue is at capacity.
+    QueueFull {
+        /// Requests waiting when admission was refused.
+        pending: usize,
+    },
+    /// The request's deadline passed while it sat in the queue.
+    DeadlineExceeded,
+    /// The worker's reply channel disconnected before an answer.
+    WorkerLost,
+    /// A shared lock was poisoned by a panicking thread; the request
+    /// is answered with an error rather than propagating the panic.
+    LockPoisoned {
+        /// Which lock ("queue", "workers").
+        what: &'static str,
+    },
+    /// The frozen model rejected the request (unknown id, empty
+    /// group, …).
+    Model {
+        /// The model's explanation.
+        message: String,
+    },
+    /// The request line did not parse, or named an unsupported
+    /// operation.
+    BadRequest {
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// The wire-level reply for this error, echoing `id`.
+    pub fn into_response(self, id: u64) -> Response {
+        Response::Error { id, error: self.to_string() }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::QueueFull { pending } => write!(f, "queue full ({pending} pending)"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::WorkerLost => write!(f, "worker dropped the request"),
+            ServeError::LockPoisoned { what } => {
+                write!(f, "internal error: {what} lock poisoned")
+            }
+            ServeError::Model { message } => write!(f, "{message}"),
+            ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_the_wire_strings_clients_grep_for() {
+        assert_eq!(ServeError::ShuttingDown.to_string(), "engine is shutting down");
+        assert_eq!(ServeError::QueueFull { pending: 7 }.to_string(), "queue full (7 pending)");
+        assert_eq!(ServeError::DeadlineExceeded.to_string(), "deadline exceeded while queued");
+        assert_eq!(ServeError::WorkerLost.to_string(), "worker dropped the request");
+    }
+
+    #[test]
+    fn into_response_echoes_the_id() {
+        let resp = ServeError::Model { message: "group 9 out of range".into() }.into_response(42);
+        match resp {
+            Response::Error { id, error } => {
+                assert_eq!(id, 42);
+                assert_eq!(error, "group 9 out of range");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_request_prefixes_the_cause() {
+        let e = ServeError::BadRequest { message: "no variant matches".into() };
+        assert_eq!(e.to_string(), "bad request: no variant matches");
+    }
+}

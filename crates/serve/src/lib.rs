@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod frozen;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use engine::{Engine, EngineConfig};
+pub use error::ServeError;
 pub use frozen::FrozenModel;
 pub use metrics::{CacheStats, Metrics, StatsSnapshot};
 pub use protocol::{RecommendRequest, Request, Response, ServeMode, Target};

@@ -124,6 +124,14 @@ impl_json_enum!(Request {
 });
 
 impl Request {
+    /// The client-chosen correlation id, whatever the variant — used to
+    /// address error replies when a request can't be dispatched.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Recommend { id, .. } | Request::Stats { id } | Request::Shutdown { id } => *id,
+        }
+    }
+
     /// The engine-level request, when this is a `Recommend`.
     pub fn into_recommend(self) -> Option<RecommendRequest> {
         match self {

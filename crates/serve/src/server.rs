@@ -7,6 +7,7 @@
 //! accept loop, drains the engine, and returns.
 
 use crate::engine::Engine;
+use crate::error::ServeError;
 use crate::protocol::{Request, Response};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -59,7 +60,9 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> b
             continue;
         }
         let response = match groupsa_json::from_str::<Request>(&line) {
-            Err(e) => Response::Error { id: 0, error: format!("bad request: {e}") },
+            Err(e) => {
+                ServeError::BadRequest { message: e.to_string() }.into_response(0)
+            }
             Ok(Request::Stats { id }) => Response::Stats { id, stats: engine.stats() },
             Ok(Request::Shutdown { id }) => {
                 stop.store(true, Ordering::SeqCst);
@@ -67,8 +70,15 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> b
                 return true;
             }
             Ok(req) => {
-                let req = req.into_recommend().expect("only Recommend remains");
-                engine.submit(req)
+                let id = req.id();
+                match req.into_recommend() {
+                    Some(req) => engine.submit(req),
+                    // Unreachable today (Stats/Shutdown matched above),
+                    // but a future Request variant must degrade to an
+                    // error reply, not a server panic.
+                    None => ServeError::BadRequest { message: "unsupported operation".into() }
+                        .into_response(id),
+                }
             }
         };
         if send(&mut writer, &response).is_err() {

@@ -298,7 +298,9 @@ impl Matrix {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                // Sparsity skip: exact-zero entries contribute exactly
+                // nothing, so this is a speedup with identical output.
+                if a == 0.0 { // lint: allow(float-eq)
                     continue;
                 }
                 let b_row = &other.data[p * n..(p + 1) * n];

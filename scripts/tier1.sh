@@ -9,9 +9,23 @@ cd "$(dirname "$0")/.."
 
 # --workspace on the build: the serve smoke test below needs the
 # groupsa-serve and serve_bench release binaries, which the root
-# package alone would not produce.
-cargo build --release --offline --workspace
+# package alone would not produce. -D warnings keeps the release build
+# warning-free — a warning anywhere in the workspace fails tier 1.
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Static analysis: groupsa-lint walks every .rs file and Cargo.toml in
+# the workspace enforcing the determinism / panic-safety / hermeticity
+# / float-hygiene invariants (DESIGN.md §11). It exits nonzero on any
+# finding, which fails tier 1 via set -e; the JSON report is kept as a
+# build artifact either way.
+mkdir -p results
+if ! ./target/release/groupsa-lint --format json > results/lint_report.json; then
+    echo "tier1: lint findings (see results/lint_report.json):" >&2
+    ./target/release/groupsa-lint --format text >&2 || true
+    exit 1
+fi
+echo "tier1: groupsa-lint found no violations"
 
 # Deterministic data-parallel training: the core trainer tests must
 # pass at 1 and at 4 workers, and a short training run must produce
