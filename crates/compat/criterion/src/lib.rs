@@ -94,13 +94,31 @@ impl Bencher {
     }
 }
 
+/// Summary statistics of one benchmark's collected samples, in
+/// nanoseconds per iteration. Returned by [`Criterion::bench_stats`]
+/// for programmatic consumers (the workspace's perf-regression gate);
+/// the printed report shows the same numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleStats {
+    /// Fastest observed sample (ns/iteration) — the least-noisy
+    /// estimate of the kernel's true cost, and what regression gating
+    /// should compare.
+    pub min_ns: f64,
+    /// Median sample (ns/iteration).
+    pub median_ns: f64,
+    /// Mean over all samples (ns/iteration).
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// One benchmark's collected samples (per-iteration durations).
 struct Samples {
     per_iter_ns: Vec<f64>,
 }
 
 impl Samples {
-    fn report(&mut self, label: &str) {
+    fn stats(&mut self) -> SampleStats {
         self.per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         let n = self.per_iter_ns.len();
         let min = self.per_iter_ns[0];
@@ -110,12 +128,19 @@ impl Samples {
             (self.per_iter_ns[n / 2 - 1] + self.per_iter_ns[n / 2]) / 2.0
         };
         let mean = self.per_iter_ns.iter().sum::<f64>() / n as f64;
+        SampleStats { min_ns: min, median_ns: median, mean_ns: mean, samples: n }
+    }
+
+    fn report(&mut self, label: &str) -> SampleStats {
+        let stats = self.stats();
         println!(
-            "{label:<48} min {:>10}  median {:>10}  mean {:>10}  ({n} samples)",
-            fmt_ns(min),
-            fmt_ns(median),
-            fmt_ns(mean)
+            "{label:<48} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            stats.samples
         );
+        stats
     }
 }
 
@@ -175,6 +200,18 @@ impl Criterion {
     {
         run_benchmark(self, name.to_string(), f);
         self
+    }
+
+    /// Runs a single benchmark and returns its summary statistics in
+    /// addition to printing the usual report line. This is the entry
+    /// point for programmatic consumers — upstream criterion exposes
+    /// timings only through report files, but the workspace's
+    /// perf-regression gate needs the numbers in-process.
+    pub fn bench_stats<F>(&mut self, name: &str, f: F) -> SampleStats
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name.to_string(), f)
     }
 
     /// Opens a named group of related benchmarks.
@@ -237,7 +274,7 @@ impl From<BenchmarkId> for BenchmarkIdOrName {
     }
 }
 
-fn run_benchmark<F>(criterion: &Criterion, label: String, mut f: F)
+fn run_benchmark<F>(criterion: &Criterion, label: String, mut f: F) -> SampleStats
 where
     F: FnMut(&mut Bencher),
 {
@@ -271,7 +308,7 @@ where
             .per_iter_ns
             .push(b.elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
     }
-    samples.report(&label);
+    samples.report(&label)
 }
 
 /// Declares a group of benchmark functions, either positionally
@@ -353,6 +390,18 @@ mod tests {
         });
         assert!(!seen.is_empty());
         assert!(seen.windows(2).all(|w| w[1] > w[0]), "inputs are fresh each call");
+    }
+
+    #[test]
+    fn bench_stats_returns_ordered_summaries() {
+        let stats = fast_criterion().bench_stats("stats", |b| {
+            b.iter(|| black_box(1u64.wrapping_mul(3)))
+        });
+        assert_eq!(stats.samples, 3);
+        assert!(stats.min_ns > 0.0);
+        assert!(stats.min_ns <= stats.median_ns, "min ≤ median");
+        assert!(stats.median_ns <= stats.mean_ns || stats.mean_ns >= stats.min_ns);
+        assert!(stats.mean_ns.is_finite());
     }
 
     #[test]

@@ -62,14 +62,18 @@ fn user_bpr_pass(
 }
 
 fn check_group_slot(name: &str) {
+    check_group_slot_items(name, &[1usize, 5, 9, 13]);
+}
+
+fn check_group_slot_items(name: &str, items: &[usize]) {
     let (d, ctx) = tiny_world(17);
     let mut model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
     let slot = slot_named(&model, name);
-    let (group, items) = (0usize, [1usize, 5, 9, 13]);
+    let group = 0usize;
     let x0 = model.store.get(slot).value.clone();
     assert_grad_matches(&x0, 1e-2, 5e-2, |m| {
         model.store.get_mut(slot).value = m.clone();
-        group_bpr_pass(&mut model, &ctx, group, &items, slot)
+        group_bpr_pass(&mut model, &ctx, group, items, slot)
     });
 }
 
@@ -114,6 +118,36 @@ fn e2e_grad_group_attention() {
 fn e2e_grad_prediction_tower() {
     // First layer of the (lean) group prediction tower.
     check_group_slot("pred_user.0.w");
+}
+
+#[test]
+fn e2e_grad_voting_attention_key_and_value() {
+    // The K and V projections route through the register-blocked
+    // `matmul` / `matmul_transpose_b` kernels in both the forward and
+    // backward directions (dWᵏ = Xᵀ·dK uses the transposed variant);
+    // check them independently of the Q slot above so a kernel bug
+    // confined to one operand's tiling shows up.
+    check_group_slot("vote0.attn.wk");
+    check_group_slot("vote0.attn.wv");
+}
+
+#[test]
+fn e2e_grad_prime_candidate_count_stresses_remainder_lanes() {
+    // 7 candidates (1 positive, 6 negatives — odd negative count) make
+    // every matrix on the BPR path have a prime row count, so the
+    // blocked kernels' remainder lanes (rows % 4, cols % 8 tails)
+    // carry real gradient signal instead of hiding behind full tiles.
+    check_group_slot_items("emb_item.table", &[1usize, 2, 3, 5, 7, 9, 11]);
+    check_group_slot_items("pred_user.0.w", &[1usize, 2, 3, 5, 7, 9, 11]);
+}
+
+#[test]
+fn e2e_grad_softmax_attention_path_with_three_candidates() {
+    // A 3-candidate list (smaller than any vector block) pushes the
+    // softmax rows of the voting attention entirely into scalar
+    // remainder code; the group-attention slot sits directly behind
+    // that softmax in the chain.
+    check_group_slot_items("group_att.att2.w", &[4usize, 8, 12]);
 }
 
 #[test]

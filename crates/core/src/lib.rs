@@ -71,5 +71,5 @@ pub use config::{Ablation, GroupSaConfig, VotingInput};
 pub use context::DataContext;
 pub use fast::ScoreAggregation;
 pub use model::GroupSa;
-pub use recommend::{top_k, GroupMode, Recommendation};
+pub use recommend::{top_k, GroupMode, Recommendation, TopK};
 pub use train::{TrainReport, Trainer};

@@ -75,27 +75,73 @@ impl Ord for Ranked {
     }
 }
 
+/// A streaming bounded-heap Top-K accumulator: push `(item, score)`
+/// pairs as they are produced, read the ranked result at the end.
+///
+/// This is the fused score+select primitive of the serve scan — the
+/// scorer pushes each candidate the moment its score exists, so no
+/// full `Vec<Recommendation>` of the whole catalog is ever
+/// materialised. Pushing the same sequence [`top_k`] would consume
+/// yields the same heap states and therefore the identical result.
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Ranked>,
+}
+
+impl TopK {
+    /// An empty accumulator keeping the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)) }
+    }
+
+    /// Offers one candidate; kept only while it ranks among the best
+    /// `k` seen so far.
+    #[inline]
+    pub fn push(&mut self, item: usize, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let rec = Recommendation { item, score };
+        if self.heap.len() < self.k {
+            self.heap.push(Ranked(rec));
+        } else if let Some(worst) = self.heap.peek() {
+            if rank_cmp(&rec, &worst.0) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(Ranked(rec));
+            }
+        }
+    }
+
+    /// Entries currently held (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` while nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The ranked result: descending score, ties broken by ascending
+    /// item id.
+    pub fn into_sorted(self) -> Vec<Recommendation> {
+        let mut out: Vec<Recommendation> = self.heap.into_iter().map(|r| r.0).collect();
+        out.sort_unstable_by(rank_cmp);
+        out
+    }
+}
+
 /// Best-`k` selection in O(n log k): a bounded heap of the `k` best
 /// candidates seen so far replaces the previous full sort + truncate.
 /// Output order is descending score with ties broken by ascending item
 /// id; NaN scores never panic and can only appear (last) when fewer
 /// than `k` real scores exist.
 pub fn top_k(scored: Vec<Recommendation>, k: usize) -> Vec<Recommendation> {
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<Ranked> = BinaryHeap::with_capacity(k + 1);
+    let mut acc = TopK::new(k);
     for rec in scored {
-        if heap.len() < k {
-            heap.push(Ranked(rec));
-        } else if rank_cmp(&rec, &heap.peek().expect("k > 0").0) == Ordering::Less {
-            heap.pop();
-            heap.push(Ranked(rec));
-        }
+        acc.push(rec.item, rec.score);
     }
-    let mut out: Vec<Recommendation> = heap.into_iter().map(|r| r.0).collect();
-    out.sort_unstable_by(rank_cmp);
-    out
+    acc.into_sorted()
 }
 
 impl GroupSa {

@@ -1,0 +1,113 @@
+//! Property tests for the bounded-heap Top-K selection.
+//!
+//! [`groupsa_core::top_k`] and the streaming [`groupsa_core::TopK`]
+//! accumulator replaced a full sort + truncate on the serve hot path.
+//! These properties pin them to an independently restated naive
+//! reference over adversarial score vectors: NaN, ±inf, signed zeros
+//! and heavy duplicate ties all included — exactly the inputs a heap
+//! comparator bug would mis-rank without panicking.
+
+use groupsa_core::{top_k, Recommendation, TopK};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// The documented ranking contract, restated from scratch (NOT by
+/// calling into the crate): descending score, NaN below every real
+/// score including `-inf`, ties broken by ascending item id.
+fn naive_rank(a: &Recommendation, b: &Recommendation) -> Ordering {
+    let class = |s: f32| if s.is_nan() { 1u8 } else { 0u8 };
+    class(a.score)
+        .cmp(&class(b.score))
+        .then_with(|| {
+            if a.score.is_nan() || b.score.is_nan() {
+                Ordering::Equal // NaN ties fall through to item id
+            } else {
+                b.score.partial_cmp(&a.score).expect("both real")
+            }
+        })
+        .then(a.item.cmp(&b.item))
+}
+
+/// Naive reference: sort everything, keep the first `k`.
+fn naive_top_k(mut scored: Vec<Recommendation>, k: usize) -> Vec<Recommendation> {
+    scored.sort_by(naive_rank);
+    scored.truncate(k);
+    scored
+}
+
+/// Decodes one `(tag, lattice)` draw into a score. Tags 0–4 inject the
+/// special values; the rest land on a coarse lattice so duplicate
+/// scores (and therefore item-id tie-breaks) are common, not rare.
+fn decode(tag: u8, lattice: i32) -> f32 {
+    match tag {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        _ => lattice as f32 * 0.25,
+    }
+}
+
+/// Two scores are the same selection-wise: identical bits, or both NaN
+/// (the heap and the sort may surface different NaN payloads).
+fn same_score(a: f32, b: f32) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounded_heap_agrees_with_sort_and_truncate(
+        raw in vec((0u8..16, -12i32..12), 0..220),
+        k in 0usize..48,
+    ) {
+        let scored: Vec<Recommendation> = raw
+            .iter()
+            .enumerate()
+            .map(|(item, &(tag, lattice))| Recommendation { item, score: decode(tag, lattice) })
+            .collect();
+
+        let want = naive_top_k(scored.clone(), k);
+        let got = top_k(scored, k);
+
+        prop_assert_eq!(got.len(), want.len(), "k={}", k);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g.item, w.item, "rank {} of k={}", i, k);
+            prop_assert!(
+                same_score(g.score, w.score),
+                "rank {} of k={}: {} vs {}", i, k, g.score, w.score
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_pushes_match_batch_top_k(
+        raw in vec((0u8..16, -12i32..12), 1..160),
+        k in 1usize..32,
+    ) {
+        // The serve scan pushes candidates chunk by chunk instead of
+        // collecting a Vec; the accumulator must not care.
+        let scored: Vec<Recommendation> = raw
+            .iter()
+            .enumerate()
+            .map(|(item, &(tag, lattice))| Recommendation { item, score: decode(tag, lattice) })
+            .collect();
+
+        let mut acc = TopK::new(k);
+        for rec in &scored {
+            acc.push(rec.item, rec.score);
+        }
+        prop_assert!(acc.len() <= k);
+        let streamed = acc.into_sorted();
+        let batch = top_k(scored, k);
+
+        prop_assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.iter().zip(&batch) {
+            prop_assert_eq!(s.item, b.item);
+            prop_assert!(same_score(s.score, b.score));
+        }
+    }
+}

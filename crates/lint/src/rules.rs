@@ -8,7 +8,7 @@
 //! | `ambient-time` | determinism | numeric crates | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
 //! | `ambient-entropy` | determinism | numeric crates | `thread_rng`, `from_entropy`, `OsRng` |
 //! | `hash-container` | determinism | numeric crates | any `HashMap` / `HashSet` use |
-//! | `panic-path` | panic-safety | serve request paths | `.unwrap()`, `.expect()`, `panic!`-family macros, indexing without a `// bounds:` comment |
+//! | `panic-path` | panic-safety | serve request paths + kernel bench (allowlisted) | `.unwrap()`, `.expect()`, `panic!`-family macros, indexing without a `// bounds:` comment |
 //! | `float-eq` | float hygiene | numeric crates | `==` / `!=` against a float literal |
 //! | `extern-crate` | hermeticity | whole workspace | any `extern crate` item |
 //! | `foreign-use` | hermeticity | whole workspace | a `use` root outside std/core/alloc and the workspace |
@@ -21,9 +21,10 @@
 //! too.
 //!
 //! Every rule honours the `// lint: allow(<rule>)` escape hatch parsed
-//! by the lexer. The determinism family additionally has a per-rule
-//! file allowlist ([`ALLOWED_FILES`]) for files whose entire purpose is
-//! the exempted behaviour (e.g. wall-clock timing for tracing).
+//! by the lexer. The determinism and panic-safety families additionally
+//! have a per-rule file allowlist ([`ALLOWED_FILES`]) for files whose
+//! entire purpose is the exempted behaviour (e.g. wall-clock timing for
+//! tracing, or a bench harness whose asserts are its error handling).
 
 use crate::lexer::{lex, number_is_float, LexedFile, Token, TokenKind};
 use crate::report::Finding;
@@ -48,8 +49,12 @@ pub const NUMERIC_SCOPES: &[&str] =
 
 /// Serve request-path files where the panic-safety family applies:
 /// everything a request touches between the TCP read and the reply
-/// must use typed errors, never panic.
+/// must use typed errors, never panic. The kernel-bench binary is in
+/// scope too — it drives the same request-path code — but carries a
+/// recorded [`ALLOWED_FILES`] exemption rather than being silently
+/// out of scope.
 pub const PANIC_SCOPES: &[&str] = &[
+    "crates/bench/src/bin/kernel_bench.rs",
     "crates/serve/src/engine.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
@@ -59,11 +64,18 @@ pub const PANIC_SCOPES: &[&str] = &[
 /// An entry exempts the whole file from that one rule; the
 /// justification is part of the record on purpose — an allowlist entry
 /// without a reason is a smell.
-pub const ALLOWED_FILES: &[(&str, &str, &str)] = &[(
-    "ambient-time",
-    "crates/core/src/train.rs",
-    "wall-clock timing feeds tracing/metrics only; the digest zeroes every wall-clock field",
-)];
+pub const ALLOWED_FILES: &[(&str, &str, &str)] = &[
+    (
+        "ambient-time",
+        "crates/core/src/train.rs",
+        "wall-clock timing feeds tracing/metrics only; the digest zeroes every wall-clock field",
+    ),
+    (
+        "panic-path",
+        "crates/bench/src/bin/kernel_bench.rs",
+        "a measurement harness must fail loudly on any setup/shape error; asserts are its error handling",
+    ),
+];
 
 /// Scope/identity context for one analyzer run.
 #[derive(Debug)]
@@ -92,7 +104,9 @@ impl Analyzer {
         let lexed = lex(source);
         let in_tests_dir = rel_path.contains("/tests/") || rel_path.starts_with("tests/");
         let numeric = !in_tests_dir && NUMERIC_SCOPES.iter().any(|p| rel_path.starts_with(p));
-        let panic_scope = !in_tests_dir && PANIC_SCOPES.contains(&rel_path);
+        let panic_scope = !in_tests_dir
+            && PANIC_SCOPES.contains(&rel_path)
+            && !self.file_allowed("panic-path", rel_path);
 
         let mut sink = Sink { rel_path, lexed: &lexed, findings: Vec::new(), suppressed: 0 };
         let toks = &lexed.tokens;

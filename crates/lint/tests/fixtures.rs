@@ -98,6 +98,34 @@ fn panic_path_fires_and_both_escapes_suppress() {
 }
 
 #[test]
+fn panic_path_scope_covers_bench_binary_via_recorded_allowlist() {
+    // The kernel-bench binary is *in* the panic-safety scope — the same
+    // fixture that fires four findings at a serve path analyzes clean
+    // there only because of its recorded ALLOWED_FILES entry, not
+    // because the file is silently outside the scope.
+    let bench = "crates/bench/src/bin/kernel_bench.rs";
+    assert!(
+        groupsa_lint::PANIC_SCOPES.contains(&bench),
+        "bench binary must be an explicit member of the panic scope"
+    );
+    let (rule, path, why) = groupsa_lint::ALLOWED_FILES
+        .iter()
+        .find(|(r, p, _)| *r == "panic-path" && *p == bench)
+        .expect("bench binary carries a panic-path allowlist entry");
+    assert_eq!((*rule, *path), ("panic-path", bench));
+    assert!(!why.is_empty(), "allowlist entries must record a justification");
+
+    let (fired, _) = run_fixture("panic_path.rs", bench);
+    assert!(fired.is_empty(), "allowlisted file analyzes clean: {fired:?}");
+
+    // An unlisted bench file stays out of scope entirely (nothing to
+    // fire), so the allowlist entry is load-bearing only for files
+    // that are also in PANIC_SCOPES.
+    let (fired, _) = run_fixture("panic_path.rs", "crates/bench/src/bin/other.rs");
+    assert!(fired.is_empty());
+}
+
+#[test]
 fn hermeticity_fires_and_allow_suppresses() {
     let (fired, suppressed) = run_fixture("hermetic_use.rs", "crates/graph/src/fixture.rs");
     assert_eq!(

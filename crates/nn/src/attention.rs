@@ -112,13 +112,18 @@ impl SelfAttention {
         let q = x.matmul(store.value(self.wq));
         let k = x.matmul(store.value(self.wk));
         let v = x.matmul(store.value(self.wv));
-        let mut scores = q.matmul_transpose_b(&k).scale(1.0 / (self.d_k as f32).sqrt());
+        // Scale, mask-add and softmax all mutate the score matrix in
+        // place — same values as the allocating chain this replaces
+        // (`scale` → `zip_map` → `softmax_rows`), minus three `l×l`
+        // allocations on the serve hot path.
+        let mut scores = q.matmul_transpose_b(&k);
+        scores.scale_assign(1.0 / (self.d_k as f32).sqrt());
         if let Some(m) = mask {
-            scores = scores.zip_map(m, |s, b| s + b);
+            scores.add_assign(m);
         }
-        let attn = ops::softmax_rows(&scores);
-        let z = attn.matmul(&v);
-        (z, attn)
+        ops::softmax_rows_inplace(&mut scores);
+        let z = scores.matmul(&v);
+        (z, scores)
     }
 }
 

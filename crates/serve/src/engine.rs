@@ -11,7 +11,7 @@
 use crate::error::ServeError;
 use crate::frozen::FrozenModel;
 use crate::metrics::{Metrics, StatsSnapshot};
-use crate::protocol::{RecommendRequest, Response};
+use crate::protocol::{RecommendRequest, Response, Target};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
@@ -209,49 +209,122 @@ fn worker_loop(shared: &Shared) {
                 ],
             );
         }
+        // Coalescible jobs — user targets scanning the full catalog
+        // (`exclude_seen = false`), whose candidate sets are therefore
+        // identical — share one stacked scoring pass when two or more
+        // land in the same drained batch. Everything else runs the
+        // per-job path in drain order.
+        let coalesce =
+            batch.iter().filter(|job| catalog_user_id(&job.req).is_some()).count() >= 2;
+        let mut coalesced: Vec<(usize, Job)> = Vec::new();
         for job in batch {
-            // Request lifecycle, phase by phase: queue-wait (enqueue →
-            // popped) is recorded for every drained job, scoring time
-            // only for jobs that actually ran the model.
-            let queue_wait = popped.saturating_duration_since(job.enqueued);
-            shared.metrics.note_queue_wait(queue_wait);
+            if coalesce {
+                if let Some(user) = catalog_user_id(&job.req) {
+                    coalesced.push((user, job));
+                    continue;
+                }
+            }
             let score_started = Instant::now();
             let (response, expired) = execute(shared, &job);
-            let score_elapsed = score_started.elapsed();
-            // Exactly one counter per drained job, so the categories
-            // stay disjoint and `submitted = completed + errors +
-            // expired` holds after a drain. (An expired request also
-            // *answers* with an `Error` response, but it must not be
-            // double-counted under `errors`.)
-            if expired {
-                shared.metrics.note_expired();
-            } else {
-                shared.metrics.note_score(score_elapsed);
-                shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
-            }
-            if traced {
-                let outcome = if expired {
-                    "expired"
-                } else if matches!(response, Response::Error { .. }) {
-                    "error"
-                } else {
-                    "ok"
-                };
-                groupsa_obs::emit(
-                    "request",
-                    &[
-                        ("id", groupsa_obs::to_json(&job.req.id)),
-                        ("outcome", groupsa_obs::to_json(&outcome)),
-                        ("queue_us", groupsa_obs::to_json(&(queue_wait.as_micros() as u64))),
-                        ("score_us", groupsa_obs::to_json(&(score_elapsed.as_micros() as u64))),
-                    ],
-                );
-            }
-            // A submitter that gave up (impossible today — submit
-            // blocks) would surface as a send error; drop silently.
-            let _ = job.reply.send(response);
+            finish_job(shared, traced, popped, job, response, expired, score_started.elapsed());
+        }
+        if !coalesced.is_empty() {
+            run_coalesced(shared, traced, popped, coalesced);
         }
     }
+}
+
+/// The user id of a request that can join a shared-candidate batched
+/// scoring pass — a user target whose candidate set is the full
+/// catalog — or `None` for everything else. Capturing the id here
+/// means the coalesced path never re-matches on the target (and so
+/// never needs an unreachable arm).
+fn catalog_user_id(req: &RecommendRequest) -> Option<usize> {
+    match req.target {
+        Target::User { id } if !req.exclude_seen => Some(id),
+        _ => None,
+    }
+}
+
+/// Scores a set of coalescible jobs through one
+/// [`FrozenModel::recommend_users_shared`] pass. Deadlines are checked
+/// at scoring time exactly like [`execute`]; per-job score time is the
+/// shared pass divided evenly across its members.
+fn run_coalesced(shared: &Shared, traced: bool, popped: Instant, jobs: Vec<(usize, Job)>) {
+    let mut live: Vec<(usize, Job)> = Vec::with_capacity(jobs.len());
+    let now = Instant::now();
+    for (user, job) in jobs {
+        match job.deadline {
+            Some(deadline) if now > deadline => {
+                let response = ServeError::DeadlineExceeded.into_response(job.req.id);
+                finish_job(shared, traced, popped, job, response, true, std::time::Duration::ZERO);
+            }
+            _ => live.push((user, job)),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let requests: Vec<(usize, usize)> =
+        live.iter().map(|(user, job)| (*user, job.req.k)).collect();
+    let score_started = Instant::now();
+    let results = shared.frozen.recommend_users_shared(&requests);
+    let per_job_elapsed = score_started.elapsed() / live.len() as u32;
+    for ((_, job), result) in live.into_iter().zip(results) {
+        let id = job.req.id;
+        let response = match result {
+            Ok(items) => Response::Recommend { id, items },
+            Err(message) => ServeError::Model { message }.into_response(id),
+        };
+        finish_job(shared, traced, popped, job, response, false, per_job_elapsed);
+    }
+}
+
+/// Request lifecycle accounting + reply, shared by the per-job and
+/// coalesced paths. Queue-wait (enqueue → popped) is recorded for
+/// every drained job; scoring time only for jobs that ran the model.
+/// Exactly one outcome counter per drained job, so the categories stay
+/// disjoint and `submitted = completed + errors + expired` holds after
+/// a drain. (An expired request also *answers* with an `Error`
+/// response, but it must not be double-counted under `errors`.)
+fn finish_job(
+    shared: &Shared,
+    traced: bool,
+    popped: Instant,
+    job: Job,
+    response: Response,
+    expired: bool,
+    score_elapsed: std::time::Duration,
+) {
+    let queue_wait = popped.saturating_duration_since(job.enqueued);
+    shared.metrics.note_queue_wait(queue_wait);
+    if expired {
+        shared.metrics.note_expired();
+    } else {
+        shared.metrics.note_score(score_elapsed);
+        shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
+    }
+    if traced {
+        let outcome = if expired {
+            "expired"
+        } else if matches!(response, Response::Error { .. }) {
+            "error"
+        } else {
+            "ok"
+        };
+        groupsa_obs::emit(
+            "request",
+            &[
+                ("id", groupsa_obs::to_json(&job.req.id)),
+                ("outcome", groupsa_obs::to_json(&outcome)),
+                ("queue_us", groupsa_obs::to_json(&(queue_wait.as_micros() as u64))),
+                ("score_us", groupsa_obs::to_json(&(score_elapsed.as_micros() as u64))),
+            ],
+        );
+    }
+    // A submitter that gave up (impossible today — submit blocks)
+    // would surface as a send error; drop silently.
+    let _ = job.reply.send(response);
 }
 
 impl Metrics {

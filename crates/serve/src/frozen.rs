@@ -22,9 +22,18 @@
 
 use crate::metrics::CacheStats;
 use crate::protocol::Target;
-use groupsa_core::{top_k, DataContext, GroupMode, GroupSa, Recommendation};
+use groupsa_core::{DataContext, GroupMode, GroupSa, Recommendation, TopK};
 use groupsa_tensor::Matrix;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Candidates scored per fused scan step: large enough that the
+/// prediction-tower matmuls amortise their setup, small enough that a
+/// full-catalog scan never materialises catalog-sized score vectors.
+/// Chunking is invisible in the results — every tower op is
+/// row-independent, so chunk rows carry the exact bits of a one-shot
+/// pass, and pushing them into the bounded [`TopK`] heap in the same
+/// candidate order reproduces the one-shot ranking.
+const SCAN_CHUNK: usize = 256;
 
 /// A trained model plus its precomputed per-user / per-group caches.
 pub struct FrozenModel {
@@ -104,6 +113,12 @@ impl FrozenModel {
     /// [`GroupSa::recommend_for_user`] / `recommend_for_group`
     /// bit-for-bit (same candidate filter, same scores, same
     /// deterministic ranking) while only touching the caches.
+    ///
+    /// Scoring is a *fused scan*: candidates are scored in
+    /// [`SCAN_CHUNK`]-sized slices and pushed straight into a bounded
+    /// [`TopK`] heap, so a full-catalog request allocates O(chunk + k)
+    /// instead of materialising catalog-sized candidate and score
+    /// vectors before selection.
     pub fn recommend(
         &self,
         target: Target,
@@ -111,66 +126,160 @@ impl FrozenModel {
         exclude_seen: bool,
         mode: GroupMode,
     ) -> Result<Vec<Recommendation>, String> {
-        let candidates = match target {
+        match target {
             Target::User { id } => {
                 if id >= self.ctx.num_users {
                     return Err(format!("user {id} out of range (num_users = {})", self.ctx.num_users));
                 }
-                self.candidates(|i| !exclude_seen || !self.ctx.user_item_graph.has_interaction(id, i))
+                let latent = self.user_latents[id].as_ref();
+                let mut counted = false;
+                Ok(self.scan(
+                    |i| !exclude_seen || !self.ctx.user_item_graph.has_interaction(id, i),
+                    k,
+                    |chunk, acc| {
+                        // Cache-hit accounting is per *request*, not per
+                        // chunk — note it on the first scored slice only.
+                        if !counted {
+                            counted = true;
+                            if latent.is_some() {
+                                self.latent_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        let scores = self.model.score_user_items_frozen(id, chunk, latent);
+                        for (&item, score) in chunk.iter().zip(scores) {
+                            acc.push(item, score);
+                        }
+                    },
+                ))
             }
             Target::Group { id } => {
                 if id >= self.ctx.num_groups() {
                     return Err(format!("group {id} out of range (num_groups = {})", self.ctx.num_groups()));
                 }
-                self.candidates(|i| !exclude_seen || !self.ctx.group_item_graph.has_interaction(id, i))
-            }
-        };
-        if candidates.is_empty() {
-            return Ok(Vec::new());
-        }
-        let scores = match target {
-            Target::User { id } => self.user_scores(id, &candidates),
-            Target::Group { id } => match mode {
-                GroupMode::Voting => {
-                    self.rep_hits.fetch_add(1, Ordering::Relaxed);
-                    self.model.score_group_items_frozen(&self.group_reps[id], &candidates)
-                }
-                GroupMode::Fast(agg) => {
-                    let members = &self.ctx.members[id];
-                    if members.is_empty() {
-                        return Err(format!("group {id} has no members"));
+                let keep = |i: usize| !exclude_seen || !self.ctx.group_item_graph.has_interaction(id, i);
+                match mode {
+                    GroupMode::Voting => {
+                        let mut counted = false;
+                        Ok(self.scan(keep, k, |chunk, acc| {
+                            if !counted {
+                                counted = true;
+                                self.rep_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let scores = self.model.score_group_items_frozen(&self.group_reps[id], chunk);
+                            for (&item, score) in chunk.iter().zip(scores) {
+                                acc.push(item, score);
+                            }
+                        }))
                     }
-                    let per_member: Vec<Vec<f32>> =
-                        members.iter().map(|&u| self.user_scores(u, &candidates)).collect();
-                    (0..candidates.len())
-                        .map(|idx| {
-                            let column: Vec<f32> = per_member.iter().map(|row| row[idx]).collect();
-                            agg.combine(&column)
-                        })
-                        .collect()
+                    GroupMode::Fast(agg) => {
+                        let members = &self.ctx.members[id];
+                        if members.is_empty() {
+                            // Mirror the unfused path: empty candidate
+                            // sets returned Ok before the member check
+                            // ever ran.
+                            if (0..self.ctx.num_items).any(keep) {
+                                return Err(format!("group {id} has no members"));
+                            }
+                            return Ok(Vec::new());
+                        }
+                        let latent_refs: Vec<Option<&Matrix>> =
+                            members.iter().map(|&u| self.user_latents[u].as_ref()).collect();
+                        let mut counted = false;
+                        Ok(self.scan(keep, k, |chunk, acc| {
+                            if !counted {
+                                counted = true;
+                                let hits = latent_refs.iter().filter(|l| l.is_some()).count() as u64;
+                                self.latent_hits.fetch_add(hits, Ordering::Relaxed);
+                            }
+                            let per_member = self.model.score_users_items_frozen(members, &latent_refs, chunk);
+                            for (idx, &item) in chunk.iter().enumerate() {
+                                let column: Vec<f32> = per_member.iter().map(|row| row[idx]).collect();
+                                acc.push(item, agg.combine(&column));
+                            }
+                        }))
+                    }
                 }
-            },
-        };
-        Ok(top_k(
-            candidates
-                .into_iter()
-                .zip(scores)
-                .map(|(item, score)| Recommendation { item, score })
-                .collect(),
-            k,
-        ))
-    }
-
-    fn candidates(&self, keep: impl Fn(usize) -> bool) -> Vec<usize> {
-        (0..self.ctx.num_items).filter(|&i| keep(i)).collect()
-    }
-
-    fn user_scores(&self, user: usize, items: &[usize]) -> Vec<f32> {
-        let latent = self.user_latents[user].as_ref();
-        if latent.is_some() {
-            self.latent_hits.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        self.model.score_user_items_frozen(user, items, latent)
+    }
+
+    /// Batched top-`k` for many *user* targets that share the full item
+    /// catalog as their candidate set (`exclude_seen = false`). Each
+    /// chunk is scored for **all** requests through one stacked
+    /// prediction-tower pass ([`GroupSa::score_users_items_frozen`]),
+    /// so `m` coalesced requests cost one tower traversal instead of
+    /// `m`. Per-request results (and cache-hit accounting) are
+    /// bit-identical to calling [`FrozenModel::recommend`] per request.
+    ///
+    /// Each `(user, k)` pair yields its own entry; an out-of-range user
+    /// fails individually without poisoning the batch.
+    pub fn recommend_users_shared(&self, requests: &[(usize, usize)]) -> Vec<Result<Vec<Recommendation>, String>> {
+        let mut results: Vec<Result<Vec<Recommendation>, String>> = requests
+            .iter()
+            .map(|&(user, _)| {
+                if user >= self.ctx.num_users {
+                    Err(format!("user {user} out of range (num_users = {})", self.ctx.num_users))
+                } else {
+                    Ok(Vec::new())
+                }
+            })
+            .collect();
+        let valid: Vec<usize> = (0..requests.len()).filter(|&j| results[j].is_ok()).collect();
+        if valid.is_empty() || self.ctx.num_items == 0 {
+            return results;
+        }
+        let users: Vec<usize> = valid.iter().map(|&j| requests[j].0).collect();
+        let latent_refs: Vec<Option<&Matrix>> = users.iter().map(|&u| self.user_latents[u].as_ref()).collect();
+        // One hit per request whose user has a cached latent — the same
+        // counts the per-request path produces.
+        let hits = latent_refs.iter().filter(|l| l.is_some()).count() as u64;
+        self.latent_hits.fetch_add(hits, Ordering::Relaxed);
+
+        let mut accs: Vec<TopK> = valid.iter().map(|&j| TopK::new(requests[j].1)).collect();
+        let mut start = 0;
+        while start < self.ctx.num_items {
+            let end = (start + SCAN_CHUNK).min(self.ctx.num_items);
+            let chunk: Vec<usize> = (start..end).collect();
+            let per_user = self.model.score_users_items_frozen(&users, &latent_refs, &chunk);
+            for (acc, scores) in accs.iter_mut().zip(per_user) {
+                for (&item, score) in chunk.iter().zip(scores) {
+                    acc.push(item, score);
+                }
+            }
+            start = end;
+        }
+        for (&j, acc) in valid.iter().zip(accs) {
+            results[j] = Ok(acc.into_sorted());
+        }
+        results
+    }
+
+    /// Drives one fused filter→score→select scan over the catalog:
+    /// candidates passing `keep` are collected into [`SCAN_CHUNK`]-item
+    /// slices, handed to `score_chunk` (which pushes scored items into
+    /// the accumulator), and ranked by the bounded heap at the end.
+    fn scan(
+        &self,
+        keep: impl Fn(usize) -> bool,
+        k: usize,
+        mut score_chunk: impl FnMut(&[usize], &mut TopK),
+    ) -> Vec<Recommendation> {
+        let mut acc = TopK::new(k);
+        let mut chunk: Vec<usize> = Vec::with_capacity(SCAN_CHUNK.min(self.ctx.num_items));
+        for i in 0..self.ctx.num_items {
+            if !keep(i) {
+                continue;
+            }
+            chunk.push(i);
+            if chunk.len() == SCAN_CHUNK {
+                score_chunk(&chunk, &mut acc);
+                chunk.clear();
+            }
+        }
+        if !chunk.is_empty() {
+            score_chunk(&chunk, &mut acc);
+        }
+        acc.into_sorted()
     }
 
     /// Point-in-time cache counters for the metrics snapshot.

@@ -115,6 +115,58 @@ fn parallel_responses_are_byte_identical_to_single_threaded() {
 }
 
 #[test]
+fn coalesced_catalog_user_requests_match_direct_scoring() {
+    // A single worker with a wide batch window and many concurrent
+    // catalog-user submitters (user target, exclude_seen = false):
+    // drained batches routinely contain ≥2 coalescible jobs, steering
+    // them through the shared stacked-scoring pass. Whether or not a
+    // given request was coalesced is timing-dependent — its response
+    // must be byte-identical to direct frozen scoring either way.
+    let frozen = frozen_world(84);
+    let engine = Engine::start(
+        Arc::clone(&frozen),
+        EngineConfig { workers: 1, queue_capacity: 256, max_batch: 16, default_deadline_ms: 0 },
+    );
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            (0..8u64)
+                .map(|i| {
+                    let id = t * 100 + i;
+                    let req = RecommendRequest {
+                        id,
+                        target: Target::User { id: ((t * 8 + i) as usize * 7) % 60 },
+                        k: 1 + (i as usize % 9),
+                        exclude_seen: false,
+                        mode: ServeMode::Voting,
+                        deadline_ms: 0,
+                    };
+                    (req.clone(), serialize(&engine.submit(req)))
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let mut answered = 0;
+    for handle in handles {
+        for (req, bytes) in handle.join().unwrap() {
+            let Target::User { id: user } = req.target else { unreachable!() };
+            let items = frozen
+                .recommend(Target::User { id: user }, req.k, false, groupsa_core::GroupMode::Voting)
+                .unwrap();
+            let want = serialize(&Response::Recommend { id: req.id, items });
+            assert_eq!(bytes, want, "request {}", req.id);
+            answered += 1;
+        }
+    }
+    let stats = engine.shutdown();
+    assert_eq!(answered, 48);
+    assert_eq!(stats.submitted, 48);
+    assert_eq!(stats.completed, 48, "no errors or expiries in this workload");
+    assert_eq!(stats.completed + stats.errors + stats.expired, stats.submitted);
+}
+
+#[test]
 fn shutdown_rejects_new_work_but_stays_queryable() {
     let frozen = frozen_world(82);
     let engine = Engine::start(frozen, EngineConfig::default());

@@ -85,6 +85,47 @@ fn include_seen_scores_every_item() {
 }
 
 #[test]
+fn batched_shared_catalog_path_matches_per_request_recommendations() {
+    let (d, ctx) = tiny_world(77);
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let frozen = FrozenModel::freeze(model, ctx);
+    // Mixed ks, duplicate users, and one out-of-range id: the batch
+    // must reproduce each per-request result (and error) individually.
+    let requests: Vec<(usize, usize)> =
+        vec![(0, 5), (1, 10), (2, 3), (0, 7), (d.num_users, 5), (d.num_users - 1, 4)];
+    let batched = frozen.recommend_users_shared(&requests);
+    assert_eq!(batched.len(), requests.len());
+    for (j, &(user, k)) in requests.iter().enumerate() {
+        let solo = frozen.recommend(Target::User { id: user }, k, false, GroupMode::Voting);
+        match (&batched[j], &solo) {
+            (Ok(got), Ok(want)) => assert_identical(got, want, &format!("batch slot {j} (user {user})")),
+            (Err(got), Err(want)) => assert_eq!(got, want, "batch slot {j}"),
+            (got, want) => panic!("batch slot {j}: {got:?} vs {want:?}"),
+        }
+    }
+}
+
+#[test]
+fn batched_shared_catalog_cache_accounting_matches_per_request_path() {
+    let (d, ctx) = tiny_world(78);
+    let model = GroupSa::new(GroupSaConfig::tiny(), d.num_users, d.num_items);
+    let frozen = FrozenModel::freeze(model, ctx);
+    let requests: Vec<(usize, usize)> = vec![(0, 5), (1, 5), (2, 5)];
+    let base = frozen.cache_stats().latent_hits;
+    let _ = frozen.recommend_users_shared(&requests);
+    let after_batch = frozen.cache_stats().latent_hits;
+    for &(user, k) in &requests {
+        frozen.recommend(Target::User { id: user }, k, false, GroupMode::Voting).unwrap();
+    }
+    let after_solo = frozen.cache_stats().latent_hits;
+    assert_eq!(
+        after_batch - base,
+        after_solo - after_batch,
+        "one latent hit per latent-bearing request, batched or not"
+    );
+}
+
+#[test]
 fn out_of_range_targets_error_instead_of_panicking() {
     let (d, ctx) = tiny_world(74);
     let num_groups = ctx.num_groups();

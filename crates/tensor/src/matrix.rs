@@ -282,7 +282,14 @@ impl Matrix {
 
     /// Standard matrix product `self · other`.
     ///
-    /// Uses the cache-friendly i-k-j loop order.
+    /// Blocked i-k-j loop: each output row accumulates four rows of
+    /// `other` per pass over it, which quarters the load/store traffic
+    /// on the output row and lets the compiler vectorise the inner
+    /// loop across columns. The accumulation *order per output
+    /// element* is exactly the naive k-ascending order of
+    /// [`Matrix::matmul_naive`], so results are bit-identical — the
+    /// equivalence tests in `tests/kernel_equivalence.rs` pin this
+    /// down across odd and prime shapes.
     ///
     /// # Panics
     /// If `self.cols != other.rows`.
@@ -290,6 +297,32 @@ impl Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimensions differ ({}x{} · {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if n == 0 {
+            return out;
+        }
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            matmul_accum_row(a_row, &other.data, n, out_row);
+        }
+        out
+    }
+
+    /// Reference (unblocked) implementation of [`Matrix::matmul`]:
+    /// the cache-friendly i-k-j loop with the exact-zero sparsity
+    /// skip. Retained as the bit-identical oracle for the blocked
+    /// kernel (equivalence tests, `kernel_bench` speedup ratios).
+    ///
+    /// # Panics
+    /// If `self.cols != other.rows`.
+    pub fn matmul_naive(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_naive: inner dimensions differ ({}x{} · {}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
@@ -314,12 +347,69 @@ impl Matrix {
 
     /// `self · otherᵀ` without materialising the transpose.
     ///
+    /// Register-blocked: four output columns (rows of `other`) are
+    /// computed per pass over the shared `self` row, giving four
+    /// independent accumulator chains where the naive kernel's single
+    /// serial dot chain is latency-bound. Each accumulator still sums
+    /// strictly in k-ascending order, so every output element is
+    /// bit-identical to [`Matrix::matmul_transpose_b_naive`].
+    ///
     /// # Panics
     /// If `self.cols != other.cols`.
     pub fn matmul_transpose_b(&self, other: &Self) -> Self {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose_b: column counts differ ({}x{} · ({}x{})ᵀ)",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &other.data[j * k..(j + 1) * k];
+                let b1 = &other.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &other.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &other.data[(j + 3) * k..(j + 4) * k];
+                // -0.0 is the additive identity `Iterator::sum` folds
+                // from; starting there keeps the four chains bitwise
+                // equal to `dot` even for k = 0 (where the sign of the
+                // zero is the entire result).
+                let (mut s0, mut s1, mut s2, mut s3) = (-0.0f32, -0.0f32, -0.0f32, -0.0f32);
+                for ((((&a, &v0), &v1), &v2), &v3) in
+                    a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    s0 += a * v0;
+                    s1 += a * v1;
+                    s2 += a * v2;
+                    s3 += a * v3;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for (o, jj) in out_row[j..].iter_mut().zip(j..n) {
+                *o = dot(a_row, &other.data[jj * k..(jj + 1) * k]);
+            }
+        }
+        out
+    }
+
+    /// Reference (single-chain) implementation of
+    /// [`Matrix::matmul_transpose_b`]: one serial dot product per
+    /// output element. Retained as the bit-identical oracle for the
+    /// register-blocked kernel.
+    ///
+    /// # Panics
+    /// If `self.cols != other.cols`.
+    pub fn matmul_transpose_b_naive(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b_naive: column counts differ ({}x{} · ({}x{})ᵀ)",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
@@ -538,6 +628,61 @@ impl Matrix {
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// One output row of the blocked [`Matrix::matmul`]: accumulates
+/// `a_row · B` into `out_row`, four rows of `B` per pass.
+///
+/// The fused fast path requires all four `a` coefficients non-zero so
+/// the exact-zero sparsity skip of the naive kernel (which prevents
+/// both wasted work and `0·inf = NaN` pollution) keeps byte-identical
+/// semantics: any quad containing a zero falls back to per-row AXPY
+/// with the same skip. Inside the fused loop the four `+=` statements
+/// are deliberately separate — per element the additions happen in the
+/// same k-ascending order as the naive kernel, which is what makes the
+/// result bit-identical rather than merely close.
+#[inline]
+fn matmul_accum_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    let mut quads = a_row.chunks_exact(4);
+    let mut p = 0;
+    for quad in quads.by_ref() {
+        let (a0, a1, a2, a3) = (quad[0], quad[1], quad[2], quad[3]);
+        // lint: allow(float-eq) — exact-zero gate, same as the naive kernel.
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 { // lint: allow(float-eq)
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for ((((o, &v0), &v1), &v2), &v3) in
+                out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o += a0 * v0;
+                *o += a1 * v1;
+                *o += a2 * v2;
+                *o += a3 * v3;
+            }
+        } else {
+            for (q, &a) in quad.iter().enumerate() {
+                if a == 0.0 { // lint: allow(float-eq)
+                    continue;
+                }
+                let b_row = &b[(p + q) * n..(p + q + 1) * n];
+                for (o, &v) in out_row.iter_mut().zip(b_row) {
+                    *o += a * v;
+                }
+            }
+        }
+        p += 4;
+    }
+    for (q, &a) in quads.remainder().iter().enumerate() {
+        if a == 0.0 { // lint: allow(float-eq)
+            continue;
+        }
+        let b_row = &b[(p + q) * n..(p + q + 1) * n];
+        for (o, &v) in out_row.iter_mut().zip(b_row) {
+            *o += a * v;
+        }
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {

@@ -52,6 +52,12 @@ pub fn log_sum_exp(xs: &[f32]) -> f32 {
 /// attends to themself in the model; this fallback keeps the function
 /// total).
 pub fn softmax_inplace(xs: &mut [f32]) {
+    // Three slice-iterator passes (max, exp+sum, scale) — no indexing,
+    // so the only bounds checks are the iterators' loop conditions,
+    // and no allocation anywhere. The sum is accumulated serially in
+    // element order on purpose: splitting it into SIMD lanes would
+    // change the rounding and break the bit-identity contract the
+    // digest tests enforce.
     let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     if m == f32::NEG_INFINITY {
         let u = 1.0 / xs.len().max(1) as f32;
@@ -70,10 +76,19 @@ pub fn softmax_inplace(xs: &mut [f32]) {
 /// Row-wise stable softmax of a matrix.
 pub fn softmax_rows(m: &Matrix) -> Matrix {
     let mut out = m.clone();
-    for r in 0..out.rows() {
-        softmax_inplace(out.row_mut(r));
-    }
+    softmax_rows_inplace(&mut out);
     out
+}
+
+/// Row-wise stable softmax, overwriting the matrix.
+///
+/// The allocation-free twin of [`softmax_rows`] for inference hot
+/// paths that own their logits (e.g. attention scores about to be
+/// discarded): one [`softmax_inplace`] per row, no clone.
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        softmax_inplace(m.row_mut(r));
+    }
 }
 
 /// Row-wise layer normalisation with affine parameters.

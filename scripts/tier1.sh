@@ -7,6 +7,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Optional perf-regression gate: `tier1.sh --bench-gate` additionally
+# re-times every kernel in BENCH_kernels.json and fails on a >25%
+# ns/op regression (see DESIGN.md §12). Off by default because wall
+# times on shared CI boxes are noisy; the smoke run below is always on.
+bench_gate=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-gate) bench_gate=1 ;;
+        *) echo "tier1: unknown argument '$arg' (expected --bench-gate)" >&2; exit 2 ;;
+    esac
+done
+
 # --workspace on the build: the serve smoke test below needs the
 # groupsa-serve and serve_bench release binaries, which the root
 # package alone would not produce. -D warnings keeps the release build
@@ -26,6 +38,22 @@ if ! ./target/release/groupsa-lint --format json > results/lint_report.json; the
     exit 1
 fi
 echo "tier1: groupsa-lint found no violations"
+
+# Kernel bench smoke: every microbench must still run (shapes valid,
+# sanity assertions inside the harness pass) on abbreviated profiles;
+# results land in results/kernel_bench_smoke.json. Numbers from this
+# mode are NOT comparable to BENCH_kernels.json — it exists to keep
+# the bench binary from rotting, not to measure.
+./target/release/kernel_bench --check >/dev/null
+echo "tier1: kernel bench smoke run passed (results/kernel_bench_smoke.json)"
+
+# Full gate only on request (--bench-gate): re-times at the full
+# profile and compares against the committed BENCH_kernels.json
+# baseline, failing on any kernel >25% slower in ns/op.
+if [ "$bench_gate" = 1 ]; then
+    ./target/release/kernel_bench --gate BENCH_kernels.json
+    echo "tier1: kernel perf gate passed (no >25% regressions vs BENCH_kernels.json)"
+fi
 
 # Deterministic data-parallel training: the core trainer tests must
 # pass at 1 and at 4 workers, and a short training run must produce
