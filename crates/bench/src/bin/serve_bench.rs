@@ -1,11 +1,20 @@
 //! Load generator for the `groupsa-serve` subsystem.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **In-process sweep** (default): freezes a tiny model, runs the
 //!   engine at 1/2/4 workers under concurrent client threads, and
 //!   writes throughput + exact client-side latency percentiles to
 //!   `results/serve_bench.json`.
+//! * **Snapshot scale** (`--users N`): streams an `N`-user synthetic
+//!   universe straight into a sharded binary snapshot (never holding
+//!   the universe in memory), opens it lazily through
+//!   `FrozenModel::from_snapshot` with a stub context, serves a mixed
+//!   workload from it, and writes write/open timings, resident table
+//!   bytes, disk bytes and peak RSS to
+//!   `results/serve_bench_snapshot.json`. `--memory-budget-mb` turns
+//!   the million-scale memory claim into a hard gate: the bench exits
+//!   nonzero if peak RSS exceeds the budget.
 //! * **TCP** (`--addr HOST:PORT`): drives a running `groupsa-serve`
 //!   over NDJSON, validating every response (echoed id, ≤ k items,
 //!   descending scores). Learns the id universe from a `Stats`
@@ -17,25 +26,36 @@
 //! ```text
 //! serve_bench [--clients N] [--requests N] [--k N] [--save true|false]
 //!             [--addr HOST:PORT] [--shutdown true|false]
+//!             [--users N] [--items N] [--groups N] [--snapshot DIR]
+//!             [--shards N] [--quant f32|f16|i8] [--chunk N]
+//!             [--memory-budget-mb N]
 //! ```
 //! `--requests` is the per-client request count. `--save false` skips
-//! writing `results/serve_bench.json` (used by CI smoke runs that must
-//! not clobber committed results).
+//! writing results JSON (used by CI smoke runs that must not clobber
+//! committed results).
+//!
+//! Every report carries a `schema_version` (like `BENCH_kernels.json`)
+//! and an existing results file is schema-validated before it is
+//! overwritten.
 //!
 //! The in-process sweep defaults `GROUPSA_TRACE` to
 //! `results/serve_bench_trace.jsonl` so every sweep leaves a
 //! machine-readable request/batch trace behind; set the variable
 //! yourself (or run the TCP mode, which never defaults it) to override.
 
+use groupsa_bench::output::RESULT_SCHEMA_VERSION;
 use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
 use groupsa_data::synthetic::{generate, SyntheticConfig};
+use groupsa_data::StreamConfig;
 use groupsa_json::impl_json_struct;
 use groupsa_serve::engine::{Engine, EngineConfig};
 use groupsa_serve::protocol::{RecommendRequest, Request, Response, ServeMode, Target};
 use groupsa_serve::FrozenModel;
+use groupsa_snapshot::{Quant, SnapshotMeta, SnapshotWriter};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -147,6 +167,7 @@ impl_json_struct!(RunResult {
 
 #[derive(Clone, Debug)]
 struct BenchReport {
+    schema_version: u64,
     dataset: String,
     num_users: usize,
     num_items: usize,
@@ -155,7 +176,58 @@ struct BenchReport {
     runs: Vec<RunResult>,
 }
 
-impl_json_struct!(BenchReport { dataset, num_users, num_items, num_groups, k, runs });
+impl_json_struct!(BenchReport { schema_version, dataset, num_users, num_items, num_groups, k, runs });
+
+/// The snapshot-scale report (`results/serve_bench_snapshot.json`):
+/// how long the streamed write and the lazy open took, how many bytes
+/// stay resident versus live on disk, and what the engine sustained
+/// serving out of the snapshot.
+#[derive(Clone, Debug)]
+struct SnapshotReport {
+    schema_version: u64,
+    num_users: usize,
+    num_items: usize,
+    num_groups: usize,
+    dim: usize,
+    shards: u64,
+    quant: String,
+    chunk_users: usize,
+    snapshot_id: String,
+    snapshot_write_s: f64,
+    snapshot_open_ms: f64,
+    snapshot_disk_bytes: u64,
+    /// Bytes the lazy backing keeps resident (presence bitmap + group
+    /// index) — the floor the serving process pays per snapshot.
+    resident_table_bytes: u64,
+    /// What the same tables would occupy fully materialised in f32.
+    full_table_bytes: u64,
+    /// Peak RSS of this process (VmHWM), 0 where /proc is unavailable.
+    peak_rss_bytes: u64,
+    memory_budget_bytes: u64,
+    k: usize,
+    runs: Vec<RunResult>,
+}
+
+impl_json_struct!(SnapshotReport {
+    schema_version,
+    num_users,
+    num_items,
+    num_groups,
+    dim,
+    shards,
+    quant,
+    chunk_users,
+    snapshot_id,
+    snapshot_write_s,
+    snapshot_open_ms,
+    snapshot_disk_bytes,
+    resident_table_bytes,
+    full_table_bytes,
+    peak_rss_bytes,
+    memory_budget_bytes,
+    k,
+    runs,
+});
 
 /// Exact percentiles from raw per-request latencies (µs).
 fn exact_percentiles(latencies: &mut [u64]) -> (u64, u64, u64, f64) {
@@ -251,7 +323,9 @@ fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> 
     }
 
     if save {
+        groupsa_bench::output::check_schema("serve_bench", RESULT_SCHEMA_VERSION)?;
         let report = BenchReport {
+            schema_version: RESULT_SCHEMA_VERSION,
             dataset: syn.name.clone(),
             num_users: users,
             num_items,
@@ -263,6 +337,223 @@ fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> 
         println!("[saved {}]", path.display());
     } else {
         println!("[--save false: skipped results/serve_bench.json]");
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------ snapshot scale
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where that interface does not exist.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .filter(|m| m.is_file())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// Streams `users` synthetic users into a sharded binary snapshot,
+/// opens it lazily, and serves a mixed workload out of it — the
+/// million-scale path, measured instead of asserted.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_scale(flags: &HashMap<String, String>) -> Result<(), String> {
+    let users: usize = num(flags, "users", 1_000_000)?;
+    let items: usize = num(flags, "items", 50_000)?;
+    let groups: usize = num(flags, "groups", 10_000)?;
+    let shards: u32 = num(flags, "shards", 16)?;
+    let chunk: usize = num(flags, "chunk", 65_536)?;
+    let clients: usize = num(flags, "clients", 4)?;
+    let per_client: usize = num(flags, "requests", 64)?;
+    let k: usize = num(flags, "k", 10)?;
+    let budget_mb: u64 = num(flags, "memory-budget-mb", 1024)?;
+    let save = !matches!(flags.get("save").map(String::as_str), Some("false"));
+    let quant = match flags.get("quant").map(String::as_str) {
+        None => Quant::F32,
+        Some(name) => Quant::from_name(name).map_err(|e| format!("--quant: {e}"))?,
+    };
+    let dir: PathBuf = match flags.get("snapshot") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("groupsa-serve-bench-snap-{}", std::process::id())),
+    };
+    if users == 0 || items == 0 || groups == 0 {
+        return Err("--users/--items/--groups must be positive".into());
+    }
+
+    let mut cfg = GroupSaConfig::tiny();
+    cfg.embed_dim = 16;
+    let model = GroupSa::new(cfg, users, items);
+    let dim = model.user_embedding_table().cols();
+    let stream = StreamConfig::serving(77, users, items, groups);
+    println!(
+        "snapshot scale: {users} users, {items} items, {groups} groups, dim {dim}, \
+         {shards} shard(s), {} encoding, chunk {chunk}",
+        quant.name()
+    );
+
+    // 1. Stream the universe into the snapshot, chunk by chunk. The
+    // latent table never exists in memory: each chunk's latents are
+    // computed, written and dropped.
+    let _ = std::fs::remove_dir_all(&dir);
+    let started = Instant::now();
+    let meta = SnapshotMeta { num_users: users, num_items: items, num_groups: groups, dim, shards, quant };
+    let mut writer = SnapshotWriter::create(&dir, meta).map_err(|e| e.to_string())?;
+    let mut present_users = 0u64;
+    for chunk_profiles in stream.user_chunks(chunk) {
+        for p in &chunk_profiles {
+            let latent = model.user_latent_from_lists(p.user, &p.top_items, &p.top_friends);
+            present_users += latent.is_some() as u64;
+            writer.push_user(latent.as_ref().map(|m| m.as_slice())).map_err(|e| e.to_string())?;
+        }
+    }
+    let members = stream.all_group_members();
+    let mut group_rep_rows = 0u64;
+    for m in &members {
+        let reps = model.member_reps_from_parts(m, None, |u| {
+            let p = stream.user_profile(u);
+            model.user_latent_from_lists(u, &p.top_items, &p.top_friends)
+        });
+        group_rep_rows += reps.rows() as u64;
+        writer.push_group(&reps).map_err(|e| e.to_string())?;
+    }
+    let snapshot_id = writer.finish().map_err(|e| e.to_string())?;
+    let write_s = started.elapsed().as_secs_f64();
+    let disk = dir_bytes(&dir);
+    println!(
+        "  wrote snapshot {snapshot_id:016x} in {write_s:.1}s: {present_users}/{users} users \
+         with latents, {group_rep_rows} group rep rows, {:.1} MiB on disk",
+        disk as f64 / (1024.0 * 1024.0)
+    );
+
+    // 2. Open it lazily behind a stub context — exactly what a serving
+    // process at this scale would hold.
+    let opened = Instant::now();
+    let ctx = DataContext::serving_stub(users, items, members);
+    let frozen = Arc::new(FrozenModel::from_snapshot(model, ctx, &dir)?);
+    let open_ms = opened.elapsed().as_secs_f64() * 1e3;
+    let resident = frozen.resident_table_bytes() as u64;
+    let full_bytes = (users as u64 + group_rep_rows) * dim as u64 * 4;
+    println!(
+        "  opened in {open_ms:.1} ms; resident table bytes {} ({:.4}% of the {:.1} MiB f32 tables)",
+        resident,
+        resident as f64 / full_bytes as f64 * 100.0,
+        full_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // 3. Serve a mixed workload straight off the snapshot.
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::start(Arc::clone(&frozen), EngineConfig { workers, ..EngineConfig::default() });
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let engine = Arc::clone(&engine);
+            let reqs = workload(per_client, c * per_client, k, users, groups);
+            handles.push(std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(reqs.len());
+                for req in reqs {
+                    let t = Instant::now();
+                    let resp = engine.submit(req.clone());
+                    latencies.push(t.elapsed().as_micros() as u64);
+                    validate(&req, &resp)?;
+                }
+                Ok::<Vec<u64>, String>(latencies)
+            }));
+        }
+        let mut latencies = Vec::new();
+        for handle in handles {
+            latencies.extend(handle.join().map_err(|_| "client thread panicked".to_string())??);
+        }
+        let elapsed = started.elapsed();
+        engine.shutdown();
+        let (p50, p95, p99, mean) = exact_percentiles(&mut latencies);
+        let total = latencies.len() as u64;
+        let run = RunResult {
+            workers,
+            clients,
+            requests: total,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            throughput_rps: total as f64 / elapsed.as_secs_f64(),
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
+            mean_us: mean,
+        };
+        println!(
+            "  workers={} clients={} requests={} throughput={:.0} req/s p50={}us p95={}us p99={}us",
+            run.workers, run.clients, run.requests, run.throughput_rps, run.p50_us, run.p95_us, run.p99_us
+        );
+        runs.push(run);
+    }
+
+    // 4. The memory claim, enforced.
+    let peak = peak_rss_bytes();
+    let budget = budget_mb * 1024 * 1024;
+    if peak > 0 {
+        println!(
+            "  peak RSS {:.1} MiB (budget {budget_mb} MiB)",
+            peak as f64 / (1024.0 * 1024.0)
+        );
+        if peak > budget {
+            return Err(format!(
+                "peak RSS {} bytes exceeds the {budget_mb} MiB memory budget",
+                peak
+            ));
+        }
+    } else {
+        println!("  peak RSS unavailable on this platform; budget not enforced");
+    }
+
+    if save {
+        groupsa_bench::output::check_schema("serve_bench_snapshot", RESULT_SCHEMA_VERSION)?;
+        let report = SnapshotReport {
+            schema_version: RESULT_SCHEMA_VERSION,
+            num_users: users,
+            num_items: items,
+            num_groups: groups,
+            dim,
+            shards: shards as u64,
+            quant: quant.name().to_string(),
+            chunk_users: chunk,
+            snapshot_id: format!("{snapshot_id:016x}"),
+            snapshot_write_s: write_s,
+            snapshot_open_ms: open_ms,
+            snapshot_disk_bytes: disk,
+            resident_table_bytes: resident,
+            full_table_bytes: full_bytes,
+            peak_rss_bytes: peak,
+            memory_budget_bytes: budget,
+            k,
+            runs,
+        };
+        let path =
+            groupsa_bench::output::save_json("serve_bench_snapshot", &report).map_err(|e| e.to_string())?;
+        println!("[saved {}]", path.display());
+    } else {
+        println!("[--save false: skipped results/serve_bench_snapshot.json]");
+    }
+    if flags.get("snapshot").is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
     }
     Ok(())
 }
@@ -383,6 +674,7 @@ fn run() -> Result<(), String> {
             let shutdown = matches!(flags.get("shutdown").map(String::as_str), Some("true"));
             tcp_bench(addr, clients, per_client, k, shutdown)
         }
+        None if flags.contains_key("users") || flags.contains_key("snapshot") => snapshot_scale(&flags),
         None => {
             let save = !matches!(flags.get("save").map(String::as_str), Some("false"));
             in_process_sweep(clients, per_client, k, save)

@@ -94,6 +94,7 @@ impl_json_struct!(ThreadRun { threads, elapsed_s, examples_per_sec, speedup_vs_s
 
 #[derive(Debug)]
 struct TrainBenchReport {
+    schema_version: u64,
     machine_cores: usize,
     user_examples_per_epoch: usize,
     group_examples_per_epoch: usize,
@@ -104,6 +105,7 @@ struct TrainBenchReport {
 }
 
 impl_json_struct!(TrainBenchReport {
+    schema_version,
     machine_cores,
     user_examples_per_epoch,
     group_examples_per_epoch,
@@ -170,7 +172,12 @@ fn sweep() {
         );
     }
 
+    if let Err(e) = groupsa_bench::output::check_schema("train_bench", groupsa_bench::output::RESULT_SCHEMA_VERSION) {
+        eprintln!("[error] {e}");
+        std::process::exit(1);
+    }
     let report = TrainBenchReport {
+        schema_version: groupsa_bench::output::RESULT_SCHEMA_VERSION,
         machine_cores: cores,
         user_examples_per_epoch: ctx.train_user_item.len(),
         group_examples_per_epoch: ctx.train_group_item.len(),

@@ -24,6 +24,47 @@ pub fn save_json<T: ToJson>(name: &str, payload: &T) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Schema version stamped into versioned bench reports
+/// (`serve_bench`, `train_bench`, `serve_bench_snapshot`,
+/// `quant_eval`) — the same contract `BENCH_kernels.json` uses. Bump
+/// it whenever a report's field set or meaning changes.
+pub const RESULT_SCHEMA_VERSION: u64 = 1;
+
+/// Validates the `schema_version` of an existing `results/<name>.json`
+/// before a bench overwrites it: a file written by a *newer* (or
+/// otherwise different) schema is refused instead of silently
+/// clobbered, so committed results and the binaries that read them
+/// cannot drift apart unnoticed. Unversioned or unparsable files only
+/// warn — they predate versioning and the rewrite upgrades them.
+pub fn check_schema(name: &str, expected: u64) -> Result<(), String> {
+    check_schema_file(&Path::new(RESULTS_DIR).join(format!("{name}.json")), expected)
+}
+
+/// [`check_schema`] against an explicit path.
+pub fn check_schema_file(path: &Path, expected: u64) -> Result<(), String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(()); // nothing on disk yet
+    };
+    match groupsa_json::Json::parse(&text) {
+        Ok(json) => match json.get("schema_version").and_then(|v| v.as_f64()) {
+            Some(v) if v as u64 == expected => Ok(()),
+            Some(v) => Err(format!(
+                "{} has schema v{}, this binary writes v{expected} — delete or re-baseline it first",
+                path.display(),
+                v as u64
+            )),
+            None => {
+                eprintln!("[warn] {} predates schema versioning; rewriting as v{expected}", path.display());
+                Ok(())
+            }
+        },
+        Err(e) => {
+            eprintln!("[warn] {} is not valid JSON ({e}); rewriting as v{expected}", path.display());
+            Ok(())
+        }
+    }
+}
+
 /// Prints a leaderboard with a separating banner, and persists it.
 pub fn emit(name: &str, lb: &Leaderboard) {
     println!("==================================================================");
@@ -53,6 +94,28 @@ mod tests {
         let s = fmt_per_k(&[(5, 0.8339, 0.6886), (10, 0.9257, 0.7186)]);
         assert!(s.contains("HR@5=0.8339"));
         assert!(s.contains("NDCG@10=0.7186"));
+    }
+
+    #[test]
+    fn check_schema_accepts_matching_and_rejects_mismatched() {
+        let dir = std::env::temp_dir().join(format!("groupsa-bench-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        // Missing file: fine.
+        let _ = std::fs::remove_file(&path);
+        assert!(check_schema_file(&path, 1).is_ok());
+        // Matching version: fine.
+        std::fs::write(&path, "{\"schema_version\": 1, \"runs\": []}").unwrap();
+        assert!(check_schema_file(&path, 1).is_ok());
+        // Mismatched version: refused.
+        let err = check_schema_file(&path, 2).unwrap_err();
+        assert!(err.contains("schema v1"), "{err}");
+        // Unversioned legacy file: warns but proceeds.
+        std::fs::write(&path, "{\"runs\": []}").unwrap();
+        assert!(check_schema_file(&path, 1).is_ok());
+        // Garbage: warns but proceeds (it will be rewritten).
+        std::fs::write(&path, "not json").unwrap();
+        assert!(check_schema_file(&path, 1).is_ok());
     }
 
     #[test]

@@ -106,6 +106,36 @@ impl DataContext {
     pub fn num_groups(&self) -> usize {
         self.members.len()
     }
+
+    /// A minimal context for snapshot-backed serving: universe sizes
+    /// and member lists only, with empty interaction graphs and no
+    /// Top-H lists or masks.
+    ///
+    /// The serving path (`FrozenModel::recommend`) touches exactly
+    /// `num_users` / `num_items`, the interaction graphs (for
+    /// `exclude_seen` filtering — empty graphs mean nothing is ever
+    /// excluded) and `members` (Fast-mode aggregation); the expensive
+    /// per-user/per-group intermediates come from the snapshot tables,
+    /// which were precomputed against the *real* context at freeze
+    /// time. A stub context cannot recompute those tables — serve's
+    /// `FrozenModel` refuses to `rebuild` on top of one.
+    pub fn serving_stub(num_users: usize, num_items: usize, members: Vec<Vec<usize>>) -> Self {
+        let num_groups = members.len();
+        Self {
+            num_users,
+            num_items,
+            train_user_item: Vec::new(),
+            train_group_item: Vec::new(),
+            user_item_graph: Bipartite::from_pairs(num_users, num_items, &[]),
+            group_item_graph: Bipartite::from_pairs(num_groups, num_items, &[]),
+            social_graph: CsrGraph::empty(num_users),
+            members,
+            group_masks: (0..num_groups).map(|_| None).collect(),
+            top_items: vec![Vec::new(); num_users],
+            top_friends: vec![Vec::new(); num_users],
+            valid_group_item: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

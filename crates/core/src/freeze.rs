@@ -48,12 +48,11 @@ impl GroupSa {
     }
 
     /// Tape-free twin of the item-aggregation branch `hⱽ_j`
-    /// (Eq. 11–14).
-    fn item_aggregation_frozen(&self, ctx: &DataContext, user: usize, emb_u: &Matrix) -> Option<Matrix> {
+    /// (Eq. 11–14), driven by an explicit Top-H item list.
+    fn item_aggregation_frozen(&self, items: &[usize], emb_u: &Matrix) -> Option<Matrix> {
         if !self.cfg.ablation.item_aggregation {
             return None;
         }
-        let items = &ctx.top_items[user];
         if items.is_empty() {
             return None;
         }
@@ -67,12 +66,11 @@ impl GroupSa {
     }
 
     /// Tape-free twin of the social-aggregation branch `hˢ_j`
-    /// (Eq. 15–18).
-    fn social_aggregation_frozen(&self, ctx: &DataContext, user: usize, emb_u: &Matrix) -> Option<Matrix> {
+    /// (Eq. 15–18), driven by an explicit Top-H friend list.
+    fn social_aggregation_frozen(&self, friends: &[usize], emb_u: &Matrix) -> Option<Matrix> {
         if !self.cfg.ablation.social_aggregation {
             return None;
         }
-        let friends = &ctx.top_friends[user];
         if friends.is_empty() {
             return None;
         }
@@ -93,12 +91,27 @@ impl GroupSa {
     /// it depends only on the trained parameters and the context, so a
     /// serving layer caches one `1×d` row per user.
     pub fn user_latent_frozen(&self, ctx: &DataContext, user: usize) -> Option<Matrix> {
+        self.user_latent_from_lists(user, &ctx.top_items[user], &ctx.top_friends[user])
+    }
+
+    /// [`GroupSa::user_latent_frozen`] with the Top-H lists supplied
+    /// explicitly instead of read from a [`DataContext`]. This is the
+    /// producer the snapshot builder streams through: a chunked
+    /// generator can hand over each user's lists without ever
+    /// materializing a full context, and the result is bit-identical
+    /// to the context-driven call (same ops, same order).
+    pub fn user_latent_from_lists(
+        &self,
+        user: usize,
+        top_items: &[usize],
+        top_friends: &[usize],
+    ) -> Option<Matrix> {
         if !self.cfg.ablation.user_modeling() {
             return None;
         }
         let emb_u = self.emb_user.lookup_inference(&self.store, &[user]); // 1×d
-        let hv = self.item_aggregation_frozen(ctx, user, &emb_u);
-        let hs = self.social_aggregation_frozen(ctx, user, &emb_u);
+        let hv = self.item_aggregation_frozen(top_items, &emb_u);
+        let hs = self.social_aggregation_frozen(top_friends, &emb_u);
         match (hv, hs) {
             (Some(hv), Some(hs)) => {
                 let cat = hv.concat_cols(&hs); // 1×2d
@@ -287,18 +300,36 @@ impl GroupSa {
     /// # Panics
     /// If the group is out of range or has no members.
     pub fn member_reps_frozen(&self, ctx: &DataContext, group: usize, latents: &[Option<Matrix>]) -> Matrix {
-        let members = &ctx.members[group];
-        assert!(!members.is_empty(), "group {group} has no members");
+        self.member_reps_from_parts(&ctx.members[group], ctx.group_masks[group].as_ref(), |u| {
+            match latents.get(u) {
+                Some(cached) => cached.clone(),
+                None => self.user_latent_frozen(ctx, u),
+            }
+        })
+    }
+
+    /// [`GroupSa::member_reps_frozen`] with the group's parts supplied
+    /// explicitly: the member list, the optional social bias mask, and
+    /// a latent source (only consulted for
+    /// [`crate::config::VotingInput::Enhanced`]). Lets the snapshot
+    /// builder stream groups without a full [`DataContext`];
+    /// bit-identical to the context-driven call.
+    ///
+    /// # Panics
+    /// If `members` is empty.
+    pub fn member_reps_from_parts(
+        &self,
+        members: &[usize],
+        mask: Option<&Matrix>,
+        mut latent_of: impl FnMut(usize) -> Option<Matrix>,
+    ) -> Matrix {
+        assert!(!members.is_empty(), "group has no members");
         let mut x = match self.cfg.voting_input {
             crate::config::VotingInput::Embedding => self.emb_user.lookup_inference(&self.store, members),
             crate::config::VotingInput::Enhanced => {
                 let mut rows: Option<Matrix> = None;
                 for &u in members {
-                    let latent = match latents.get(u) {
-                        Some(cached) => cached.clone(),
-                        None => self.user_latent_frozen(ctx, u),
-                    };
-                    let rep = match latent {
+                    let rep = match latent_of(u) {
                         Some(h) => h,
                         None => self.emb_user.lookup_inference(&self.store, &[u]),
                     };
@@ -311,7 +342,6 @@ impl GroupSa {
             }
         }; // l×d
         if self.cfg.ablation.voting {
-            let mask = ctx.group_masks[group].as_ref();
             for layer in &self.voting {
                 x = layer.forward_inference(&self.store, &x, mask);
             }

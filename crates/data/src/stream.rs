@@ -1,0 +1,238 @@
+//! Streaming synthetic universes for million-scale serving benchmarks.
+//!
+//! The full generator in [`crate::synthetic`] materialises every
+//! interaction in memory — fine at paper scale (~1k users), hopeless at
+//! the million-user scale the snapshot serving path targets. This
+//! module generates *only* what frozen serving needs — per-user Top-H
+//! item/friend lists and per-group member lists — and generates it
+//! **statelessly**: every user profile is a pure function of
+//! `(seed, user id)` through an independent
+//! [`groupsa_tensor::rng::stream_rng`] stream.
+//!
+//! That keying is the load-bearing property: profiles can be produced
+//! in chunks of any size, in any order, on any number of threads, and
+//! the bytes are identical. A snapshot written from 1 000-user chunks
+//! is byte-for-byte the snapshot written from 65 536-user chunks, so
+//! the million-scale bench can stream users straight into the snapshot
+//! writer without ever holding the universe in memory.
+
+use groupsa_tensor::rng::stream_rng;
+use rand::{Rng, RngExt};
+
+/// Stream key for per-user profiles ("USER").
+const USER_STREAM: u64 = 0x5553_4552;
+/// Stream key for per-group member lists ("GRP").
+const GROUP_STREAM: u64 = 0x47_5250;
+
+/// Parameters of a streamed serving universe.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Master seed; every profile is deterministic in it.
+    pub seed: u64,
+    /// Number of users `m` (millions are fine — nothing scales with it
+    /// except the stream itself).
+    pub num_users: usize,
+    /// Number of items `n`.
+    pub num_items: usize,
+    /// Number of groups `k` (materialised eagerly by
+    /// [`StreamConfig::all_group_members`]; keep it modest).
+    pub num_groups: usize,
+    /// Top-H list length per user (paper §II-D).
+    pub top_h: usize,
+    /// Mean group size (clamped to `[2, max_group_size]`).
+    pub mean_group_size: f64,
+    /// Hard cap on group size.
+    pub max_group_size: usize,
+    /// Fraction of cold users with empty Top-H lists (frozen latents
+    /// absent — exercises the snapshot presence bitmap at scale).
+    pub cold_fraction: f64,
+}
+
+impl StreamConfig {
+    /// A serving-shaped universe with paper-like defaults: Top-H of 8,
+    /// mean group size 4, ~3% cold users.
+    pub fn serving(seed: u64, num_users: usize, num_items: usize, num_groups: usize) -> Self {
+        Self {
+            seed,
+            num_users,
+            num_items,
+            num_groups,
+            top_h: 8,
+            mean_group_size: 4.0,
+            max_group_size: 8,
+            cold_fraction: 0.03,
+        }
+    }
+
+    /// The profile of one user — a pure function of `(seed, user)`,
+    /// independent of every other user and of any iteration order.
+    pub fn user_profile(&self, user: usize) -> UserProfile {
+        let mut rng = stream_rng(self.seed, USER_STREAM, user as u64);
+        if rng.random::<f64>() < self.cold_fraction {
+            return UserProfile { user, top_items: Vec::new(), top_friends: Vec::new() };
+        }
+        // Item exposure is head-heavy (square-law skew towards low ids)
+        // so the streamed universe keeps a popularity spine, like the
+        // Zipf exposure of the full generator.
+        let num_items = self.num_items;
+        let top_items = sample_distinct(&mut rng, self.top_h, |rng| {
+            let x: f64 = rng.random();
+            (((x * x) * num_items as f64) as usize).min(num_items.saturating_sub(1))
+        });
+        let num_users = self.num_users;
+        let top_friends = sample_distinct(&mut rng, self.top_h.min(num_users.saturating_sub(1)), |rng| {
+            let f = rng.random_range(0..num_users);
+            if f == user { (f + 1) % num_users } else { f }
+        });
+        UserProfile { user, top_items, top_friends }
+    }
+
+    /// The member list of one group — a pure function of
+    /// `(seed, group)`. Members are sorted, as in the full generator.
+    pub fn group_members(&self, group: usize) -> Vec<usize> {
+        let mut rng = stream_rng(self.seed, GROUP_STREAM, group as u64);
+        let lambda = (self.mean_group_size - 2.0).max(0.1);
+        let u: f64 = 1.0 - rng.random::<f64>();
+        let size = ((2.0 + (-u.ln()) * lambda).round() as usize)
+            .clamp(2, self.max_group_size)
+            .min(self.num_users);
+        let num_users = self.num_users;
+        let mut members = sample_distinct(&mut rng, size, |rng| rng.random_range(0..num_users));
+        members.sort_unstable();
+        members
+    }
+
+    /// All group member lists, materialised (groups are the small axis
+    /// of the universe).
+    pub fn all_group_members(&self) -> Vec<Vec<usize>> {
+        (0..self.num_groups).map(|g| self.group_members(g)).collect()
+    }
+
+    /// Streams every user profile in id order.
+    pub fn users(&self) -> impl Iterator<Item = UserProfile> + '_ {
+        (0..self.num_users).map(move |u| self.user_profile(u))
+    }
+
+    /// Streams user profiles in id-ordered chunks of at most
+    /// `chunk_size` users. The concatenation of any chunking equals
+    /// [`StreamConfig::users`] exactly.
+    pub fn user_chunks(&self, chunk_size: usize) -> impl Iterator<Item = Vec<UserProfile>> + '_ {
+        let chunk = chunk_size.max(1);
+        (0..self.num_users).step_by(chunk).map(move |start| {
+            (start..(start + chunk).min(self.num_users)).map(|u| self.user_profile(u)).collect()
+        })
+    }
+}
+
+/// One user's serving-relevant neighbourhood: the Top-H lists that
+/// [`groupsa_core::GroupSa::user_latent_from_lists`] consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserProfile {
+    /// The user id.
+    pub user: usize,
+    /// Top-H interacted items (empty for cold users).
+    pub top_items: Vec<usize>,
+    /// Top-H friends (empty for cold users).
+    pub top_friends: Vec<usize>,
+}
+
+/// Draws up to `want` distinct values from `draw`, preserving draw
+/// order. Gives up (returning fewer) after a bounded number of
+/// rejections so degenerate configs (e.g. more draws than the value
+/// space holds) cannot hang the stream.
+fn sample_distinct<R: Rng>(rng: &mut R, want: usize, mut draw: impl FnMut(&mut R) -> usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(want);
+    let mut guard = 0usize;
+    while out.len() < want && guard < want * 20 + 20 {
+        guard += 1;
+        let v = draw(rng);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StreamConfig {
+        StreamConfig::serving(11, 500, 300, 40)
+    }
+
+    #[test]
+    fn profiles_are_chunk_size_invariant() {
+        let c = cfg();
+        let whole: Vec<UserProfile> = c.users().collect();
+        for chunk in [1, 7, 64, 500, 1000] {
+            let chunked: Vec<UserProfile> = c.user_chunks(chunk).flatten().collect();
+            assert_eq!(whole, chunked, "chunk size {chunk} changed the stream");
+        }
+    }
+
+    #[test]
+    fn profiles_are_order_independent_and_deterministic() {
+        let c = cfg();
+        // Reverse-order generation reproduces the same profiles: each
+        // is a pure function of (seed, user).
+        let forward: Vec<UserProfile> = c.users().collect();
+        let mut backward: Vec<UserProfile> = (0..c.num_users).rev().map(|u| c.user_profile(u)).collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        let other = StreamConfig { seed: 12, ..cfg() };
+        assert_ne!(forward, other.users().collect::<Vec<_>>(), "seed must matter");
+    }
+
+    #[test]
+    fn profiles_respect_the_universe() {
+        let c = cfg();
+        let mut cold = 0usize;
+        for p in c.users() {
+            assert!(p.top_items.iter().all(|&i| i < c.num_items), "item out of range");
+            assert!(p.top_friends.iter().all(|&f| f < c.num_users), "friend out of range");
+            assert!(!p.top_friends.contains(&p.user), "self-friendship");
+            assert!(p.top_items.len() <= c.top_h && p.top_friends.len() <= c.top_h);
+            for list in [&p.top_items, &p.top_friends] {
+                let mut sorted = list.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), list.len(), "duplicate entries in Top-H list");
+            }
+            if p.top_items.is_empty() && p.top_friends.is_empty() {
+                cold += 1;
+            }
+        }
+        assert!(cold > 0, "cold users must occur at 3% over 500 users");
+        assert!(cold < c.num_users / 5, "cold users must stay rare: {cold}");
+    }
+
+    #[test]
+    fn groups_are_sorted_distinct_and_sized() {
+        let c = cfg();
+        let groups = c.all_group_members();
+        assert_eq!(groups.len(), c.num_groups);
+        for (g, members) in groups.iter().enumerate() {
+            assert!(members.len() >= 2 && members.len() <= c.max_group_size, "group {g} size");
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "group {g} not sorted-distinct");
+            assert!(members.iter().all(|&u| u < c.num_users), "group {g} member out of range");
+            assert_eq!(members, &c.group_members(g), "group {g} must be reproducible");
+        }
+        let mean = groups.iter().map(Vec::len).sum::<usize>() as f64 / groups.len() as f64;
+        assert!((mean - c.mean_group_size).abs() < 1.5, "mean group size {mean}");
+    }
+
+    #[test]
+    fn item_exposure_is_head_heavy() {
+        let c = StreamConfig { num_users: 4000, ..cfg() };
+        let mut head = 0usize;
+        let mut total = 0usize;
+        for p in c.users() {
+            total += p.top_items.len();
+            head += p.top_items.iter().filter(|&&i| i < c.num_items / 4).count();
+        }
+        let frac = head as f64 / total as f64;
+        // Square-law skew puts half the exposure on the first quarter.
+        assert!(frac > 0.4, "head fraction {frac}");
+    }
+}

@@ -30,7 +30,7 @@ pub mod report;
 pub mod rules;
 
 pub use report::{Finding, Report, REPORT_VERSION};
-pub use rules::{Analyzer, ALLOWED_FILES, PANIC_SCOPES, RULES};
+pub use rules::{in_panic_scope, Analyzer, ALLOWED_FILES, PANIC_SCOPES, RULES};
 
 use std::path::{Path, PathBuf};
 

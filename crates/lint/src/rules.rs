@@ -49,16 +49,29 @@ pub const NUMERIC_SCOPES: &[&str] =
 
 /// Serve request-path files where the panic-safety family applies:
 /// everything a request touches between the TCP read and the reply
-/// must use typed errors, never panic. The kernel-bench binary is in
-/// scope too — it drives the same request-path code — but carries a
-/// recorded [`ALLOWED_FILES`] exemption rather than being silently
+/// must use typed errors, never panic. An entry ending in `/` is a
+/// directory prefix covering every file beneath it; other entries
+/// match exactly. The whole snapshot crate is in scope — corrupt or
+/// truncated snapshot bytes must surface as typed [`SnapshotError`]s,
+/// never as panics, on the serving path. The kernel-bench binary is
+/// in scope too — it drives the same request-path code — but carries
+/// a recorded [`ALLOWED_FILES`] exemption rather than being silently
 /// out of scope.
 pub const PANIC_SCOPES: &[&str] = &[
     "crates/bench/src/bin/kernel_bench.rs",
     "crates/serve/src/engine.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
+    "crates/snapshot/src/",
 ];
+
+/// Whether `rel_path` falls under the panic-safety scope: an exact
+/// [`PANIC_SCOPES`] entry, or any entry ending in `/` that prefixes it.
+pub fn in_panic_scope(rel_path: &str) -> bool {
+    PANIC_SCOPES
+        .iter()
+        .any(|s| if s.ends_with('/') { rel_path.starts_with(s) } else { rel_path == *s })
+}
 
 /// Per-rule file allowlist: `(rule, workspace-relative path, why)`.
 /// An entry exempts the whole file from that one rule; the
@@ -105,7 +118,7 @@ impl Analyzer {
         let in_tests_dir = rel_path.contains("/tests/") || rel_path.starts_with("tests/");
         let numeric = !in_tests_dir && NUMERIC_SCOPES.iter().any(|p| rel_path.starts_with(p));
         let panic_scope = !in_tests_dir
-            && PANIC_SCOPES.contains(&rel_path)
+            && in_panic_scope(rel_path)
             && !self.file_allowed("panic-path", rel_path);
 
         let mut sink = Sink { rel_path, lexed: &lexed, findings: Vec::new(), suppressed: 0 };
@@ -450,6 +463,28 @@ mod tests {
             rules_fired("crates/serve/src/lib.rs", src),
             vec![(3, "foreign-use".to_string())]
         );
+    }
+
+    #[test]
+    fn panic_scope_directory_prefix_covers_nested_files() {
+        let src = "fn f(v: &[u8]) { v.first().unwrap(); }";
+        // Directory-prefix entry: every file under crates/snapshot/src/.
+        assert_eq!(
+            rules_fired("crates/snapshot/src/reader.rs", src),
+            vec![(1, "panic-path".to_string())]
+        );
+        assert_eq!(
+            rules_fired("crates/snapshot/src/bin/snapshot_check.rs", src),
+            vec![(1, "panic-path".to_string())]
+        );
+        // Integration tests of the same crate stay exempt.
+        assert!(rules_fired("crates/snapshot/tests/roundtrip.rs", src).is_empty());
+        // Exact entries do not become prefixes: a sibling of an exact
+        // entry is out of scope.
+        assert!(in_panic_scope("crates/serve/src/engine.rs"));
+        assert!(!in_panic_scope("crates/serve/src/frozen.rs"));
+        assert!(in_panic_scope("crates/snapshot/src/writer.rs"));
+        assert!(!in_panic_scope("crates/snapshot/tests/corrupt.rs"));
     }
 
     #[test]

@@ -23,7 +23,12 @@
 use crate::metrics::CacheStats;
 use crate::protocol::Target;
 use groupsa_core::{DataContext, GroupMode, GroupSa, Recommendation, TopK};
+use groupsa_snapshot::{
+    MemoryTables, Quant, Snapshot, SnapshotError, SnapshotMeta, SnapshotTables, SnapshotWriter,
+    TableRef, TableStore,
+};
 use groupsa_tensor::Matrix;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Candidates scored per fused scan step: large enough that the
@@ -36,13 +41,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const SCAN_CHUNK: usize = 256;
 
 /// A trained model plus its precomputed per-user / per-group caches.
+///
+/// The caches are read through the [`TableStore`] trait: freezing
+/// materializes them in memory ([`MemoryTables`], zero-copy reads),
+/// while [`FrozenModel::from_snapshot`] pages them in lazily from a
+/// sharded binary snapshot ([`SnapshotTables`]) — the scoring code is
+/// identical either way, and for an f32 snapshot so are the bits.
 pub struct FrozenModel {
     model: GroupSa,
     ctx: DataContext,
-    /// `h_j` per user (`None`: user modeling ablated or cold user).
-    user_latents: Vec<Option<Matrix>>,
-    /// Post-voting `l×d` member representations per group.
-    group_reps: Vec<Matrix>,
+    /// `h_j` per user and post-voting `l×d` member reps per group.
+    tables: Box<dyn TableStore>,
+    /// Memory-backed models can recompute their caches from `ctx`;
+    /// snapshot-backed ones cannot (the serving context may be a
+    /// stub without Top-H lists), so [`FrozenModel::rebuild`] is
+    /// gated on this.
+    rebuildable: bool,
     latent_hits: AtomicU64,
     rep_hits: AtomicU64,
     rebuilds: AtomicU64,
@@ -59,15 +73,107 @@ impl FrozenModel {
         assert_eq!(model.num_users(), ctx.num_users, "model/context user universe mismatch");
         assert_eq!(model.num_items(), ctx.num_items, "model/context item universe mismatch");
         let (user_latents, group_reps) = Self::precompute(&model, &ctx);
+        let dim = model.user_embedding_table().cols();
         Self {
             model,
             ctx,
-            user_latents,
-            group_reps,
+            tables: Box::new(MemoryTables::new(user_latents, group_reps, dim)),
+            rebuildable: true,
             latent_hits: AtomicU64::new(0),
             rep_hits: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
         }
+    }
+
+    /// Opens a frozen model whose caches page in lazily from a binary
+    /// snapshot written by [`FrozenModel::write_snapshot`]. The
+    /// snapshot's declared universe must match `model` and `ctx`
+    /// (which may be a [`DataContext::serving_stub`] at scale).
+    ///
+    /// With an f32 snapshot, responses are bit-identical to the
+    /// freeze-built model the snapshot was written from; f16/i8
+    /// snapshots trade bounded score error for 2–4× less storage.
+    pub fn from_snapshot(model: GroupSa, ctx: DataContext, dir: impl AsRef<Path>) -> Result<Self, String> {
+        let snap = Snapshot::open(dir).map_err(|e| e.to_string())?;
+        let meta = *snap.meta();
+        if model.num_users() != ctx.num_users || model.num_items() != ctx.num_items {
+            return Err(format!(
+                "model universe {}u/{}i does not match context {}u/{}i",
+                model.num_users(),
+                model.num_items(),
+                ctx.num_users,
+                ctx.num_items
+            ));
+        }
+        if meta.num_users != ctx.num_users
+            || meta.num_items != ctx.num_items
+            || meta.num_groups != ctx.num_groups()
+        {
+            return Err(format!(
+                "snapshot universe {}u/{}i/{}g does not match context {}u/{}i/{}g",
+                meta.num_users,
+                meta.num_items,
+                meta.num_groups,
+                ctx.num_users,
+                ctx.num_items,
+                ctx.num_groups()
+            ));
+        }
+        let dim = model.user_embedding_table().cols();
+        if meta.dim != dim {
+            return Err(format!("snapshot dim {} does not match model dim {dim}", meta.dim));
+        }
+        Ok(Self {
+            model,
+            ctx,
+            tables: Box::new(SnapshotTables::new(snap)),
+            rebuildable: false,
+            latent_hits: AtomicU64::new(0),
+            rep_hits: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+        })
+    }
+
+    /// Writes this model's caches as a sharded binary snapshot under
+    /// `dir` (see DESIGN §13), streaming row by row — works for both
+    /// memory- and snapshot-backed tables. Returns the content-derived
+    /// snapshot id.
+    pub fn write_snapshot(
+        &self,
+        dir: impl AsRef<Path>,
+        shards: u32,
+        quant: Quant,
+    ) -> Result<u64, SnapshotError> {
+        let meta = SnapshotMeta {
+            num_users: self.ctx.num_users,
+            num_items: self.ctx.num_items,
+            num_groups: self.ctx.num_groups(),
+            dim: self.model.user_embedding_table().cols(),
+            shards,
+            quant,
+        };
+        let mut writer = SnapshotWriter::create(dir, meta)?;
+        for u in 0..meta.num_users {
+            let held = self.tables.user_latent(u)?;
+            writer.push_user(held.as_deref().map(|m| m.as_slice()))?;
+        }
+        for g in 0..meta.num_groups {
+            let reps = self.tables.group_rep(g)?;
+            writer.push_group(&reps)?;
+        }
+        writer.finish()
+    }
+
+    /// Bytes of cache data resident in memory: the full table payload
+    /// for a freeze-built model, only index structures (presence
+    /// bitmap + group index) for a snapshot-backed one.
+    pub fn resident_table_bytes(&self) -> usize {
+        self.tables.resident_bytes()
+    }
+
+    /// Where the caches live: `"memory"` or `"snapshot"`.
+    pub fn table_backing(&self) -> &'static str {
+        self.tables.backing()
     }
 
     fn precompute(model: &GroupSa, ctx: &DataContext) -> (Vec<Option<Matrix>>, Vec<Matrix>) {
@@ -82,6 +188,13 @@ impl FrozenModel {
     /// every cache. Rejects models trained for a different universe so
     /// cached id spaces can never dangle.
     pub fn rebuild(&mut self, model: GroupSa) -> Result<(), String> {
+        if !self.rebuildable {
+            return Err(
+                "snapshot-backed frozen model cannot rebuild: its context lacks the training-side \
+                 Top-H lists; write a new snapshot from a freeze-built model instead"
+                    .to_string(),
+            );
+        }
         if model.num_users() != self.ctx.num_users || model.num_items() != self.ctx.num_items {
             return Err(format!(
                 "model universe {}u/{}i does not match frozen context {}u/{}i",
@@ -92,9 +205,9 @@ impl FrozenModel {
             ));
         }
         let (user_latents, group_reps) = Self::precompute(&model, &self.ctx);
+        let dim = model.user_embedding_table().cols();
         self.model = model;
-        self.user_latents = user_latents;
-        self.group_reps = group_reps;
+        self.tables = Box::new(MemoryTables::new(user_latents, group_reps, dim));
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -131,7 +244,8 @@ impl FrozenModel {
                 if id >= self.ctx.num_users {
                     return Err(format!("user {id} out of range (num_users = {})", self.ctx.num_users));
                 }
-                let latent = self.user_latents[id].as_ref();
+                let held = self.tables.user_latent(id).map_err(|e| e.to_string())?;
+                let latent = held.as_deref();
                 let mut counted = false;
                 Ok(self.scan(
                     |i| !exclude_seen || !self.ctx.user_item_graph.has_interaction(id, i),
@@ -159,13 +273,14 @@ impl FrozenModel {
                 let keep = |i: usize| !exclude_seen || !self.ctx.group_item_graph.has_interaction(id, i);
                 match mode {
                     GroupMode::Voting => {
+                        let reps = self.tables.group_rep(id).map_err(|e| e.to_string())?;
                         let mut counted = false;
                         Ok(self.scan(keep, k, |chunk, acc| {
                             if !counted {
                                 counted = true;
                                 self.rep_hits.fetch_add(1, Ordering::Relaxed);
                             }
-                            let scores = self.model.score_group_items_frozen(&self.group_reps[id], chunk);
+                            let scores = self.model.score_group_items_frozen(&reps, chunk);
                             for (&item, score) in chunk.iter().zip(scores) {
                                 acc.push(item, score);
                             }
@@ -182,8 +297,13 @@ impl FrozenModel {
                             }
                             return Ok(Vec::new());
                         }
+                        let held: Vec<Option<TableRef<'_>>> = members
+                            .iter()
+                            .map(|&u| self.tables.user_latent(u))
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| e.to_string())?;
                         let latent_refs: Vec<Option<&Matrix>> =
-                            members.iter().map(|&u| self.user_latents[u].as_ref()).collect();
+                            held.iter().map(|h| h.as_deref()).collect();
                         let mut counted = false;
                         Ok(self.scan(keep, k, |chunk, acc| {
                             if !counted {
@@ -224,12 +344,27 @@ impl FrozenModel {
                 }
             })
             .collect();
-        let valid: Vec<usize> = (0..requests.len()).filter(|&j| results[j].is_ok()).collect();
+        // Table reads can fail per user (snapshot I/O); a failed read
+        // downgrades that one request to an error, like out-of-range.
+        let mut valid: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut held: Vec<Option<TableRef<'_>>> = Vec::with_capacity(requests.len());
+        for j in 0..requests.len() {
+            if results[j].is_err() {
+                continue;
+            }
+            match self.tables.user_latent(requests[j].0) {
+                Ok(l) => {
+                    valid.push(j);
+                    held.push(l);
+                }
+                Err(e) => results[j] = Err(e.to_string()),
+            }
+        }
         if valid.is_empty() || self.ctx.num_items == 0 {
             return results;
         }
         let users: Vec<usize> = valid.iter().map(|&j| requests[j].0).collect();
-        let latent_refs: Vec<Option<&Matrix>> = users.iter().map(|&u| self.user_latents[u].as_ref()).collect();
+        let latent_refs: Vec<Option<&Matrix>> = held.iter().map(|h| h.as_deref()).collect();
         // One hit per request whose user has a cached latent — the same
         // counts the per-request path produces.
         let hits = latent_refs.iter().filter(|l| l.is_some()).count() as u64;

@@ -1,0 +1,361 @@
+//! `snapshot_check` — runnable format-conformance smoke for binary
+//! model snapshots, wired into `scripts/tier1.sh`.
+//!
+//! Three modes:
+//!
+//! * `--smoke` — in a scratch directory: write a fixture snapshot,
+//!   read it back bit-exactly, then corrupt copies six different ways
+//!   (bad magic, future version, truncated manifest, truncated shard,
+//!   slab bit rot, cross-snapshot shard swap) and require the exact
+//!   typed [`SnapshotError`] for each. Any panic or wrong variant
+//!   fails the run.
+//! * `--golden DIR` — regenerate the canonical fixture for every row
+//!   encoding and byte-compare against the committed files in `DIR`
+//!   (format-drift detection), then open and checksum-verify `DIR`
+//!   itself.
+//! * `--write-golden DIR` — (re)write the canonical fixture, used once
+//!   to create the committed golden files and again after an
+//!   intentional format change (bump [`FORMAT_VERSION`] first).
+//!
+//! This file lives under `crates/snapshot/src/` and therefore inside
+//! the `groupsa-lint` panic-safety scope: every failure path is a
+//! typed error surfaced through `main`'s exit code.
+
+use groupsa_snapshot::{shard_name, Quant, Snapshot, SnapshotError, SnapshotMeta, SnapshotWriter, MANIFEST_NAME};
+use groupsa_tensor::Matrix;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+// Canonical fixture universe — small enough to commit, varied enough
+// to exercise cold users, empty groups, and multi-row reps.
+const NUM_USERS: usize = 23;
+const NUM_ITEMS: usize = 17;
+const NUM_GROUPS: usize = 6;
+const DIM: usize = 8;
+const SHARDS: u32 = 2;
+
+/// Deterministic pseudo-table value (same recipe as the integration
+/// fixtures): varied sign/magnitude from pure integer arithmetic, so
+/// every build of every process computes identical bits.
+fn value(seed: usize, row: usize, col: usize) -> f32 {
+    let x = (seed.wrapping_mul(31) + row.wrapping_mul(131) + col.wrapping_mul(7)) % 29;
+    (x as f32) * 0.173 - 2.4
+}
+
+/// User latents: every 5th user is cold (no latent row).
+fn fixture_latents() -> Vec<Option<Matrix>> {
+    (0..NUM_USERS)
+        .map(|u| {
+            if u % 5 == 4 {
+                None
+            } else {
+                Some(Matrix::from_vec(1, DIM, (0..DIM).map(|k| value(1, u, k)).collect()))
+            }
+        })
+        .collect()
+}
+
+/// Group reps with varying member counts, including empty groups.
+fn fixture_reps() -> Vec<Matrix> {
+    (0..NUM_GROUPS)
+        .map(|g| {
+            let rows = g % 4;
+            let data = (0..rows * DIM).map(|i| value(2, g, i)).collect();
+            Matrix::from_vec(rows, DIM, data)
+        })
+        .collect()
+}
+
+/// Writes the canonical fixture with the given encoding into `dir`.
+fn write_fixture(dir: &Path, quant: Quant) -> Result<u64, String> {
+    let meta = SnapshotMeta {
+        num_users: NUM_USERS,
+        num_items: NUM_ITEMS,
+        num_groups: NUM_GROUPS,
+        dim: DIM,
+        shards: SHARDS,
+        quant,
+    };
+    let mut w = SnapshotWriter::create(dir, meta).map_err(|e| e.to_string())?;
+    for latent in fixture_latents() {
+        w.push_user(latent.as_ref().map(|m| m.as_slice())).map_err(|e| e.to_string())?;
+    }
+    for reps in fixture_reps() {
+        w.push_group(&reps).map_err(|e| e.to_string())?;
+    }
+    w.finish().map_err(|e| e.to_string())
+}
+
+/// A scratch directory under the OS temp dir, wiped before use.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("groupsa-snapshot-check-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn matrices_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+// ------------------------------------------------------------- smoke
+
+/// Round-trip: an f32 snapshot must return the exact bits that went in.
+fn check_roundtrip() -> Result<(), String> {
+    let dir = scratch("roundtrip");
+    write_fixture(&dir, Quant::F32)?;
+    let snap = Snapshot::open(&dir).map_err(|e| format!("open round-trip snapshot: {e}"))?;
+    snap.verify().map_err(|e| format!("verify round-trip snapshot: {e}"))?;
+    let latents = fixture_latents();
+    for (u, expected) in latents.iter().enumerate() {
+        let got = snap.user_latent(u).map_err(|e| format!("user {u}: {e}"))?;
+        let same = match (&got, expected) {
+            (None, None) => true,
+            (Some(g), Some(e)) => matrices_equal(g, e),
+            _ => false,
+        };
+        if !same {
+            return Err(format!("user {u} latent did not round-trip bit-exactly"));
+        }
+    }
+    for (g, expected) in fixture_reps().iter().enumerate() {
+        let got = snap.group_rep(g).map_err(|e| format!("group {g}: {e}"))?;
+        if !matrices_equal(&got, expected) {
+            return Err(format!("group {g} reps did not round-trip bit-exactly"));
+        }
+    }
+    if !matches!(snap.user_latent(NUM_USERS), Err(SnapshotError::OutOfRange { .. })) {
+        return Err("out-of-range user read was not a typed OutOfRange error".into());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("  round-trip: {NUM_USERS} users / {NUM_GROUPS} groups bit-exact, verify ok");
+    Ok(())
+}
+
+/// Overwrites `len(bytes)` bytes of `path` at `offset`.
+fn patch(path: &Path, offset: usize, bytes: &[u8]) -> Result<(), String> {
+    let mut data = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let end = offset + bytes.len();
+    let Some(slot) = data.get_mut(offset..end) else {
+        return Err(format!("patch range {offset}..{end} outside {}", path.display()));
+    };
+    slot.copy_from_slice(bytes);
+    std::fs::write(path, &data).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Patches the manifest body and recomputes its trailing checksum, so
+/// header-level rejections (magic, version) are tested in isolation
+/// rather than shadowed by the checksum gate.
+fn patch_manifest_rechecksum(dir: &Path, offset: usize, bytes: &[u8]) -> Result<(), String> {
+    let path = dir.join(MANIFEST_NAME);
+    let mut data = std::fs::read(&path).map_err(|e| format!("read manifest: {e}"))?;
+    let end = offset + bytes.len();
+    let Some(slot) = data.get_mut(offset..end) else {
+        return Err(format!("patch range {offset}..{end} outside manifest"));
+    };
+    slot.copy_from_slice(bytes);
+    let Some(body_len) = data.len().checked_sub(8) else {
+        return Err("manifest shorter than its trailing checksum".into());
+    };
+    let Some(body) = data.get(..body_len) else {
+        return Err("manifest body range invalid".into());
+    };
+    let sum = groupsa_snapshot::fnv64(body).to_le_bytes();
+    let Some(tail) = data.get_mut(body_len..) else {
+        return Err("manifest checksum range invalid".into());
+    };
+    tail.copy_from_slice(&sum);
+    std::fs::write(&path, &data).map_err(|e| format!("write manifest: {e}"))
+}
+
+/// Truncates `path` to `keep` bytes from the end removed.
+fn truncate_tail(path: &Path, drop: usize) -> Result<(), String> {
+    let data = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let Some(kept) = data.get(..data.len().saturating_sub(drop)) else {
+        return Err("truncation range invalid".into());
+    };
+    std::fs::write(path, kept).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// One corruption case: sets up a fresh fixture, applies `mutate`, and
+/// requires `expect` to classify the resulting typed error.
+fn corrupt_case(
+    tag: &str,
+    what: &str,
+    mutate: impl Fn(&Path) -> Result<(), String>,
+    expect: impl Fn(&Result<Snapshot, SnapshotError>) -> bool,
+) -> Result<(), String> {
+    let dir = scratch(tag);
+    write_fixture(&dir, Quant::F32)?;
+    mutate(&dir)?;
+    let outcome = Snapshot::open(&dir);
+    let ok = expect(&outcome);
+    if !ok {
+        let got = match &outcome {
+            Ok(_) => "Ok(..)".to_string(),
+            Err(e) => format!("{e}"),
+        };
+        return Err(format!("{what}: expected typed rejection, got: {got}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("  corrupt: {what} -> typed error");
+    Ok(())
+}
+
+/// Every corruption family must produce its exact typed error.
+fn check_corrupt() -> Result<(), String> {
+    corrupt_case(
+        "magic",
+        "manifest bad magic",
+        |d| patch_manifest_rechecksum(d, 0, b"NOTSNAP\0"),
+        |r| matches!(r, Err(SnapshotError::BadMagic { what: "manifest" })),
+    )?;
+    corrupt_case(
+        "version",
+        "manifest future version",
+        |d| patch_manifest_rechecksum(d, 8, &9999u32.to_le_bytes()),
+        |r| matches!(r, Err(SnapshotError::UnsupportedVersion { found: 9999 })),
+    )?;
+    corrupt_case(
+        "trunc-manifest",
+        "truncated manifest",
+        |d| truncate_tail(&d.join(MANIFEST_NAME), 11),
+        |r| matches!(r, Err(SnapshotError::ChecksumMismatch { .. } | SnapshotError::Truncated { .. })),
+    )?;
+    corrupt_case(
+        "trunc-shard",
+        "truncated shard slab",
+        |d| truncate_tail(&d.join(shard_name(1)), 7),
+        |r| matches!(r, Err(SnapshotError::Truncated { .. })),
+    )?;
+    corrupt_case(
+        "shard-magic",
+        "shard bad magic",
+        |d| patch(&d.join(shard_name(0)), 0, b"XXXXXXXX"),
+        |r| matches!(r, Err(SnapshotError::BadMagic { what: "shard" })),
+    )?;
+    corrupt_case(
+        "shard-swap",
+        "swapped shard files",
+        |d| {
+            let a = d.join(shard_name(0));
+            let b = d.join(shard_name(1));
+            let tmp = d.join("shard-swap.tmp");
+            std::fs::rename(&a, &tmp).map_err(|e| format!("swap: {e}"))?;
+            std::fs::rename(&b, &a).map_err(|e| format!("swap: {e}"))?;
+            std::fs::rename(&tmp, &b).map_err(|e| format!("swap: {e}"))
+        },
+        |r| matches!(r, Err(SnapshotError::ShardMismatch { .. })),
+    )?;
+
+    // Slab bit rot passes the lazy open but must fail `verify()`.
+    let dir = scratch("bit-rot");
+    write_fixture(&dir, Quant::F32)?;
+    // First user-slab byte sits right after the 24-byte shard header.
+    let shard = dir.join(shard_name(0));
+    let data = std::fs::read(&shard).map_err(|e| format!("read shard: {e}"))?;
+    let Some(&byte) = data.get(24) else {
+        return Err("shard 0 has no slab bytes to corrupt".into());
+    };
+    patch(&shard, 24, &[byte ^ 0x40])?;
+    let snap = Snapshot::open(&dir).map_err(|e| format!("bit rot must pass lazy open, got: {e}"))?;
+    if !matches!(snap.verify(), Err(SnapshotError::ChecksumMismatch { .. })) {
+        return Err("slab bit rot was not caught by verify()".into());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("  corrupt: slab bit rot -> lazy open ok, verify() ChecksumMismatch");
+    Ok(())
+}
+
+// ------------------------------------------------------------- golden
+
+/// The encodings covered by the committed golden fixture, one
+/// subdirectory each.
+const GOLDEN_QUANTS: [Quant; 3] = [Quant::F32, Quant::F16, Quant::I8];
+
+/// Writes the canonical fixture tree (one subdir per encoding).
+fn write_golden(dir: &Path) -> Result<(), String> {
+    for quant in GOLDEN_QUANTS {
+        let sub = dir.join(quant.name());
+        let _ = std::fs::remove_dir_all(&sub);
+        let id = write_fixture(&sub, quant)?;
+        println!("  wrote {} (snapshot id {id:016x})", sub.display());
+    }
+    Ok(())
+}
+
+/// Regenerates the fixture and byte-compares it against the committed
+/// tree — any difference is format drift.
+fn check_golden(dir: &Path) -> Result<(), String> {
+    let fresh_root = scratch("golden");
+    for quant in GOLDEN_QUANTS {
+        let committed = dir.join(quant.name());
+        let fresh = fresh_root.join(quant.name());
+        write_fixture(&fresh, quant)?;
+        let mut names: Vec<String> = vec![MANIFEST_NAME.to_string()];
+        names.extend((0..SHARDS).map(shard_name));
+        for name in &names {
+            let want = std::fs::read(fresh.join(name))
+                .map_err(|e| format!("read regenerated {}/{name}: {e}", quant.name()))?;
+            let got = std::fs::read(committed.join(name)).map_err(|e| {
+                format!("read committed {}/{name}: {e} (run --write-golden to create it)", quant.name())
+            })?;
+            if want != got {
+                return Err(format!(
+                    "format drift: {}/{name} differs from a fresh write ({} vs {} bytes). \
+                     If the change is intentional, bump FORMAT_VERSION and regenerate with --write-golden.",
+                    quant.name(),
+                    got.len(),
+                    want.len()
+                ));
+            }
+        }
+        // The committed tree must also open and checksum clean.
+        let snap = Snapshot::open(&committed).map_err(|e| format!("open committed {}: {e}", quant.name()))?;
+        snap.verify().map_err(|e| format!("verify committed {}: {e}", quant.name()))?;
+        if snap.meta().num_users != NUM_USERS || snap.meta().dim != DIM {
+            return Err(format!("committed {} meta does not match the canonical fixture", quant.name()));
+        }
+        println!("  golden {}: byte-identical to a fresh write, verify ok", quant.name());
+    }
+    let _ = std::fs::remove_dir_all(&fresh_root);
+    Ok(())
+}
+
+// --------------------------------------------------------------- main
+
+const USAGE: &str = "usage: snapshot_check --smoke | --golden DIR | --write-golden DIR";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match (args.first().map(String::as_str), args.get(1)) {
+        (Some("--smoke"), None) => {
+            println!("snapshot_check --smoke");
+            check_roundtrip()?;
+            check_corrupt()
+        }
+        (Some("--golden"), Some(dir)) => {
+            println!("snapshot_check --golden {dir}");
+            check_golden(Path::new(dir))
+        }
+        (Some("--write-golden"), Some(dir)) => {
+            println!("snapshot_check --write-golden {dir}");
+            write_golden(Path::new(dir))
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {
+            println!("snapshot_check: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

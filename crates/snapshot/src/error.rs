@@ -1,0 +1,105 @@
+//! Typed snapshot errors.
+//!
+//! Every failure mode of the on-disk format is a distinct variant so
+//! the serving layer can answer a request with a typed error instead
+//! of panicking — the whole crate is inside the `groupsa-lint`
+//! panic-safety scope, and a corrupt file must never take a worker
+//! down.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong opening, verifying, or reading a
+/// snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying I/O failure (file missing, short read, …).
+    Io {
+        /// What the crate was doing when the OS said no.
+        context: String,
+        /// The OS error text.
+        source: String,
+    },
+    /// The file does not start with the expected magic bytes — it is
+    /// not a snapshot (or not this kind of snapshot file).
+    BadMagic {
+        /// Which file kind was expected (`manifest` or `shard`).
+        what: &'static str,
+    },
+    /// The format version is one this build does not understand.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// A file ends before a section the header promised.
+    Truncated {
+        /// Which section or structure is cut short.
+        what: String,
+    },
+    /// Stored and recomputed checksums disagree — bit rot or a
+    /// partial/overwritten file.
+    ChecksumMismatch {
+        /// Which section failed.
+        section: String,
+    },
+    /// A shard file named by the manifest is missing or belongs to a
+    /// different snapshot (mismatched `snapshot_id`).
+    ShardMismatch {
+        /// Shard index.
+        index: u32,
+        /// What disagreed.
+        reason: String,
+    },
+    /// Structurally invalid header contents (impossible offsets,
+    /// overlapping sections, zero dimensions, …).
+    Corrupt {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An entity id outside the snapshot's universe was requested.
+    OutOfRange {
+        /// `user` or `group`.
+        entity: &'static str,
+        /// The requested id.
+        id: usize,
+        /// The table size.
+        len: usize,
+    },
+}
+
+impl SnapshotError {
+    /// Wraps an [`io::Error`] with a description of the operation.
+    pub fn io(context: impl Into<String>, err: io::Error) -> Self {
+        Self::Io { context: context.into(), source: err.to_string() }
+    }
+
+    /// Shorthand for a [`SnapshotError::Corrupt`].
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        Self::Corrupt { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { context, source } => write!(f, "snapshot io: {context}: {source}"),
+            Self::BadMagic { what } => write!(f, "snapshot {what}: bad magic (not a snapshot file)"),
+            Self::UnsupportedVersion { found } => {
+                write!(f, "snapshot: unsupported format version {found}")
+            }
+            Self::Truncated { what } => write!(f, "snapshot: truncated {what}"),
+            Self::ChecksumMismatch { section } => {
+                write!(f, "snapshot: checksum mismatch in {section}")
+            }
+            Self::ShardMismatch { index, reason } => {
+                write!(f, "snapshot: shard {index}: {reason}")
+            }
+            Self::Corrupt { detail } => write!(f, "snapshot: corrupt: {detail}"),
+            Self::OutOfRange { entity, id, len } => {
+                write!(f, "snapshot: {entity} {id} out of range (table has {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}

@@ -1,0 +1,469 @@
+//! On-disk format primitives: magic numbers, little-endian codecs,
+//! the FNV-1a section checksum, and the quantization row codecs.
+//!
+//! Layout reference lives in DESIGN.md §13; the invariants enforced
+//! here:
+//!
+//! * every multi-byte integer is little-endian, no exceptions;
+//! * every section carries an FNV-1a-64 checksum of its raw bytes;
+//! * a quantized row decodes to `f32` through pure bit arithmetic —
+//!   no libm, no platform-dependent rounding — so reads are
+//!   deterministic across machines and across repeated calls.
+
+use crate::error::SnapshotError;
+
+/// First 8 bytes of a manifest file.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"GSNPMAN\0";
+/// First 8 bytes of a shard slab file.
+pub const SHARD_MAGIC: [u8; 8] = *b"GSNPSHD\0";
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Byte length of a shard file header:
+/// magic(8) + version(4) + shard_index(4) + snapshot_id(8).
+pub const SHARD_HEADER_LEN: u64 = 24;
+
+/// Section tags in the manifest's section table.
+pub mod section {
+    /// Per-shard user latent slab.
+    pub const USER_LATENTS: u32 = 1;
+    /// Per-shard group representation slab.
+    pub const GROUP_REPS: u32 = 2;
+}
+
+/// How table rows are encoded on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quant {
+    /// Raw little-endian `f32` — reads are bit-identical to the
+    /// in-memory table.
+    F32,
+    /// IEEE 754 binary16 with round-to-nearest-even — 2× smaller.
+    F16,
+    /// Signed 8-bit with one `f32` scale per row — 4× smaller
+    /// (well, `(4 + d) / (4 d)` of the original: ~3.6× at d = 8).
+    I8,
+}
+
+impl Quant {
+    /// The wire tag stored in the manifest.
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::F32 => 0,
+            Self::F16 => 1,
+            Self::I8 => 2,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(Self::F32),
+            1 => Ok(Self::F16),
+            2 => Ok(Self::I8),
+            other => Err(SnapshotError::corrupt(format!("unknown quantization tag {other}"))),
+        }
+    }
+
+    /// Parses the human name used on CLI flags.
+    pub fn from_name(name: &str) -> Result<Self, SnapshotError> {
+        match name {
+            "f32" => Ok(Self::F32),
+            "f16" => Ok(Self::F16),
+            "i8" => Ok(Self::I8),
+            other => Err(SnapshotError::corrupt(format!("unknown quantization `{other}` (f32|f16|i8)"))),
+        }
+    }
+
+    /// The CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::F16 => "f16",
+            Self::I8 => "i8",
+        }
+    }
+
+    /// Encoded byte length of one `dim`-wide row.
+    pub fn row_bytes(self, dim: usize) -> usize {
+        match self {
+            Self::F32 => 4 * dim,
+            Self::F16 => 2 * dim,
+            Self::I8 => 4 + dim, // per-row f32 scale + one byte per value
+        }
+    }
+
+    /// Encodes one row into `out` (appended). Deterministic: the same
+    /// input slice always produces the same bytes.
+    pub fn encode_row(self, row: &[f32], out: &mut Vec<u8>) {
+        match self {
+            Self::F32 => {
+                for &v in row {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Self::F16 => {
+                for &v in row {
+                    out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+                }
+            }
+            Self::I8 => {
+                let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+                out.extend_from_slice(&scale.to_bits().to_le_bytes());
+                if scale > 0.0 {
+                    let inv = 127.0 / max_abs;
+                    for &v in row {
+                        // round() is round-half-away-from-zero: exact,
+                        // platform-independent for finite inputs.
+                        let q = (v * inv).round().clamp(-127.0, 127.0) as i8;
+                        out.push(q as u8);
+                    }
+                } else {
+                    out.extend(std::iter::repeat(0u8).take(row.len()));
+                }
+            }
+        }
+    }
+
+    /// Decodes one encoded row (exactly [`Quant::row_bytes`] bytes)
+    /// into `out` (appended). Errors on a short buffer instead of
+    /// panicking.
+    pub fn decode_row(self, dim: usize, bytes: &[u8], out: &mut Vec<f32>) -> Result<(), SnapshotError> {
+        if bytes.len() < self.row_bytes(dim) {
+            return Err(SnapshotError::Truncated { what: "table row".into() });
+        }
+        match self {
+            Self::F32 => {
+                for chunk in bytes.chunks_exact(4).take(dim) {
+                    out.push(f32::from_bits(u32::from_le_bytes(le4(chunk)?)));
+                }
+            }
+            Self::F16 => {
+                for chunk in bytes.chunks_exact(2).take(dim) {
+                    out.push(f16_bits_to_f32(u16::from_le_bytes(le2(chunk)?)));
+                }
+            }
+            Self::I8 => {
+                let (scale_bytes, rest) = bytes.split_at(4);
+                let scale = f32::from_bits(u32::from_le_bytes(le4(scale_bytes)?));
+                for &b in rest.iter().take(dim) {
+                    out.push(b as i8 as f32 * scale);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn le4(chunk: &[u8]) -> Result<[u8; 4], SnapshotError> {
+    chunk.try_into().map_err(|_| SnapshotError::Truncated { what: "4-byte word".into() })
+}
+
+fn le2(chunk: &[u8]) -> Result<[u8; 2], SnapshotError> {
+    chunk.try_into().map_err(|_| SnapshotError::Truncated { what: "2-byte word".into() })
+}
+
+// ------------------------------------------------------------ checksum
+
+/// Incremental FNV-1a-64 — the workspace's standard content digest
+/// (same constants as the train-bench parameter checksum).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a-64 of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+// ------------------------------------------------- little-endian codec
+
+/// A growable little-endian byte sink with checksum-friendly access.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a `u32` (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// The accumulated bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A cursor over a byte slice whose reads return typed errors instead
+/// of panicking on truncation.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = self.buf.get(self.pos..end).unwrap_or(&[]);
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(SnapshotError::Truncated { what: what.into() }),
+        }
+    }
+
+    /// Reads a `u32` (LE).
+    pub fn u32(&mut self, what: &str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(le4(b)?))
+    }
+
+    /// Reads a `u64` (LE).
+    pub fn u64(&mut self, what: &str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, what)?;
+        let arr: [u8; 8] =
+            b.try_into().map_err(|_| SnapshotError::Truncated { what: what.into() })?;
+        Ok(u64::from_le_bytes(arr))
+    }
+}
+
+// ------------------------------------------------------ f16 conversion
+
+/// `f32 →` IEEE 754 binary16 bits, round-to-nearest-even. Pure bit
+/// arithmetic; NaN maps to a quiet NaN, overflow to ±inf.
+pub fn f32_to_f16_bits(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a mantissa bit set for NaN.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbias (127) and rebias (15).
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half. Round mantissa 23 → 10 bits to nearest-even.
+        let mant16 = mant >> 13;
+        let rem = mant & 0x1fff;
+        let half = 0x1000;
+        let mut out = sign as u32 | (((unbiased + 15) as u32) << 10) | mant16;
+        if rem > half || (rem == half && (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent — that is correct
+        }
+        return out as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal half: implicit leading 1 becomes explicit.
+        let full = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) + 13;
+        let mant16 = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut out = sign as u32 | mant16;
+        if rem > half || (rem == half && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return out as u16;
+    }
+    sign // underflow → ±0
+}
+
+/// IEEE 754 binary16 bits `→ f32`. Exact — every f16 value is
+/// representable in f32.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,                      // ±0
+        (0, m) => {
+            // Subnormal (value = m · 2⁻²⁴): normalise into f32. The
+            // leading set bit of `m` sits at position p = 10 - shift;
+            // it becomes the implicit one, so the f32 exponent is
+            // 127 + (p - 24) = 113 - shift.
+            let shift = m.leading_zeros() - 21;
+            let m = (m << shift) & 0x03ff;
+            let e = 113 - shift;
+            sign | (e << 23) | (m << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,     // ±inf
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13), // NaN
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_is_exact_for_representable_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 6.1035156e-5] {
+            let h = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(h), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn f16_all_bit_patterns_roundtrip_through_f32() {
+        // f16 → f32 → f16 must be the identity for every non-NaN
+        // pattern (f32 represents all f16 values exactly).
+        for h in 0..=u16::MAX {
+            let f = f16_bits_to_f32(h);
+            if f.is_nan() {
+                assert!(f32_to_f16_bits(f) & 0x7c00 == 0x7c00);
+                continue;
+            }
+            assert_eq!(f32_to_f16_bits(f), h, "pattern {h:#06x} ({f})");
+        }
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16;
+        // nearest-even keeps 1.0. One ulp above rounds up.
+        let halfway = f32::from_bits(0x3f80_1000);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(halfway)), 1.0);
+        let above = f32::from_bits(0x3f80_1001);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(above)) > 1.0);
+    }
+
+    #[test]
+    fn f16_overflow_and_underflow_saturate() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-9)), 0.0);
+    }
+
+    #[test]
+    fn i8_rows_decode_deterministically() {
+        let q = Quant::I8;
+        let row = [0.5f32, -1.0, 0.25, 0.0, 1.0, -0.125, 0.75, -0.5];
+        let mut a = Vec::new();
+        q.encode_row(&row, &mut a);
+        let mut b = Vec::new();
+        q.encode_row(&row, &mut b);
+        assert_eq!(a, b);
+        let mut out1 = Vec::new();
+        q.decode_row(row.len(), &a, &mut out1).expect("decode");
+        let mut out2 = Vec::new();
+        q.decode_row(row.len(), &a, &mut out2).expect("decode");
+        assert_eq!(
+            out1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Max-magnitude entries are exact under i8: q = ±127.
+        assert_eq!(out1[4], 1.0);
+        assert_eq!(out1[1], -1.0);
+    }
+
+    #[test]
+    fn i8_zero_row_encodes_zero_scale() {
+        let q = Quant::I8;
+        let row = [0.0f32; 4];
+        let mut bytes = Vec::new();
+        q.encode_row(&row, &mut bytes);
+        let mut out = Vec::new();
+        q.decode_row(4, &bytes, &mut out).expect("decode");
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn f32_rows_are_bit_exact() {
+        let q = Quant::F32;
+        let row = [1.5f32, -0.0, f32::MIN_POSITIVE, 3.1415927];
+        let mut bytes = Vec::new();
+        q.encode_row(&row, &mut bytes);
+        let mut out = Vec::new();
+        q.decode_row(4, &bytes, &mut out).expect("decode");
+        let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn short_rows_error_instead_of_panicking() {
+        let mut out = Vec::new();
+        assert!(Quant::F32.decode_row(4, &[0u8; 3], &mut out).is_err());
+        assert!(Quant::I8.decode_row(4, &[0u8; 5], &mut out).is_err());
+    }
+
+    #[test]
+    fn reader_errors_on_truncation() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(r.u32("x").is_err());
+        let mut r = ByteReader::new(&[1, 2, 3, 4]);
+        assert_eq!(r.u32("x").map_err(|e| e.to_string()), Ok(0x04030201));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") per the published reference.
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+    }
+}

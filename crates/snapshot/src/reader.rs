@@ -1,0 +1,499 @@
+//! Lazy snapshot reader: O(1)-per-entity row paging.
+//!
+//! [`Snapshot::open`] reads and validates the manifest (magic, version,
+//! trailing checksum, section geometry, shard headers, file sizes) but
+//! touches **no table bytes** — at a million users the resident
+//! footprint is the presence bitmap plus the group index, a few
+//! hundred KiB. Each [`Snapshot::user_latent`] / [`Snapshot::group_rep`]
+//! call is one positioned read of exactly the rows requested.
+//!
+//! Full slab checksums are verified by the opt-in [`Snapshot::verify`]
+//! — an eager check at open would force reading every byte and defeat
+//! lazy loading; truncation (the common partial-copy failure) is still
+//! caught at open by comparing file sizes against the section table.
+
+use crate::error::SnapshotError;
+use crate::format::{
+    section, ByteReader, Fnv64, Quant, FORMAT_VERSION, MANIFEST_MAGIC, SHARD_HEADER_LEN,
+    SHARD_MAGIC,
+};
+use crate::tables::{TableRef, TableStore};
+use crate::writer::{compute_snapshot_id, shard_name, SnapshotMeta, MANIFEST_NAME};
+use groupsa_tensor::Matrix;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One parsed section-table entry.
+#[derive(Clone, Copy, Debug)]
+struct Section {
+    tag: u32,
+    shard: u32,
+    offset: u64,
+    len: u64,
+    checksum: u64,
+}
+
+/// A shard file handle supporting positioned reads without a seek
+/// cursor, so concurrent readers never contend.
+#[cfg(unix)]
+#[derive(Debug)]
+struct ShardFile(fs::File);
+
+#[cfg(unix)]
+impl ShardFile {
+    fn open(path: &Path) -> Result<Self, SnapshotError> {
+        fs::File::open(path)
+            .map(Self)
+            .map_err(|e| SnapshotError::io(format!("open {}", path.display()), e))
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64, what: &str) -> Result<(), SnapshotError> {
+        use std::os::unix::fs::FileExt;
+        self.0.read_exact_at(buf, offset).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => SnapshotError::Truncated { what: what.into() },
+            _ => SnapshotError::io(format!("read {what}"), e),
+        })
+    }
+
+    fn len(&self) -> Result<u64, SnapshotError> {
+        self.0
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| SnapshotError::io("stat shard", e))
+    }
+}
+
+/// Portable fallback: a mutex-guarded seek+read. Correct everywhere,
+/// slower under contention; unix builds use `read_exact_at` above.
+#[cfg(not(unix))]
+#[derive(Debug)]
+struct ShardFile(std::sync::Mutex<fs::File>);
+
+#[cfg(not(unix))]
+impl ShardFile {
+    fn open(path: &Path) -> Result<Self, SnapshotError> {
+        fs::File::open(path)
+            .map(|f| Self(std::sync::Mutex::new(f)))
+            .map_err(|e| SnapshotError::io(format!("open {}", path.display()), e))
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64, what: &str) -> Result<(), SnapshotError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self
+            .0
+            .lock()
+            .map_err(|_| SnapshotError::corrupt("shard file lock poisoned"))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| SnapshotError::io(format!("seek {what}"), e))?;
+        file.read_exact(buf).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => SnapshotError::Truncated { what: what.into() },
+            _ => SnapshotError::io(format!("read {what}"), e),
+        })
+    }
+
+    fn len(&self) -> Result<u64, SnapshotError> {
+        let file = self
+            .0
+            .lock()
+            .map_err(|_| SnapshotError::corrupt("shard file lock poisoned"))?;
+        file.metadata()
+            .map(|m| m.len())
+            .map_err(|e| SnapshotError::io("stat shard", e))
+    }
+}
+
+/// An open snapshot: validated manifest metadata plus one handle per
+/// shard. Table rows are read on demand.
+#[derive(Debug)]
+pub struct Snapshot {
+    dir: PathBuf,
+    meta: SnapshotMeta,
+    snapshot_id: u64,
+    /// `(user_section, group_section)` per shard.
+    shard_sections: Vec<(Section, Section)>,
+    presence: Vec<u8>,
+    /// `(absolute byte offset in shard, rows)` per group.
+    group_index: Vec<(u64, u32)>,
+    files: Vec<ShardFile>,
+}
+
+impl Snapshot {
+    /// Opens and validates `dir` as a snapshot. Validation covers the
+    /// manifest magic/version/trailing-checksum, section geometry,
+    /// every shard header, and file-size truncation — but reads no
+    /// table data.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let bytes = fs::read(&manifest_path)
+            .map_err(|e| SnapshotError::io(format!("read {}", manifest_path.display()), e))?;
+
+        // Trailing checksum covers every preceding byte.
+        if bytes.len() < 8 {
+            return Err(SnapshotError::Truncated { what: "manifest".into() });
+        }
+        let body_len = bytes.len() - 8;
+        let body = bytes.get(..body_len).unwrap_or(&[]);
+        let stored = {
+            let mut r = ByteReader::new(bytes.get(body_len..).unwrap_or(&[]));
+            r.u64("manifest checksum")?
+        };
+        if crate::format::fnv64(body) != stored {
+            return Err(SnapshotError::ChecksumMismatch { section: "manifest".into() });
+        }
+
+        let mut r = ByteReader::new(body);
+        let magic = r.take(8, "manifest magic")?;
+        if magic != MANIFEST_MAGIC {
+            return Err(SnapshotError::BadMagic { what: "manifest" });
+        }
+        let version = r.u32("manifest version")?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let quant = Quant::from_tag(r.u32("quant tag")? as u8)?;
+        let num_users = r.u64("num_users")? as usize;
+        let num_items = r.u64("num_items")? as usize;
+        let num_groups = r.u64("num_groups")? as usize;
+        let dim = r.u32("dim")? as usize;
+        let shards = r.u32("shards")?;
+        if dim == 0 || shards == 0 {
+            return Err(SnapshotError::corrupt("zero dim or shard count"));
+        }
+        let snapshot_id = r.u64("snapshot id")?;
+
+        let section_count = r.u32("section count")? as usize;
+        if section_count != shards as usize * 2 {
+            return Err(SnapshotError::corrupt(format!(
+                "expected {} sections for {shards} shards, manifest lists {section_count}",
+                shards * 2
+            )));
+        }
+        let mut sections = Vec::with_capacity(section_count);
+        for _ in 0..section_count {
+            sections.push(Section {
+                tag: r.u32("section tag")?,
+                shard: r.u32("section shard")?,
+                offset: r.u64("section offset")?,
+                len: r.u64("section len")?,
+                checksum: r.u64("section checksum")?,
+            });
+        }
+
+        let bitmap_len = r.u64("presence bitmap length")? as usize;
+        if bitmap_len != num_users.div_ceil(8) {
+            return Err(SnapshotError::corrupt(format!(
+                "presence bitmap is {bitmap_len} bytes for {num_users} users"
+            )));
+        }
+        let presence = r.take(bitmap_len, "presence bitmap")?.to_vec();
+        let mut group_index = Vec::with_capacity(num_groups);
+        for _ in 0..num_groups {
+            let offset = r.u64("group index offset")?;
+            let rows = r.u32("group index rows")?;
+            group_index.push((offset, rows));
+        }
+        if r.position() != body.len() {
+            return Err(SnapshotError::corrupt("manifest has trailing bytes"));
+        }
+
+        let meta = SnapshotMeta { num_users, num_items, num_groups, dim, shards, quant };
+
+        // The snapshot id must be derivable from the content metadata —
+        // a mismatch means the manifest was assembled from parts of
+        // different snapshots.
+        let flat: Vec<(u32, u32, u64, u64, u64)> =
+            sections.iter().map(|s| (s.tag, s.shard, s.offset, s.len, s.checksum)).collect();
+        if compute_snapshot_id(&meta, &flat) != snapshot_id {
+            return Err(SnapshotError::ChecksumMismatch { section: "snapshot id".into() });
+        }
+
+        // Geometry: per shard, one user section (fixed arithmetic
+        // length) immediately followed by one group section.
+        let row_bytes = quant.row_bytes(dim) as u64;
+        let mut shard_sections = Vec::with_capacity(shards as usize);
+        for s in 0..shards {
+            let user = sections
+                .iter()
+                .find(|sec| sec.shard == s && sec.tag == section::USER_LATENTS)
+                .copied()
+                .ok_or_else(|| {
+                    SnapshotError::corrupt(format!("shard {s} has no user-latent section"))
+                })?;
+            let group = sections
+                .iter()
+                .find(|sec| sec.shard == s && sec.tag == section::GROUP_REPS)
+                .copied()
+                .ok_or_else(|| {
+                    SnapshotError::corrupt(format!("shard {s} has no group-rep section"))
+                })?;
+            let users_in_shard = shard_rows(num_users, shards, s);
+            if user.offset != SHARD_HEADER_LEN || user.len != users_in_shard * row_bytes {
+                return Err(SnapshotError::corrupt(format!(
+                    "shard {s} user section geometry is inconsistent with the universe"
+                )));
+            }
+            if group.offset != user.offset + user.len {
+                return Err(SnapshotError::corrupt(format!(
+                    "shard {s} group section does not follow the user section"
+                )));
+            }
+            shard_sections.push((user, group));
+        }
+
+        // Every group-index entry must land inside its shard's group
+        // section.
+        for (g, &(offset, rows)) in group_index.iter().enumerate() {
+            let shard_idx = g % shards as usize;
+            let (_, group_sec) = shard_sections
+                .get(shard_idx)
+                .ok_or(SnapshotError::corrupt("shard index out of range"))?;
+            let end = offset.checked_add(rows as u64 * row_bytes);
+            let in_bounds = offset >= group_sec.offset
+                && end.is_some_and(|e| e <= group_sec.offset + group_sec.len);
+            if !in_bounds {
+                return Err(SnapshotError::corrupt(format!(
+                    "group {g} rows fall outside shard {shard_idx}'s group section"
+                )));
+            }
+        }
+
+        // Open shards: header must agree with the manifest, and the
+        // file must physically contain every section (truncation
+        // check — the one slab-level failure open() must catch, since
+        // lazy reads would otherwise fail mid-serve).
+        let mut files = Vec::with_capacity(shards as usize);
+        for (s, (_user_sec, group_sec)) in shard_sections.iter().enumerate() {
+            let path = dir.join(shard_name(s as u32));
+            let file = ShardFile::open(&path)?;
+            let mut header = [0u8; SHARD_HEADER_LEN as usize];
+            file.read_at(&mut header, 0, "shard header")?;
+            let mut hr = ByteReader::new(&header);
+            if hr.take(8, "shard magic")? != SHARD_MAGIC {
+                return Err(SnapshotError::BadMagic { what: "shard" });
+            }
+            let shard_version = hr.u32("shard version")?;
+            if shard_version != FORMAT_VERSION {
+                return Err(SnapshotError::UnsupportedVersion { found: shard_version });
+            }
+            let index = hr.u32("shard index")?;
+            if index != s as u32 {
+                return Err(SnapshotError::ShardMismatch {
+                    index: s as u32,
+                    reason: format!("file says it is shard {index}"),
+                });
+            }
+            let id = hr.u64("shard snapshot id")?;
+            if id != snapshot_id {
+                return Err(SnapshotError::ShardMismatch {
+                    index: s as u32,
+                    reason: "snapshot id does not match the manifest".into(),
+                });
+            }
+            let expected_end = group_sec.offset + group_sec.len;
+            let actual = file.len()?;
+            if actual < expected_end {
+                return Err(SnapshotError::Truncated {
+                    what: format!("shard {s} ({actual} bytes, sections need {expected_end})"),
+                });
+            }
+            files.push(file);
+        }
+
+        Ok(Self { dir, meta, snapshot_id, shard_sections, presence, group_index, files })
+    }
+
+    /// The snapshot's declared universe and encoding.
+    pub fn meta(&self) -> &SnapshotMeta {
+        &self.meta
+    }
+
+    /// The content-derived snapshot id.
+    pub fn snapshot_id(&self) -> u64 {
+        self.snapshot_id
+    }
+
+    /// The directory this snapshot was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether `user` has a stored latent (presence bitmap; no I/O).
+    pub fn has_latent(&self, user: usize) -> bool {
+        self.presence
+            .get(user / 8)
+            .is_some_and(|byte| byte & (1 << (user % 8)) != 0)
+    }
+
+    /// Reads one user latent: one positioned read of `row_bytes`, or
+    /// `Ok(None)` without touching disk when the presence bit is clear.
+    pub fn user_latent(&self, user: usize) -> Result<Option<Matrix>, SnapshotError> {
+        if user >= self.meta.num_users {
+            return Err(SnapshotError::OutOfRange {
+                entity: "user",
+                id: user,
+                len: self.meta.num_users,
+            });
+        }
+        if !self.has_latent(user) {
+            return Ok(None);
+        }
+        let shard_idx = user % self.meta.shards as usize;
+        let pos = (user / self.meta.shards as usize) as u64;
+        let row_bytes = self.meta.quant.row_bytes(self.meta.dim);
+        let (user_sec, _) = self
+            .shard_sections
+            .get(shard_idx)
+            .ok_or(SnapshotError::corrupt("shard index out of range"))?;
+        let file = self
+            .files
+            .get(shard_idx)
+            .ok_or(SnapshotError::corrupt("shard index out of range"))?;
+        let mut buf = vec![0u8; row_bytes];
+        file.read_at(&mut buf, user_sec.offset + pos * row_bytes as u64, "user latent row")?;
+        let mut values = Vec::with_capacity(self.meta.dim);
+        self.meta.quant.decode_row(self.meta.dim, &buf, &mut values)?;
+        Ok(Some(Matrix::from_vec(1, self.meta.dim, values)))
+    }
+
+    /// Reads one group's `l×d` member representations: one positioned
+    /// read of `l · row_bytes`.
+    pub fn group_rep(&self, group: usize) -> Result<Matrix, SnapshotError> {
+        let &(offset, rows) = self.group_index.get(group).ok_or(SnapshotError::OutOfRange {
+            entity: "group",
+            id: group,
+            len: self.meta.num_groups,
+        })?;
+        let rows = rows as usize;
+        let shard_idx = group % self.meta.shards as usize;
+        let file = self
+            .files
+            .get(shard_idx)
+            .ok_or(SnapshotError::corrupt("shard index out of range"))?;
+        let row_bytes = self.meta.quant.row_bytes(self.meta.dim);
+        let mut buf = vec![0u8; rows * row_bytes];
+        file.read_at(&mut buf, offset, "group rep rows")?;
+        let mut values = Vec::with_capacity(rows * self.meta.dim);
+        for row in buf.chunks_exact(row_bytes) {
+            self.meta.quant.decode_row(self.meta.dim, row, &mut values)?;
+        }
+        Ok(Matrix::from_vec(rows, self.meta.dim, values))
+    }
+
+    /// Streams every section and recomputes its checksum against the
+    /// manifest. Opt-in because it reads every table byte — the lazy
+    /// open intentionally does not.
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        const CHUNK: usize = 1 << 20;
+        for (s, (user_sec, group_sec)) in self.shard_sections.iter().enumerate() {
+            let file = self
+                .files
+                .get(s)
+                .ok_or(SnapshotError::corrupt("shard index out of range"))?;
+            for (sec, name) in [(user_sec, "user latents"), (group_sec, "group reps")] {
+                let mut hasher = Fnv64::new();
+                let mut remaining = sec.len;
+                let mut offset = sec.offset;
+                let mut buf = vec![0u8; CHUNK.min(sec.len as usize).max(1)];
+                while remaining > 0 {
+                    let n = (remaining as usize).min(buf.len());
+                    let slice = buf.get_mut(..n).unwrap_or(&mut []);
+                    file.read_at(slice, offset, name)?;
+                    hasher.update(slice);
+                    offset += n as u64;
+                    remaining -= n as u64;
+                }
+                if hasher.finish() != sec.checksum {
+                    return Err(SnapshotError::ChecksumMismatch {
+                        section: format!("shard {s} {name}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes resident in memory for this snapshot: index structures
+    /// only — table rows are read per request and never cached.
+    pub fn resident_bytes(&self) -> usize {
+        self.presence.len()
+            + self.group_index.len() * std::mem::size_of::<(u64, u32)>()
+            + self.shard_sections.len() * 2 * std::mem::size_of::<Section>()
+    }
+}
+
+/// Rows stored in shard `s` under modulo sharding: ids `s, s+shards,
+/// s+2·shards, …` below `num`.
+fn shard_rows(num: usize, shards: u32, s: u32) -> u64 {
+    let shards = shards as usize;
+    let s = s as usize;
+    if s >= num {
+        0
+    } else {
+        ((num - s).div_ceil(shards)) as u64
+    }
+}
+
+/// [`TableStore`] over an open [`Snapshot`]: every access decodes
+/// fresh rows from disk (`TableRef::Owned`), keeping residency at the
+/// index-only floor.
+pub struct SnapshotTables {
+    snapshot: Snapshot,
+}
+
+impl SnapshotTables {
+    /// Wraps an open snapshot.
+    pub fn new(snapshot: Snapshot) -> Self {
+        Self { snapshot }
+    }
+
+    /// The underlying snapshot (meta, verify, snapshot id).
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+}
+
+impl TableStore for SnapshotTables {
+    fn num_users(&self) -> usize {
+        self.snapshot.meta.num_users
+    }
+
+    fn num_groups(&self) -> usize {
+        self.snapshot.meta.num_groups
+    }
+
+    fn dim(&self) -> usize {
+        self.snapshot.meta.dim
+    }
+
+    fn user_latent(&self, user: usize) -> Result<Option<TableRef<'_>>, SnapshotError> {
+        Ok(self.snapshot.user_latent(user)?.map(TableRef::Owned))
+    }
+
+    fn group_rep(&self, group: usize) -> Result<TableRef<'_>, SnapshotError> {
+        Ok(TableRef::Owned(self.snapshot.group_rep(group)?))
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.snapshot.resident_bytes()
+    }
+
+    fn backing(&self) -> &'static str {
+        "snapshot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_rows_partitions_the_universe() {
+        for num in [0usize, 1, 7, 8, 9, 1000] {
+            for shards in [1u32, 2, 3, 7, 16] {
+                let total: u64 = (0..shards).map(|s| shard_rows(num, shards, s)).sum();
+                assert_eq!(total, num as u64, "num={num} shards={shards}");
+            }
+        }
+    }
+}

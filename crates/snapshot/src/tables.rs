@@ -1,0 +1,181 @@
+//! The table accessor abstraction the serving layer reads through.
+//!
+//! `FrozenModel` keeps two caches: one `h_j` latent per user and one
+//! `l×d` post-voting member-representation matrix per group. Behind
+//! [`TableStore`] those caches can live fully in memory (the freeze
+//! path — [`MemoryTables`]) or page in lazily from a sharded binary
+//! snapshot (`crate::reader::SnapshotTables`). [`TableRef`] keeps the
+//! in-memory path zero-copy: a borrowed ref costs nothing, while a
+//! lazily-decoded row comes back owned — both deref to [`Matrix`].
+
+use crate::error::SnapshotError;
+use groupsa_tensor::Matrix;
+use std::ops::Deref;
+
+/// A table row set that is either borrowed from a resident cache or
+/// freshly decoded from disk.
+pub enum TableRef<'a> {
+    /// A zero-copy view into a resident table.
+    Borrowed(&'a Matrix),
+    /// A row set decoded on demand (lazy snapshot reads).
+    Owned(Matrix),
+}
+
+impl Deref for TableRef<'_> {
+    type Target = Matrix;
+
+    fn deref(&self) -> &Matrix {
+        match self {
+            Self::Borrowed(m) => m,
+            Self::Owned(m) => m,
+        }
+    }
+}
+
+/// Read access to the frozen per-user / per-group tables.
+///
+/// Implementations must be `Send + Sync` — worker threads share one
+/// store through an `Arc` with no locking on the read path.
+pub trait TableStore: Send + Sync {
+    /// Number of user rows (ids `0..num_users`).
+    fn num_users(&self) -> usize;
+
+    /// Number of group entries (ids `0..num_groups`).
+    fn num_groups(&self) -> usize;
+
+    /// Latent dimensionality `d` (columns of every row).
+    fn dim(&self) -> usize;
+
+    /// The `1×d` enhanced latent `h_j` for `user`, `None` when the
+    /// user has no cached latent (ablated or cold user).
+    fn user_latent(&self, user: usize) -> Result<Option<TableRef<'_>>, SnapshotError>;
+
+    /// The `l×d` post-voting member representations for `group`.
+    fn group_rep(&self, group: usize) -> Result<TableRef<'_>, SnapshotError>;
+
+    /// Bytes of table data resident in memory right now. A fully
+    /// materialized store reports its whole payload; a lazy store
+    /// reports only its index structures.
+    fn resident_bytes(&self) -> usize;
+
+    /// Short label for reports: `"memory"` or `"snapshot"`.
+    fn backing(&self) -> &'static str;
+}
+
+/// Fully materialized tables — the freeze/rebuild path. Reads are
+/// zero-copy borrows; this is the bit-identical baseline the snapshot
+/// readers are validated against.
+pub struct MemoryTables {
+    user_latents: Vec<Option<Matrix>>,
+    group_reps: Vec<Matrix>,
+    dim: usize,
+}
+
+impl MemoryTables {
+    /// Wraps precomputed caches. `dim` must match every row (callers
+    /// pass the model's embedding dimension; rows are produced by the
+    /// same model, so this holds by construction).
+    pub fn new(user_latents: Vec<Option<Matrix>>, group_reps: Vec<Matrix>, dim: usize) -> Self {
+        Self { user_latents, group_reps, dim }
+    }
+
+    /// Iterates user latents in id order (the snapshot writer's input).
+    pub fn user_latents(&self) -> &[Option<Matrix>] {
+        &self.user_latents
+    }
+
+    /// Iterates group reps in id order (the snapshot writer's input).
+    pub fn group_reps(&self) -> &[Matrix] {
+        &self.group_reps
+    }
+}
+
+impl TableStore for MemoryTables {
+    fn num_users(&self) -> usize {
+        self.user_latents.len()
+    }
+
+    fn num_groups(&self) -> usize {
+        self.group_reps.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn user_latent(&self, user: usize) -> Result<Option<TableRef<'_>>, SnapshotError> {
+        match self.user_latents.get(user) {
+            Some(slot) => Ok(slot.as_ref().map(TableRef::Borrowed)),
+            None => Err(SnapshotError::OutOfRange {
+                entity: "user",
+                id: user,
+                len: self.user_latents.len(),
+            }),
+        }
+    }
+
+    fn group_rep(&self, group: usize) -> Result<TableRef<'_>, SnapshotError> {
+        match self.group_reps.get(group) {
+            Some(m) => Ok(TableRef::Borrowed(m)),
+            None => Err(SnapshotError::OutOfRange {
+                entity: "group",
+                id: group,
+                len: self.group_reps.len(),
+            }),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let user_bytes: usize = self
+            .user_latents
+            .iter()
+            .flatten()
+            .map(|m| m.as_slice().len() * 4)
+            .sum();
+        let group_bytes: usize = self.group_reps.iter().map(|m| m.as_slice().len() * 4).sum();
+        user_bytes + group_bytes
+    }
+
+    fn backing(&self) -> &'static str {
+        "memory"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> MemoryTables {
+        MemoryTables::new(
+            vec![Some(Matrix::from_vec(1, 2, vec![1.0, 2.0])), None],
+            vec![Matrix::from_vec(2, 2, vec![0.5, 0.25, -1.0, 4.0])],
+            2,
+        )
+    }
+
+    #[test]
+    fn memory_reads_are_borrowed_and_bit_exact() {
+        let s = store();
+        let latent = s.user_latent(0).expect("in range").expect("present");
+        assert!(matches!(latent, TableRef::Borrowed(_)));
+        assert_eq!(latent.as_slice(), &[1.0, 2.0]);
+        assert!(s.user_latent(1).expect("in range").is_none());
+        let rep = s.group_rep(0).expect("in range");
+        assert_eq!(rep.shape(), (2, 2));
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error() {
+        let s = store();
+        assert!(matches!(s.user_latent(2), Err(SnapshotError::OutOfRange { entity: "user", .. })));
+        assert!(matches!(s.group_rep(1), Err(SnapshotError::OutOfRange { entity: "group", .. })));
+    }
+
+    #[test]
+    fn resident_bytes_counts_full_payload() {
+        let s = store();
+        // 2 latent f32 + 4 group f32 = 24 bytes.
+        assert_eq!(s.resident_bytes(), 24);
+        assert_eq!(s.backing(), "memory");
+    }
+}

@@ -1,0 +1,336 @@
+//! Streaming sharded snapshot writer.
+//!
+//! The writer never holds a table in memory: callers push user rows in
+//! id order, then group rep matrices in id order, and each row goes
+//! straight to its shard file through a buffered writer. Only O(users)
+//! of *metadata* (the presence bitmap and the group index) is
+//! accumulated for the manifest — at a million users that is 125 KiB,
+//! not the 32 MiB table. This is what lets the million-scale bench
+//! generate-and-write in chunks without ever materializing the tables.
+//!
+//! Sharding is modulo: user `u` lands in shard `u % shards` at row
+//! position `u / shards`, so pushing users in ascending id order
+//! appends sequentially within every shard and the reader can seek to
+//! any row with two divisions. Group `g` lands in shard `g % shards`;
+//! its (variable-row) byte offset is recorded in the manifest's group
+//! index.
+
+use crate::error::SnapshotError;
+use crate::format::{
+    section, ByteWriter, Fnv64, Quant, FORMAT_VERSION, MANIFEST_MAGIC, SHARD_HEADER_LEN,
+    SHARD_MAGIC,
+};
+use groupsa_tensor::Matrix;
+use std::fs;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The fixed parameters of one snapshot, declared up front so the
+/// writer can stream against a known universe.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotMeta {
+    /// User universe size (exactly this many `push_user` calls).
+    pub num_users: usize,
+    /// Item universe size (recorded for serving-side validation).
+    pub num_items: usize,
+    /// Group universe size (exactly this many `push_group` calls).
+    pub num_groups: usize,
+    /// Latent dimensionality `d`.
+    pub dim: usize,
+    /// Number of shard files (≥ 1).
+    pub shards: u32,
+    /// Row encoding.
+    pub quant: Quant,
+}
+
+/// The manifest file name inside a snapshot directory.
+pub const MANIFEST_NAME: &str = "manifest.gsnap";
+
+/// The shard file name for `index`.
+pub fn shard_name(index: u32) -> String {
+    format!("shard-{index:04}.gslab")
+}
+
+struct ShardOut {
+    file: std::io::BufWriter<fs::File>,
+    /// Current absolute write offset.
+    offset: u64,
+    user_checksum: Fnv64,
+    group_checksum: Fnv64,
+    /// `(offset, len)` of the user slab, fixed once groups begin.
+    user_section: Option<(u64, u64)>,
+}
+
+/// Streams one snapshot to a directory. Construction order is strict:
+/// every user (ascending id), then every group (ascending id), then
+/// [`SnapshotWriter::finish`].
+pub struct SnapshotWriter {
+    dir: PathBuf,
+    meta: SnapshotMeta,
+    shards: Vec<ShardOut>,
+    next_user: usize,
+    next_group: usize,
+    presence: Vec<u8>,
+    group_index: Vec<(u64, u32)>,
+    row_buf: Vec<u8>,
+    zero_row: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Creates the snapshot directory (if needed) and the shard files,
+    /// writing placeholder headers that [`SnapshotWriter::finish`]
+    /// patches with the content-derived snapshot id.
+    pub fn create(dir: impl AsRef<Path>, meta: SnapshotMeta) -> Result<Self, SnapshotError> {
+        if meta.shards == 0 {
+            return Err(SnapshotError::corrupt("snapshot must have at least one shard"));
+        }
+        if meta.dim == 0 {
+            return Err(SnapshotError::corrupt("snapshot dim must be nonzero"));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)
+            .map_err(|e| SnapshotError::io(format!("create dir {}", dir.display()), e))?;
+        let mut shards = Vec::with_capacity(meta.shards as usize);
+        for s in 0..meta.shards {
+            let path = dir.join(shard_name(s));
+            let file = fs::File::create(&path)
+                .map_err(|e| SnapshotError::io(format!("create {}", path.display()), e))?;
+            let mut out = std::io::BufWriter::new(file);
+            let mut header = ByteWriter::new();
+            header.bytes(&SHARD_MAGIC);
+            header.u32(FORMAT_VERSION);
+            header.u32(s);
+            header.u64(0); // snapshot_id placeholder, patched in finish()
+            out.write_all(header.as_slice())
+                .map_err(|e| SnapshotError::io(format!("write {} header", path.display()), e))?;
+            shards.push(ShardOut {
+                file: out,
+                offset: SHARD_HEADER_LEN,
+                user_checksum: Fnv64::new(),
+                group_checksum: Fnv64::new(),
+                user_section: None,
+            });
+        }
+        Ok(Self {
+            dir,
+            meta,
+            shards,
+            next_user: 0,
+            next_group: 0,
+            presence: vec![0u8; meta.num_users.div_ceil(8)],
+            group_index: Vec::with_capacity(meta.num_groups),
+            row_buf: Vec::new(),
+            zero_row: vec![0u8; meta.quant.row_bytes(meta.dim)],
+        })
+    }
+
+    /// Appends the next user's latent (`None` for an absent latent —
+    /// the row slot is zero-filled and the presence bit stays clear, so
+    /// row addressing remains pure arithmetic). Users must be pushed in
+    /// id order, exactly `num_users` times.
+    pub fn push_user(&mut self, latent: Option<&[f32]>) -> Result<(), SnapshotError> {
+        if self.next_user >= self.meta.num_users {
+            return Err(SnapshotError::corrupt(format!(
+                "push_user beyond declared num_users = {}",
+                self.meta.num_users
+            )));
+        }
+        if self.next_group > 0 || self.shards.iter().any(|s| s.user_section.is_some()) {
+            return Err(SnapshotError::corrupt("push_user after push_group"));
+        }
+        let user = self.next_user;
+        let shard_idx = user % self.meta.shards as usize;
+        let bytes: &[u8] = match latent {
+            Some(row) => {
+                if row.len() != self.meta.dim {
+                    return Err(SnapshotError::corrupt(format!(
+                        "user {user} latent has {} values, snapshot dim is {}",
+                        row.len(),
+                        self.meta.dim
+                    )));
+                }
+                self.row_buf.clear();
+                self.meta.quant.encode_row(row, &mut self.row_buf);
+                if let Some(byte) = self.presence.get_mut(user / 8) {
+                    *byte |= 1 << (user % 8);
+                }
+                &self.row_buf
+            }
+            None => &self.zero_row,
+        };
+        let shard = self
+            .shards
+            .get_mut(shard_idx)
+            .ok_or(SnapshotError::corrupt("shard index out of range"))?;
+        shard
+            .file
+            .write_all(bytes)
+            .map_err(|e| SnapshotError::io(format!("write user {user} row"), e))?;
+        shard.user_checksum.update(bytes);
+        shard.offset += bytes.len() as u64;
+        self.next_user += 1;
+        Ok(())
+    }
+
+    /// Appends the next group's `l×d` member representations. Groups
+    /// must be pushed in id order, exactly `num_groups` times, after
+    /// every user.
+    pub fn push_group(&mut self, reps: &Matrix) -> Result<(), SnapshotError> {
+        if self.next_group >= self.meta.num_groups {
+            return Err(SnapshotError::corrupt(format!(
+                "push_group beyond declared num_groups = {}",
+                self.meta.num_groups
+            )));
+        }
+        if self.next_user != self.meta.num_users {
+            return Err(SnapshotError::corrupt(format!(
+                "push_group before all users written ({} of {})",
+                self.next_user, self.meta.num_users
+            )));
+        }
+        self.seal_user_sections();
+        if reps.rows() > 0 && reps.cols() != self.meta.dim {
+            return Err(SnapshotError::corrupt(format!(
+                "group {} reps have {} columns, snapshot dim is {}",
+                self.next_group,
+                reps.cols(),
+                self.meta.dim
+            )));
+        }
+        let group = self.next_group;
+        let shard_idx = group % self.meta.shards as usize;
+        self.row_buf.clear();
+        for row in reps.rows_iter().take(reps.rows()) {
+            self.meta.quant.encode_row(row, &mut self.row_buf);
+        }
+        let shard = self
+            .shards
+            .get_mut(shard_idx)
+            .ok_or(SnapshotError::corrupt("shard index out of range"))?;
+        self.group_index.push((shard.offset, reps.rows() as u32));
+        shard
+            .file
+            .write_all(&self.row_buf)
+            .map_err(|e| SnapshotError::io(format!("write group {group} reps"), e))?;
+        shard.group_checksum.update(&self.row_buf);
+        shard.offset += self.row_buf.len() as u64;
+        self.next_group += 1;
+        Ok(())
+    }
+
+    /// Marks the user slab of every shard finished (called on the first
+    /// group push, or by `finish` for group-less snapshots).
+    fn seal_user_sections(&mut self) {
+        for shard in &mut self.shards {
+            if shard.user_section.is_none() {
+                shard.user_section = Some((SHARD_HEADER_LEN, shard.offset - SHARD_HEADER_LEN));
+            }
+        }
+    }
+
+    /// Flushes the shards, patches their headers with the
+    /// content-derived snapshot id, and writes the manifest. Returns
+    /// the snapshot id.
+    pub fn finish(mut self) -> Result<u64, SnapshotError> {
+        if self.next_user != self.meta.num_users {
+            return Err(SnapshotError::corrupt(format!(
+                "finish with {} of {} users written",
+                self.next_user, self.meta.num_users
+            )));
+        }
+        if self.next_group != self.meta.num_groups {
+            return Err(SnapshotError::corrupt(format!(
+                "finish with {} of {} groups written",
+                self.next_group, self.meta.num_groups
+            )));
+        }
+        self.seal_user_sections();
+
+        // Section table: USER_LATENTS then GROUP_REPS per shard, in
+        // shard order.
+        let mut sections: Vec<(u32, u32, u64, u64, u64)> = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let (uoff, ulen) = shard.user_section.unwrap_or((SHARD_HEADER_LEN, 0));
+            sections.push((section::USER_LATENTS, s as u32, uoff, ulen, shard.user_checksum.finish()));
+            let goff = uoff + ulen;
+            let glen = shard.offset - goff;
+            sections.push((section::GROUP_REPS, s as u32, goff, glen, shard.group_checksum.finish()));
+        }
+
+        let snapshot_id = compute_snapshot_id(&self.meta, &sections);
+
+        // Flush and patch each shard header's snapshot_id in place.
+        for (s, shard) in self.shards.drain(..).enumerate() {
+            let mut file = shard
+                .file
+                .into_inner()
+                .map_err(|e| SnapshotError::io(format!("flush shard {s}"), e.into_error()))?;
+            file.seek(SeekFrom::Start(16))
+                .map_err(|e| SnapshotError::io(format!("seek shard {s} header"), e))?;
+            file.write_all(&snapshot_id.to_le_bytes())
+                .map_err(|e| SnapshotError::io(format!("patch shard {s} header"), e))?;
+            file.sync_all()
+                .map_err(|e| SnapshotError::io(format!("sync shard {s}"), e))?;
+        }
+
+        // Manifest: meta, section table, presence bitmap, group index,
+        // trailing checksum over everything before it.
+        let mut w = ByteWriter::new();
+        w.bytes(&MANIFEST_MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.meta.quant.tag() as u32);
+        w.u64(self.meta.num_users as u64);
+        w.u64(self.meta.num_items as u64);
+        w.u64(self.meta.num_groups as u64);
+        w.u32(self.meta.dim as u32);
+        w.u32(self.meta.shards);
+        w.u64(snapshot_id);
+        w.u32(sections.len() as u32);
+        for &(tag, shard, offset, len, checksum) in &sections {
+            w.u32(tag);
+            w.u32(shard);
+            w.u64(offset);
+            w.u64(len);
+            w.u64(checksum);
+        }
+        w.u64(self.presence.len() as u64);
+        w.bytes(&self.presence);
+        for &(offset, rows) in &self.group_index {
+            w.u64(offset);
+            w.u32(rows);
+        }
+        let checksum = crate::format::fnv64(w.as_slice());
+        w.u64(checksum);
+
+        let tmp = self.dir.join(format!("{MANIFEST_NAME}.tmp"));
+        let final_path = self.dir.join(MANIFEST_NAME);
+        fs::write(&tmp, w.as_slice())
+            .map_err(|e| SnapshotError::io(format!("write {}", tmp.display()), e))?;
+        fs::rename(&tmp, &final_path)
+            .map_err(|e| SnapshotError::io(format!("rename manifest into place"), e))?;
+        Ok(snapshot_id)
+    }
+}
+
+/// The content-derived snapshot id: FNV-1a over the meta fields and
+/// every section's identity + checksum. Identical content ⇒ identical
+/// id; any slab or meta change ⇒ a new id, which is how shard files
+/// are tied to their manifest.
+pub(crate) fn compute_snapshot_id(meta: &SnapshotMeta, sections: &[(u32, u32, u64, u64, u64)]) -> u64 {
+    let mut w = ByteWriter::new();
+    w.u32(FORMAT_VERSION);
+    w.u32(meta.quant.tag() as u32);
+    w.u64(meta.num_users as u64);
+    w.u64(meta.num_items as u64);
+    w.u64(meta.num_groups as u64);
+    w.u32(meta.dim as u32);
+    w.u32(meta.shards);
+    for &(tag, shard, offset, len, checksum) in sections {
+        w.u32(tag);
+        w.u32(shard);
+        w.u64(offset);
+        w.u64(len);
+        w.u64(checksum);
+    }
+    crate::format::fnv64(w.as_slice())
+}

@@ -1,0 +1,252 @@
+//! Write → read round-trip properties: bit-exactness of the f32 path,
+//! shard-count invariance, quantization determinism and error bounds,
+//! and byte-stability of the written files across processes (the PR 5
+//! re-exec pattern — fresh address space, fresh hash seeds).
+
+mod common;
+
+use common::*;
+use groupsa_snapshot::{Quant, Snapshot, SnapshotTables, TableStore};
+use std::process::Command;
+
+#[test]
+fn f32_roundtrip_is_bit_exact() {
+    let dir = fresh_dir("rt-f32");
+    write_fixture(&dir, 3, Quant::F32);
+    let snap = Snapshot::open(&dir).expect("open");
+    assert_eq!(snap.meta().num_users, NUM_USERS);
+    assert_eq!(snap.meta().num_items, NUM_ITEMS);
+    assert_eq!(snap.meta().num_groups, NUM_GROUPS);
+    assert_eq!(snap.meta().dim, DIM);
+
+    for (u, want) in user_latents().iter().enumerate() {
+        let got = snap.user_latent(u).expect("read user");
+        match (want, got) {
+            (None, None) => {}
+            (Some(w), Some(g)) => {
+                let wb: Vec<u32> = w.as_slice().iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u32> = g.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(wb, gb, "user {u} latent bits");
+            }
+            (w, g) => panic!("user {u}: presence mismatch (want {:?}, got {:?})", w.is_some(), g.is_some()),
+        }
+    }
+    for (g, want) in group_reps().iter().enumerate() {
+        let got = snap.group_rep(g).expect("read group");
+        assert_eq!(got.shape(), want.shape(), "group {g} shape");
+        let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(wb, gb, "group {g} rep bits");
+    }
+    snap.verify().expect("checksums hold");
+}
+
+#[test]
+fn reads_are_invariant_to_shard_count() {
+    let dirs: Vec<_> = [1u32, 2, 7, 32]
+        .into_iter()
+        .map(|s| {
+            let dir = fresh_dir(&format!("rt-shards-{s}"));
+            write_fixture(&dir, s, Quant::F32);
+            Snapshot::open(&dir).expect("open")
+        })
+        .collect();
+    for u in 0..NUM_USERS {
+        let base = dirs[0].user_latent(u).expect("read").map(|m| m.as_slice().to_vec());
+        for snap in &dirs[1..] {
+            let got = snap.user_latent(u).expect("read").map(|m| m.as_slice().to_vec());
+            assert_eq!(base, got, "user {u} differs across shard counts");
+        }
+    }
+    for g in 0..NUM_GROUPS {
+        let base = dirs[0].group_rep(g).expect("read").as_slice().to_vec();
+        for snap in &dirs[1..] {
+            assert_eq!(base, snap.group_rep(g).expect("read").as_slice().to_vec(), "group {g}");
+        }
+    }
+}
+
+#[test]
+fn more_shards_than_entities_still_serves() {
+    let dir = fresh_dir("rt-wide");
+    write_fixture(&dir, 64, Quant::F32);
+    let snap = Snapshot::open(&dir).expect("open");
+    snap.verify().expect("verify");
+    for u in 0..NUM_USERS {
+        snap.user_latent(u).expect("read");
+    }
+}
+
+#[test]
+fn quantized_reads_are_deterministic_and_bounded() {
+    for quant in [Quant::F16, Quant::I8] {
+        let dir = fresh_dir(&format!("rt-{}", quant.name()));
+        write_fixture(&dir, 3, quant);
+        let snap = Snapshot::open(&dir).expect("open");
+        let reopened = Snapshot::open(&dir).expect("reopen");
+        for (u, want) in user_latents().iter().enumerate() {
+            let a = snap.user_latent(u).expect("read");
+            let b = snap.user_latent(u).expect("read again");
+            let c = reopened.user_latent(u).expect("read via second handle");
+            let bits = |m: &Option<groupsa_tensor::Matrix>| {
+                m.as_ref().map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+            };
+            assert_eq!(bits(&a), bits(&b), "{} user {u} re-read differs", quant.name());
+            assert_eq!(bits(&a), bits(&c), "{} user {u} handle differs", quant.name());
+            if let (Some(w), Some(g)) = (want, &a) {
+                let max_abs = w.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let tol = match quant {
+                    // f16 has 11 significand bits: relative error ≤ 2⁻¹¹
+                    // of the value, so ≤ max_abs · 2⁻¹¹ absolutely.
+                    Quant::F16 => max_abs * (1.0 / 2048.0),
+                    // i8 quantum is max_abs/127; rounding error ≤ q/2,
+                    // plus scale's own f32 rounding — use one quantum.
+                    Quant::I8 => max_abs / 127.0,
+                    Quant::F32 => 0.0,
+                };
+                for (x, y) in w.as_slice().iter().zip(g.as_slice()) {
+                    assert!((x - y).abs() <= tol, "{} user {u}: {x} vs {y} (tol {tol})", quant.name());
+                }
+            }
+        }
+        snap.verify().expect("verify quantized");
+    }
+}
+
+#[test]
+fn quantized_tables_shrink_on_disk() {
+    let sizes: Vec<u64> = [Quant::F32, Quant::F16, Quant::I8]
+        .into_iter()
+        .map(|q| {
+            let dir = fresh_dir(&format!("rt-size-{}", q.name()));
+            write_fixture(&dir, 2, q);
+            std::fs::read_dir(&dir)
+                .expect("list")
+                .map(|e| e.expect("entry").metadata().expect("meta").len())
+                .sum()
+        })
+        .collect();
+    assert!(sizes[1] < sizes[0], "f16 ({}) not smaller than f32 ({})", sizes[1], sizes[0]);
+    assert!(sizes[2] < sizes[1], "i8 ({}) not smaller than f16 ({})", sizes[2], sizes[1]);
+}
+
+#[test]
+fn lazy_open_keeps_residency_at_the_index_floor() {
+    use groupsa_snapshot::{SnapshotMeta, SnapshotWriter};
+    // Large enough that the per-user cost (1 presence bit) is visibly
+    // below the table payload (dim f32 per user): 4096 users → 512 B
+    // of bitmap vs 128 KiB of rows.
+    let users = 4096;
+    let dir = fresh_dir("rt-resident");
+    let meta = SnapshotMeta { num_users: users, num_items: 10, num_groups: 0, dim: DIM, shards: 4, quant: Quant::F32 };
+    let mut w = SnapshotWriter::create(&dir, meta).expect("create");
+    for u in 0..users {
+        let row: Vec<f32> = (0..DIM).map(|k| value(3, u, k)).collect();
+        w.push_user(Some(&row)).expect("push user");
+    }
+    w.finish().expect("finish");
+    let tables = SnapshotTables::new(Snapshot::open(&dir).expect("open"));
+    let full_table_bytes = users * DIM * 4;
+    assert!(
+        tables.resident_bytes() < full_table_bytes / 64,
+        "lazy store resident {} bytes vs {} of table payload",
+        tables.resident_bytes(),
+        full_table_bytes
+    );
+    assert_eq!(tables.backing(), "snapshot");
+}
+
+#[test]
+fn writer_enforces_declared_universe_and_order() {
+    use groupsa_snapshot::{SnapshotError, SnapshotMeta, SnapshotWriter};
+    let meta = SnapshotMeta { num_users: 2, num_items: 1, num_groups: 1, dim: 2, shards: 1, quant: Quant::F32 };
+
+    // Groups before all users.
+    let dir = fresh_dir("rt-order");
+    let mut w = SnapshotWriter::create(&dir, meta).expect("create");
+    w.push_user(Some(&[1.0, 2.0])).expect("user 0");
+    let reps = groupsa_tensor::Matrix::from_vec(1, 2, vec![0.5, 0.5]);
+    assert!(matches!(w.push_group(&reps), Err(SnapshotError::Corrupt { .. })));
+
+    // Finish with missing entities.
+    let dir = fresh_dir("rt-short");
+    let w = SnapshotWriter::create(&dir, meta).expect("create");
+    assert!(matches!(w.finish(), Err(SnapshotError::Corrupt { .. })));
+
+    // Wrong latent width.
+    let dir = fresh_dir("rt-width");
+    let mut w = SnapshotWriter::create(&dir, meta).expect("create");
+    assert!(matches!(w.push_user(Some(&[1.0])), Err(SnapshotError::Corrupt { .. })));
+
+    // Zero shards rejected up front.
+    let bad = SnapshotMeta { shards: 0, ..meta };
+    assert!(matches!(
+        SnapshotWriter::create(fresh_dir("rt-zero"), bad),
+        Err(SnapshotError::Corrupt { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Cross-process byte-stability (PR 5 re-exec pattern).
+
+const CHILD_ENV: &str = "GROUPSA_SNAPSHOT_DIGEST_CHILD";
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of every file in a freshly-written snapshot, in name order.
+fn written_digest(tag: &str) -> u64 {
+    let dir = fresh_dir(tag);
+    write_fixture(&dir, 3, Quant::F32);
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("list snapshot dir")
+        .map(|e| e.expect("entry").file_name())
+        .collect();
+    names.sort();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for name in names {
+        h = fnv1a(name.to_string_lossy().as_bytes(), h);
+        h = fnv1a(&std::fs::read(dir.join(&name)).expect("read file"), h);
+    }
+    h
+}
+
+/// Child half: re-exec'd with [`CHILD_ENV`] set, writes a snapshot in
+/// a fresh address space and prints its file digest.
+#[test]
+fn child_emits_snapshot_digest() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    println!("DIGEST={:016x}", written_digest("xproc-child"));
+}
+
+fn digest_from_child() -> u64 {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args(["--exact", "child_emits_snapshot_digest", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .output()
+        .expect("re-exec the test binary");
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let idx = stdout
+        .find("DIGEST=")
+        .unwrap_or_else(|| panic!("no DIGEST marker in child output:\n{stdout}"));
+    let hex = &stdout[idx + "DIGEST=".len()..idx + "DIGEST=".len() + 16];
+    u64::from_str_radix(hex, 16).expect("hex digest")
+}
+
+#[test]
+fn snapshot_bytes_are_identical_across_process_runs() {
+    let local = written_digest("xproc-parent");
+    let first = digest_from_child();
+    let second = digest_from_child();
+    assert_eq!(first, second, "two process runs wrote different snapshot bytes");
+    assert_eq!(first, local, "child snapshot bytes differ from the parent's");
+}

@@ -120,3 +120,13 @@ GROUPSA_TRACE="$trace_dir/serve_trace.jsonl" \
     ./target/release/serve_bench --clients 2 --requests 8 --save false >/dev/null
 ./target/release/trace_check "$trace_dir/serve_trace.jsonl" run batch request stats
 echo "tier1: traced serve sweep emitted a schema-valid lifecycle trace"
+
+# Snapshot format: write→read round-trip must be bit-exact, every
+# corruption family (bad magic, future version, truncation, slab bit
+# rot, shard swap) must surface a typed error — never a panic — and a
+# fresh fixture write must be byte-identical to the committed golden
+# files under results/golden_snapshot/ (format-drift detection; see
+# DESIGN.md §13 for the re-versioning policy).
+./target/release/snapshot_check --smoke >/dev/null
+./target/release/snapshot_check --golden results/golden_snapshot >/dev/null
+echo "tier1: snapshot round-trip, corrupt-file rejection, and golden-fixture checks passed"
