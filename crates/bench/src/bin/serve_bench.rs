@@ -1,11 +1,19 @@
 //! Load generator for the `groupsa-serve` subsystem.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! * **In-process sweep** (default): freezes a tiny model, runs the
 //!   engine at 1/2/4 workers under concurrent client threads, and
 //!   writes throughput + exact client-side latency percentiles to
 //!   `results/serve_bench.json`.
+//! * **Overload sweep** (`--overload true`): saturates a 1-worker
+//!   engine over a heavy group-voting world with a client sweep far
+//!   past capacity, classifying every answer client-side (ok / shed /
+//!   expired / queue-rejected / error) and recording how fast shed
+//!   answers come back relative to the deadline they pre-empted.
+//!   Gates on the conservation law `submitted == completed + errors +
+//!   expired + shed` at every step and on shed answers being far
+//!   under the deadline; writes `results/serve_bench_overload.json`.
 //! * **Snapshot scale** (`--users N`): streams an `N`-user synthetic
 //!   universe straight into a sharded binary snapshot (never holding
 //!   the universe in memory), opens it lazily through
@@ -18,14 +26,20 @@
 //! * **TCP** (`--addr HOST:PORT`): drives a running `groupsa-serve`
 //!   over NDJSON, validating every response (echoed id, ≤ k items,
 //!   descending scores). Learns the id universe from a `Stats`
-//!   request, so it works against any dataset. With `--shutdown true`
-//!   it finishes by asking the server to exit (and expects `Bye`) —
-//!   this is the tier-1 smoke path. Exits nonzero on any malformed
-//!   response.
+//!   request, so it works against any dataset. `--pipeline true`
+//!   writes every request line before reading any response and
+//!   matches replies by id — the pipelined wire path. `--reload DIR`
+//!   first hot-swaps the server onto a snapshot directory (expects
+//!   `Reloaded`) and then benches against the swapped model. With
+//!   `--shutdown true` it finishes by asking the server to exit (and
+//!   expects `Bye`) — this is the tier-1 smoke path. Exits nonzero on
+//!   any malformed response.
 //!
 //! ```text
 //! serve_bench [--clients N] [--requests N] [--k N] [--save true|false]
 //!             [--addr HOST:PORT] [--shutdown true|false]
+//!             [--pipeline true|false] [--reload DIR]
+//!             [--overload true|false] [--deadline-ms N]
 //!             [--users N] [--items N] [--groups N] [--snapshot DIR]
 //!             [--shards N] [--quant f32|f16|i8] [--chunk N]
 //!             [--memory-budget-mb N]
@@ -341,6 +355,303 @@ fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> 
     Ok(())
 }
 
+// ------------------------------------------------------- overload mode
+
+/// Client-side classification of one answer under overload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    Shed,
+    Expired,
+    Rejected,
+    Error,
+}
+
+fn classify(resp: &Response) -> Outcome {
+    match resp {
+        Response::Recommend { .. } => Outcome::Ok,
+        Response::Error { error, .. } if error.starts_with("shed:") => Outcome::Shed,
+        Response::Error { error, .. } if error.contains("deadline exceeded") => Outcome::Expired,
+        Response::Error { error, .. } if error.contains("queue full") => Outcome::Rejected,
+        _ => Outcome::Error,
+    }
+}
+
+/// One step of the past-saturation client sweep.
+#[derive(Clone, Debug)]
+struct OverloadStep {
+    clients: usize,
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    expired: u64,
+    rejected: u64,
+    errors: u64,
+    throughput_rps: f64,
+    ok_p50_us: u64,
+    ok_p95_us: u64,
+    /// Latency of the answers admission control *refused* — the point
+    /// of shedding is that these are orders of magnitude under the
+    /// deadline (0 when nothing was shed at this step).
+    shed_p50_us: u64,
+    shed_p95_us: u64,
+}
+
+impl_json_struct!(OverloadStep {
+    clients,
+    requests,
+    ok,
+    shed,
+    expired,
+    rejected,
+    errors,
+    throughput_rps,
+    ok_p50_us,
+    ok_p95_us,
+    shed_p50_us,
+    shed_p95_us,
+});
+
+/// The overload report (`results/serve_bench_overload.json`).
+#[derive(Clone, Debug)]
+struct OverloadReport {
+    schema_version: u64,
+    workers: usize,
+    queue_capacity: usize,
+    deadline_ms: u64,
+    num_users: usize,
+    num_items: usize,
+    num_groups: usize,
+    /// Sub-saturation throughput with shedding disabled / enabled on
+    /// the same workload — shedding must not tax the healthy regime.
+    baseline_rps_shed_off: f64,
+    baseline_rps_shed_on: f64,
+    steps: Vec<OverloadStep>,
+}
+
+impl_json_struct!(OverloadReport {
+    schema_version,
+    workers,
+    queue_capacity,
+    deadline_ms,
+    num_users,
+    num_items,
+    num_groups,
+    baseline_rps_shed_off,
+    baseline_rps_shed_on,
+    steps,
+});
+
+/// A heavy world: group-voting over a wide catalog, so a single worker
+/// saturates at a handful of concurrent clients.
+fn heavy_frozen(seed: u64) -> (Arc<FrozenModel>, usize, usize, usize) {
+    let syn = SyntheticConfig {
+        name: format!("serve-overload-{seed}"),
+        seed,
+        num_users: 60,
+        num_items: 400,
+        num_groups: 25,
+        num_topics: 4,
+        latent_dim: 4,
+        avg_items_per_user: 8.0,
+        avg_friends_per_user: 5.0,
+        avg_items_per_group: 1.5,
+        mean_group_size: 3.5,
+        zipf_exponent: 0.8,
+        homophily: 0.8,
+        social_influence: 0.3,
+        expertise_sharpness: 2.0,
+        taste_temperature: 0.3,
+        consensus_blend: 0.5,
+        connectedness_boost: 1.0,
+    };
+    let dataset = generate(&syn);
+    let model = GroupSa::new(GroupSaConfig::tiny(), dataset.num_users, dataset.num_items);
+    let ctx = DataContext::from_train_view(&dataset, model.config());
+    let (u, i, g) = (ctx.num_users, ctx.num_items, ctx.num_groups());
+    (Arc::new(FrozenModel::freeze(model, ctx)), u, i, g)
+}
+
+fn heavy_request(id: u64, groups: usize, k: usize, deadline_ms: u64) -> RecommendRequest {
+    RecommendRequest {
+        id,
+        target: Target::Group { id: id as usize % groups.max(1) },
+        k,
+        exclude_seen: false,
+        mode: ServeMode::Voting,
+        deadline_ms,
+    }
+}
+
+/// Drives `clients` blocking submitters of heavy group-voting requests
+/// through a fresh engine; returns (outcome counts, ok latencies µs,
+/// shed latencies µs, elapsed seconds), after checking the engine's
+/// own conservation law.
+fn overload_step(
+    frozen: &Arc<FrozenModel>,
+    groups: usize,
+    k: usize,
+    clients: usize,
+    per_client: usize,
+    deadline_ms: u64,
+    shed: bool,
+) -> Result<(Vec<(Outcome, u64)>, f64), String> {
+    let engine = Engine::start(
+        Arc::clone(frozen),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 4,
+            default_deadline_ms: 0,
+            shed,
+        },
+    );
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut out = Vec::with_capacity(per_client);
+            for j in 0..per_client {
+                let req =
+                    heavy_request((c * per_client + j) as u64, groups, k, deadline_ms);
+                let t = Instant::now();
+                let resp = engine.submit(req);
+                out.push((classify(&resp), t.elapsed().as_micros() as u64));
+            }
+            out
+        }));
+    }
+    let mut outcomes = Vec::new();
+    for handle in handles {
+        outcomes.extend(handle.join().map_err(|_| "client thread panicked".to_string())?);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = engine.shutdown();
+    if stats.submitted != stats.completed + stats.errors + stats.expired + stats.shed {
+        return Err(format!(
+            "conservation violated at {clients} clients: submitted {} != {} + {} + {} + {}",
+            stats.submitted, stats.completed, stats.errors, stats.expired, stats.shed
+        ));
+    }
+    Ok((outcomes, elapsed))
+}
+
+fn percentiles_or_zero(mut latencies: Vec<u64>) -> (u64, u64) {
+    if latencies.is_empty() {
+        return (0, 0);
+    }
+    let (p50, p95, _, _) = exact_percentiles(&mut latencies);
+    (p50, p95)
+}
+
+/// The past-saturation sweep: 1 worker, deadline-carrying heavy
+/// requests, client counts far beyond capacity. Past saturation the
+/// engine must shed early (answers in µs, not after the deadline
+/// burned), and shedding must not cost throughput below saturation.
+fn overload_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let per_client: usize = num(flags, "requests", 24)?;
+    let k: usize = num(flags, "k", 10)?;
+    // ~5 ms: an order of magnitude over one request's service time on
+    // this world, so the healthy regime never sheds, but a queue a few
+    // dozen deep predicts past it.
+    let deadline_ms: u64 = num(flags, "deadline-ms", 5)?;
+    let save = !matches!(flags.get("save").map(String::as_str), Some("false"));
+    let (frozen, users, items, groups) = heavy_frozen(7);
+    println!(
+        "overload sweep: 1 worker, {items}-item voting world, {deadline_ms} ms deadline, \
+         {per_client} requests/client"
+    );
+
+    // Sub-saturation baseline, shed off vs on: identical workloads, so
+    // any shedding overhead in the healthy regime shows up directly.
+    let (base_off, elapsed_off) =
+        overload_step(&frozen, groups, k, 2, per_client, deadline_ms, false)?;
+    let (base_on, elapsed_on) =
+        overload_step(&frozen, groups, k, 2, per_client, deadline_ms, true)?;
+    let baseline_rps_shed_off = base_off.len() as f64 / elapsed_off;
+    let baseline_rps_shed_on = base_on.len() as f64 / elapsed_on;
+    println!(
+        "  baseline (2 clients): shed-off {baseline_rps_shed_off:.0} req/s, \
+         shed-on {baseline_rps_shed_on:.0} req/s"
+    );
+
+    let mut steps = Vec::new();
+    for clients in [1usize, 2, 4, 8, 16, 32] {
+        let (outcomes, elapsed) =
+            overload_step(&frozen, groups, k, clients, per_client, deadline_ms, true)?;
+        let count = |o: Outcome| outcomes.iter().filter(|(kind, _)| *kind == o).count() as u64;
+        let lat = |o: Outcome| {
+            outcomes.iter().filter(|(kind, _)| *kind == o).map(|(_, us)| *us).collect::<Vec<_>>()
+        };
+        let (ok_p50, ok_p95) = percentiles_or_zero(lat(Outcome::Ok));
+        let (shed_p50, shed_p95) = percentiles_or_zero(lat(Outcome::Shed));
+        let step = OverloadStep {
+            clients,
+            requests: outcomes.len() as u64,
+            ok: count(Outcome::Ok),
+            shed: count(Outcome::Shed),
+            expired: count(Outcome::Expired),
+            rejected: count(Outcome::Rejected),
+            errors: count(Outcome::Error),
+            throughput_rps: outcomes.len() as f64 / elapsed,
+            ok_p50_us: ok_p50,
+            ok_p95_us: ok_p95,
+            shed_p50_us: shed_p50,
+            shed_p95_us: shed_p95,
+        };
+        println!(
+            "  clients={:<2} ok={:<3} shed={:<3} expired={:<3} rejected={:<3} errors={:<2} \
+             {:>6.0} req/s ok_p95={}us shed_p95={}us",
+            step.clients,
+            step.ok,
+            step.shed,
+            step.expired,
+            step.rejected,
+            step.errors,
+            step.throughput_rps,
+            step.ok_p95_us,
+            step.shed_p95_us
+        );
+        // The whole point of shedding: a shed answer must come back
+        // far before the deadline it refused to chase. "Far" = a tenth
+        // of the budget; in practice it is microseconds.
+        if step.shed > 0 && step.shed_p95_us * 10 > deadline_ms * 1000 {
+            return Err(format!(
+                "shed answers too slow at {clients} clients: p95 {}us vs {deadline_ms}ms deadline",
+                step.shed_p95_us
+            ));
+        }
+        steps.push(step);
+    }
+    let total_shed: u64 = steps.iter().map(|s| s.shed).sum();
+    if total_shed == 0 {
+        return Err("sweep never shed — the overload regime was not reached".into());
+    }
+
+    if save {
+        groupsa_bench::output::check_schema("serve_bench_overload", RESULT_SCHEMA_VERSION)?;
+        let report = OverloadReport {
+            schema_version: RESULT_SCHEMA_VERSION,
+            workers: 1,
+            queue_capacity: 64,
+            deadline_ms,
+            num_users: users,
+            num_items: items,
+            num_groups: groups,
+            baseline_rps_shed_off,
+            baseline_rps_shed_on,
+            steps,
+        };
+        let path = groupsa_bench::output::save_json("serve_bench_overload", &report)
+            .map_err(|e| e.to_string())?;
+        println!("[saved {}]", path.display());
+    } else {
+        println!("[--save false: skipped results/serve_bench_overload.json]");
+    }
+    Ok(())
+}
+
 // ------------------------------------------------------ snapshot scale
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
@@ -586,7 +897,60 @@ impl Connection {
     }
 }
 
-fn tcp_bench(addr: &str, clients: usize, per_client: usize, k: usize, shutdown: bool) -> Result<(), String> {
+/// Sends every request line on one connection before reading anything,
+/// then matches the responses (completion-ordered) back to requests by
+/// id and validates each. Returns per-request wall latencies measured
+/// from the *first* write — pipelined latency is a queueing number, not
+/// a round-trip number.
+fn pipelined_batch(conn: &mut Connection, reqs: &[RecommendRequest]) -> Result<Vec<u64>, String> {
+    let mut text = String::new();
+    for req in reqs {
+        text.push_str(&groupsa_json::to_string(&Request::Recommend {
+            id: req.id,
+            target: req.target,
+            k: req.k,
+            exclude_seen: req.exclude_seen,
+            mode: req.mode,
+            deadline_ms: req.deadline_ms,
+        }));
+        text.push('\n');
+    }
+    let started = Instant::now();
+    conn.writer.write_all(text.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let by_id: HashMap<u64, &RecommendRequest> = reqs.iter().map(|r| (r.id, r)).collect();
+    let mut latencies = Vec::with_capacity(reqs.len());
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..reqs.len() {
+        let mut line = String::new();
+        let n = conn.reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-pipeline".into());
+        }
+        let resp =
+            groupsa_json::from_str::<Response>(&line).map_err(|e| format!("bad response: {e}"))?;
+        let id = match &resp {
+            Response::Recommend { id, .. } | Response::Error { id, .. } => *id,
+            other => return Err(format!("unexpected response kind: {other:?}")),
+        };
+        let req = by_id.get(&id).ok_or_else(|| format!("response for unknown id {id}"))?;
+        if !seen.insert(id) {
+            return Err(format!("duplicate response for id {id}"));
+        }
+        validate(req, &resp)?;
+        latencies.push(started.elapsed().as_micros() as u64);
+    }
+    Ok(latencies)
+}
+
+fn tcp_bench(
+    addr: &str,
+    clients: usize,
+    per_client: usize,
+    k: usize,
+    shutdown: bool,
+    pipeline: bool,
+    reload: Option<&str>,
+) -> Result<(), String> {
     // Learn the id universe from the server itself.
     let mut probe = Connection::open(addr)?;
     let stats = match probe.roundtrip(&Request::Stats { id: 1 })? {
@@ -598,6 +962,13 @@ fn tcp_bench(addr: &str, clients: usize, per_client: usize, k: usize, shutdown: 
         stats.num_users, stats.num_items, stats.num_groups
     );
 
+    if let Some(dir) = reload {
+        match probe.roundtrip(&Request::Reload { id: 10, dir: dir.to_string() })? {
+            Response::Reloaded { id: 10 } => println!("server hot-swapped onto {dir}"),
+            other => return Err(format!("expected Reloaded, got {other:?}")),
+        }
+    }
+
     let started = Instant::now();
     let mut handles = Vec::new();
     for c in 0..clients {
@@ -605,8 +976,12 @@ fn tcp_bench(addr: &str, clients: usize, per_client: usize, k: usize, shutdown: 
         let (users, groups) = (stats.num_users, stats.num_groups);
         handles.push(std::thread::spawn(move || {
             let mut conn = Connection::open(&addr)?;
+            let reqs = workload(per_client, c * per_client, k, users, groups);
+            if pipeline {
+                return pipelined_batch(&mut conn, &reqs);
+            }
             let mut latencies = Vec::with_capacity(per_client);
-            for req in workload(per_client, c * per_client, k, users, groups) {
+            for req in reqs {
                 let t = Instant::now();
                 let resp = conn.roundtrip(&Request::Recommend {
                     id: req.id,
@@ -629,7 +1004,8 @@ fn tcp_bench(addr: &str, clients: usize, per_client: usize, k: usize, shutdown: 
     let elapsed = started.elapsed();
     let (p50, p95, p99, mean) = exact_percentiles(&mut latencies);
     println!(
-        "tcp: {} requests in {:.1} ms ({:.0} req/s) p50={}us p95={}us p99={}us mean={:.0}us",
+        "tcp{}: {} requests in {:.1} ms ({:.0} req/s) p50={}us p95={}us p99={}us mean={:.0}us",
+        if pipeline { " (pipelined)" } else { "" },
         latencies.len(),
         elapsed.as_secs_f64() * 1e3,
         latencies.len() as f64 / elapsed.as_secs_f64(),
@@ -672,7 +1048,11 @@ fn run() -> Result<(), String> {
     match flags.get("addr") {
         Some(addr) => {
             let shutdown = matches!(flags.get("shutdown").map(String::as_str), Some("true"));
-            tcp_bench(addr, clients, per_client, k, shutdown)
+            let pipeline = matches!(flags.get("pipeline").map(String::as_str), Some("true"));
+            tcp_bench(addr, clients, per_client, k, shutdown, pipeline, flags.get("reload").map(String::as_str))
+        }
+        None if matches!(flags.get("overload").map(String::as_str), Some("true")) => {
+            overload_sweep(&flags)
         }
         None if flags.contains_key("users") || flags.contains_key("snapshot") => snapshot_scale(&flags),
         None => {

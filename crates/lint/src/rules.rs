@@ -59,9 +59,11 @@ pub const NUMERIC_SCOPES: &[&str] =
 /// out of scope.
 pub const PANIC_SCOPES: &[&str] = &[
     "crates/bench/src/bin/kernel_bench.rs",
+    "crates/serve/src/admission.rs",
     "crates/serve/src/engine.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
+    "crates/serve/src/swap.rs",
     "crates/snapshot/src/",
 ];
 
@@ -482,6 +484,8 @@ mod tests {
         // Exact entries do not become prefixes: a sibling of an exact
         // entry is out of scope.
         assert!(in_panic_scope("crates/serve/src/engine.rs"));
+        assert!(in_panic_scope("crates/serve/src/admission.rs"));
+        assert!(in_panic_scope("crates/serve/src/swap.rs"));
         assert!(!in_panic_scope("crates/serve/src/frozen.rs"));
         assert!(in_panic_scope("crates/snapshot/src/writer.rs"));
         assert!(!in_panic_scope("crates/snapshot/tests/corrupt.rs"));

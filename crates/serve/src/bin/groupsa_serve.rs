@@ -3,8 +3,11 @@
 //!
 //! ```text
 //! groupsa-serve [--port N] [--workers N] [--queue N] [--batch N]
-//!               [--deadline-ms N] [--dataset tiny|yelp|douban]
+//!               [--deadline-ms N] [--shed true|false]
+//!               [--rate-limit N] [--rate-burst N]
+//!               [--dataset tiny|yelp|douban]
 //!               [--seed N] [--checkpoint PATH]
+//!               [--snapshot-export DIR]
 //! ```
 //!
 //! `--port 0` (the default) binds an ephemeral port; the chosen
@@ -13,6 +16,13 @@
 //! `--checkpoint`, an untrained model is frozen — scores are then
 //! only useful for protocol/throughput testing, which is exactly what
 //! the smoke test and load generator need.
+//!
+//! `--snapshot-export DIR` writes the freshly-frozen model as a
+//! `groupsa-snapshot` directory before serving — the artifact a
+//! client's `Reload` request can later hot-swap in (announced as
+//! `SNAPSHOT <dir>` on stdout). `--rate-limit`/`--rate-burst` bound
+//! each connection's request rate; `--shed false` disables
+//! deadline-aware load shedding (on by default).
 
 use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
 use groupsa_data::synthetic::{self, SyntheticConfig};
@@ -74,6 +84,11 @@ fn run() -> Result<(), String> {
         queue_capacity: num(&flags, "queue", 256)?,
         max_batch: num(&flags, "batch", 8)?,
         default_deadline_ms: num(&flags, "deadline-ms", 0)?,
+        shed: num(&flags, "shed", true)?,
+    };
+    let server_cfg = groupsa_serve::ServerConfig {
+        rate_limit: num(&flags, "rate-limit", 0)?,
+        rate_burst: num(&flags, "rate-burst", 0)?,
     };
     let seed: u64 = num(&flags, "seed", 1)?;
     let dataset_name = flags.get("dataset").map(String::as_str).unwrap_or("tiny");
@@ -102,6 +117,14 @@ fn run() -> Result<(), String> {
         ctx.num_groups()
     );
     let frozen = Arc::new(FrozenModel::freeze(model, ctx));
+    if let Some(dir) = flags.get("snapshot-export") {
+        frozen
+            .write_snapshot(dir, 1, groupsa_snapshot::Quant::F32)
+            .map_err(|e| format!("--snapshot-export {dir}: {e}"))?;
+        // Announced on stdout like the address, so a smoke test can
+        // round-trip the directory straight into a `Reload` request.
+        println!("SNAPSHOT {dir}");
+    }
     let engine = Engine::start(frozen, cfg);
 
     let listener =
@@ -111,7 +134,8 @@ fn run() -> Result<(), String> {
     // `awk` the ephemeral port out of the log.
     println!("LISTENING {addr}");
 
-    groupsa_serve::server::run(listener, Arc::clone(&engine)).map_err(|e| e.to_string())?;
+    groupsa_serve::server::run_with(listener, Arc::clone(&engine), server_cfg)
+        .map_err(|e| e.to_string())?;
     let stats = engine.stats();
     println!("{}", groupsa_json::to_string_pretty(&stats));
     Ok(())

@@ -1,21 +1,41 @@
 //! The inference engine: a bounded admission queue drained by a pool
-//! of worker threads with batch coalescing, per-request deadlines, and
-//! graceful drain-then-stop shutdown. Built entirely on `std` —
+//! of worker threads with batch coalescing, per-request deadlines,
+//! deadline-aware load shedding, atomic model hot-swap, and graceful
+//! drain-then-stop shutdown. Built entirely on `std` —
 //! `Mutex<VecDeque>` + `Condvar`, no external runtime.
 //!
-//! Submitters block until their reply arrives (a rendezvous
-//! `sync_channel(1)` per request), so backpressure is structural: at
-//! most `queue_capacity` requests wait, and anything beyond that is
-//! rejected immediately rather than buffered unboundedly.
+//! Two submission paths share one admission policy:
+//!
+//! * [`Engine::submit`] blocks until the reply arrives (a rendezvous
+//!   `sync_channel(1)` per request) — in-process callers.
+//! * [`Engine::submit_streamed`] returns immediately and delivers the
+//!   reply into a caller-supplied channel — the NDJSON pipelining
+//!   path, where one connection keeps many requests in flight.
+//!
+//! Backpressure is structural either way: at most `queue_capacity`
+//! requests wait, and anything beyond that is rejected immediately
+//! rather than buffered unboundedly. On top of the hard bound,
+//! admission control *sheds* a deadline-carrying request at enqueue
+//! time when `queue_len × observed_service_time / workers` already
+//! exceeds its deadline — answering in microseconds instead of letting
+//! it expire in the queue after the deadline has burned.
+//!
+//! The model itself lives in a [`crate::swap::ModelSlot`]: workers pin
+//! the published snapshot once per drained batch, so
+//! [`Engine::publish`]/[`Engine::reload_from_snapshot`] swap a
+//! retrained model atomically with zero dropped or re-queued requests.
 
+use crate::admission::ServiceEstimate;
 use crate::error::ServeError;
 use crate::frozen::FrozenModel;
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::protocol::{RecommendRequest, Response, Target};
+use crate::swap::ModelSlot;
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::SyncSender;
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::sync::mpsc::{Sender, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -32,11 +52,41 @@ pub struct EngineConfig {
     /// request's own `deadline_ms` is `0`; `0` here means "no
     /// deadline".
     pub default_deadline_ms: u64,
+    /// Deadline-aware load shedding: when `true`, a deadline-carrying
+    /// request whose predicted queue wait (observed EWMA service time
+    /// × queue depth ÷ workers) exceeds its deadline is answered
+    /// `Shed` at enqueue time instead of expiring late in the queue.
+    /// Requests without a deadline are never shed.
+    pub shed: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { workers: 2, queue_capacity: 256, max_batch: 8, default_deadline_ms: 0 }
+        Self { workers: 2, queue_capacity: 256, max_batch: 8, default_deadline_ms: 0, shed: true }
+    }
+}
+
+/// Where a job's reply goes: a blocking submitter's rendezvous channel
+/// or a pipelined connection's response stream. Send failures are
+/// ignored in both cases — a receiver that went away just means nobody
+/// is left to read the answer.
+enum Reply {
+    /// [`Engine::submit`]: the submitter blocks in `recv`.
+    Blocking(SyncSender<Response>),
+    /// [`Engine::submit_streamed`]: the connection's writer drains it.
+    Stream(Sender<Response>),
+}
+
+impl Reply {
+    fn send(self, response: Response) {
+        match self {
+            Reply::Blocking(tx) => {
+                let _ = tx.send(response);
+            }
+            Reply::Stream(tx) => {
+                let _ = tx.send(response);
+            }
+        }
     }
 }
 
@@ -44,19 +94,20 @@ struct Job {
     req: RecommendRequest,
     deadline: Option<Instant>,
     enqueued: Instant,
-    reply: SyncSender<Response>,
+    reply: Reply,
 }
 
 struct Shared {
-    frozen: Arc<FrozenModel>,
+    model: ModelSlot,
     cfg: EngineConfig,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     stopping: AtomicBool,
     metrics: Metrics,
+    service: ServiceEstimate,
 }
 
-/// A running worker pool over a [`FrozenModel`].
+/// A running worker pool over a hot-swappable [`FrozenModel`].
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -66,12 +117,13 @@ impl Engine {
     /// Spawns `cfg.workers` threads over the frozen snapshot.
     pub fn start(frozen: Arc<FrozenModel>, cfg: EngineConfig) -> Arc<Self> {
         let shared = Arc::new(Shared {
-            frozen,
+            model: ModelSlot::new(frozen),
             cfg,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stopping: AtomicBool::new(false),
             metrics: Metrics::new(),
+            service: ServiceEstimate::new(),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -88,16 +140,15 @@ impl Engine {
         Arc::new(Self { shared, workers: Mutex::new(workers) })
     }
 
-    /// Submits one request and blocks until its response is ready.
-    /// Admission fails fast (an `Error` response) when the engine is
-    /// stopping or the queue is full.
-    pub fn submit(&self, req: RecommendRequest) -> Response {
+    /// Runs the shared admission policy and, on success, enqueues the
+    /// job and wakes a worker. `Err` carries the ready-to-send refusal
+    /// response (rejection, shed, or poison).
+    fn enqueue(&self, req: RecommendRequest, reply: Reply) -> Result<(), Response> {
         let id = req.id;
         let deadline_ms = match req.deadline_ms {
             0 => self.shared.cfg.default_deadline_ms,
             ms => ms,
         };
-        let (tx, rx) = mpsc::sync_channel(1);
         {
             // A poisoned queue means a worker panicked mid-drain; the
             // submitter gets a typed error instead of a second panic.
@@ -105,16 +156,35 @@ impl Engine {
                 Ok(queue) => queue,
                 Err(_) => {
                     self.shared.metrics.note_rejected();
-                    return ServeError::LockPoisoned { what: "queue" }.into_response(id);
+                    return Err(ServeError::LockPoisoned { what: "queue" }.into_response(id));
                 }
             };
             if self.shared.stopping.load(Ordering::SeqCst) {
                 self.shared.metrics.note_rejected();
-                return ServeError::ShuttingDown.into_response(id);
+                return Err(ServeError::ShuttingDown.into_response(id));
             }
             if queue.len() >= self.shared.cfg.queue_capacity {
                 self.shared.metrics.note_rejected();
-                return ServeError::QueueFull { pending: queue.len() }.into_response(id);
+                return Err(ServeError::QueueFull { pending: queue.len() }.into_response(id));
+            }
+            // Deadline-aware shedding: if the observed queue wait says
+            // this deadline is already unmeetable, answer now (in µs)
+            // rather than expiring it late (after deadline_ms). Shed
+            // requests count as submitted — they passed the hard
+            // admission bound — so under overload
+            // `submitted == completed + errors + expired + shed`.
+            if self.shared.cfg.shed && deadline_ms > 0 {
+                let predicted_wait_us = self
+                    .shared
+                    .service
+                    .predicted_wait_us(queue.len(), self.shared.cfg.workers);
+                if predicted_wait_us > deadline_ms.saturating_mul(1000) {
+                    self.shared.metrics.note_submitted();
+                    self.shared.metrics.note_shed();
+                    return Err(
+                        ServeError::Shed { predicted_wait_us, deadline_ms }.into_response(id)
+                    );
+                }
             }
             let now = Instant::now();
             queue.push_back(Job {
@@ -122,18 +192,49 @@ impl Engine {
                 deadline: (deadline_ms > 0)
                     .then(|| now + std::time::Duration::from_millis(deadline_ms)),
                 enqueued: now,
-                reply: tx,
+                reply,
             });
             self.shared.metrics.note_submitted();
             self.shared.metrics.note_queue_depth(queue.len());
         }
         self.shared.available.notify_one();
-        rx.recv().unwrap_or_else(|_| ServeError::WorkerLost.into_response(id))
+        Ok(())
+    }
+
+    /// Submits one request and blocks until its response is ready.
+    /// Admission fails fast (an `Error` response) when the engine is
+    /// stopping, the queue is full, or the deadline is predicted
+    /// unmeetable.
+    pub fn submit(&self, req: RecommendRequest) -> Response {
+        let id = req.id;
+        let (tx, rx) = mpsc::sync_channel(1);
+        match self.enqueue(req, Reply::Blocking(tx)) {
+            Err(refusal) => refusal,
+            Ok(()) => rx.recv().unwrap_or_else(|_| ServeError::WorkerLost.into_response(id)),
+        }
+    }
+
+    /// Submits one request without blocking; the response (including
+    /// any admission refusal) is delivered into `reply`. This is the
+    /// pipelining path: a connection thread calls it once per parsed
+    /// line and keeps reading, so many requests ride the engine at
+    /// once while a single writer drains `reply` in completion order.
+    pub fn submit_streamed(&self, req: RecommendRequest, reply: Sender<Response>) {
+        if let Err(refusal) = self.enqueue(req, Reply::Stream(reply.clone())) {
+            let _ = reply.send(refusal);
+        }
     }
 
     /// A live metrics snapshot (engine counters + frozen-cache stats).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.metrics.snapshot(self.shared.frozen.cache_stats())
+        self.shared.metrics.snapshot(self.shared.model.load().cache_stats())
+    }
+
+    /// The engine metrics, for collaborators in this crate (the server
+    /// notes connection-layer events — rate limits, reaped handles —
+    /// against the same snapshot clients query).
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
     }
 
     /// Whether [`Engine::shutdown`] has begun.
@@ -141,9 +242,49 @@ impl Engine {
         self.shared.stopping.load(Ordering::SeqCst)
     }
 
+    /// Atomically publishes a replacement frozen model. In-flight
+    /// batches finish against the snapshot they pinned; every later
+    /// batch scores against `frozen`. Rejects a universe mismatch so
+    /// queued requests' id spaces can never dangle across a swap.
+    pub fn publish(&self, frozen: Arc<FrozenModel>) -> Result<(), String> {
+        let current = self.shared.model.load();
+        let (cur, new) = (current.context(), frozen.context());
+        if new.num_users != cur.num_users
+            || new.num_items != cur.num_items
+            || new.num_groups() != cur.num_groups()
+        {
+            return Err(format!(
+                "published universe {}u/{}i/{}g does not match serving universe {}u/{}i/{}g",
+                new.num_users,
+                new.num_items,
+                new.num_groups(),
+                cur.num_users,
+                cur.num_items,
+                cur.num_groups()
+            ));
+        }
+        self.shared.model.store(frozen);
+        self.shared.metrics.note_reload();
+        Ok(())
+    }
+
+    /// Hot-swaps to a `groupsa-snapshot` directory written by
+    /// [`FrozenModel::write_snapshot`]: opens it lazily against the
+    /// *current* model's weights and context (shared, not cloned) and
+    /// publishes it. On error the previous model keeps serving.
+    pub fn reload_from_snapshot(&self, dir: impl AsRef<Path>) -> Result<(), String> {
+        let current = self.shared.model.load();
+        let fresh =
+            FrozenModel::from_snapshot_shared(current.model_arc(), current.context_arc(), dir)?;
+        self.publish(Arc::new(fresh))
+    }
+
     /// Graceful shutdown: stop admitting, let workers drain every
-    /// queued request, join them, and return the final metrics.
-    /// Idempotent — later calls just re-snapshot.
+    /// queued request, join them, and return the final metrics. Any
+    /// job still queued after the pool is gone (workers retired on a
+    /// poisoned lock) is answered `WorkerLost` rather than leaving its
+    /// submitter blocked forever. Idempotent — later calls just
+    /// re-snapshot.
     pub fn shutdown(&self) -> StatsSnapshot {
         self.shared.stopping.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
@@ -155,6 +296,14 @@ impl Engine {
         for handle in handles {
             let _ = handle.join();
         }
+        // The workers are gone; anything still queued would hold its
+        // submitter's reply channel open forever. Recover the guard
+        // even from poison — this is exactly the poisoned-pool case.
+        let leftovers: Vec<Job> = {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            queue.drain(..).collect()
+        };
+        answer_worker_lost(&self.shared, leftovers);
         let stats = self.stats();
         // Dump the final snapshot into the trace once, when the pool
         // actually drained (idempotent re-snapshots stay silent).
@@ -164,10 +313,47 @@ impl Engine {
         stats
     }
 
-    /// The frozen snapshot the workers score against.
-    pub fn frozen(&self) -> &FrozenModel {
-        &self.shared.frozen
+    /// The frozen snapshot currently published to the workers.
+    pub fn frozen(&self) -> Arc<FrozenModel> {
+        self.shared.model.load()
     }
+
+    /// Test-only hook: poisons the admission queue by panicking a
+    /// throwaway thread while it holds the lock, simulating a worker
+    /// dying mid-drain. Exists so the worker-retirement drain has a
+    /// deterministic regression test; never called on a request path.
+    #[doc(hidden)]
+    pub fn poison_queue_for_test(&self) {
+        let shared = Arc::clone(&self.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.queue.lock();
+            panic!("poison_queue_for_test"); // lint: allow(panic-path)
+        })
+        .join();
+    }
+}
+
+/// Answers every drained job `WorkerLost` with per-job accounting:
+/// queue wait is recorded, and the reply is an error, so conservation
+/// (`submitted == completed + errors + expired + shed`) still holds
+/// when a pool dies with work in the queue.
+fn answer_worker_lost(shared: &Shared, jobs: Vec<Job>) {
+    let popped = Instant::now();
+    for job in jobs {
+        shared.metrics.note_queue_wait(popped.saturating_duration_since(job.enqueued));
+        shared.metrics.note_error();
+        job.reply.send(ServeError::WorkerLost.into_response(job.req.id));
+    }
+}
+
+/// A worker observed queue-lock poison: another worker panicked while
+/// holding the lock. Retire — but first drain every queued job and
+/// answer it `WorkerLost`, because a retired pool will never pop them
+/// and their submitters would otherwise block in `recv` forever.
+fn retire_draining(shared: &Shared, mut queue: MutexGuard<'_, VecDeque<Job>>) {
+    let jobs: Vec<Job> = queue.drain(..).collect();
+    drop(queue);
+    answer_worker_lost(shared, jobs);
 }
 
 fn worker_loop(shared: &Shared) {
@@ -177,9 +363,10 @@ fn worker_loop(shared: &Shared) {
         // events below.
         let traced = groupsa_obs::enabled();
         let (batch, form_us) = {
-            // Poison here means another worker panicked while holding
-            // the lock; this worker retires rather than panicking too.
-            let Ok(mut queue) = shared.queue.lock() else { return };
+            let mut queue = match shared.queue.lock() {
+                Ok(queue) => queue,
+                Err(poisoned) => return retire_draining(shared, poisoned.into_inner()),
+            };
             loop {
                 if !queue.is_empty() {
                     // Batch-form time: the drain itself, not the idle
@@ -194,11 +381,14 @@ fn worker_loop(shared: &Shared) {
                 }
                 queue = match shared.available.wait(queue) {
                     Ok(queue) => queue,
-                    Err(_) => return, // poisoned mid-wait: retire
+                    Err(poisoned) => return retire_draining(shared, poisoned.into_inner()),
                 };
             }
         };
         let popped = Instant::now();
+        // Pin the published model once per batch: a hot-swap lands
+        // between batches, never inside one.
+        let frozen = shared.model.load();
         shared.metrics.note_batch(batch.len());
         if traced {
             groupsa_obs::emit(
@@ -225,11 +415,11 @@ fn worker_loop(shared: &Shared) {
                 }
             }
             let score_started = Instant::now();
-            let (response, expired) = execute(shared, &job);
+            let (response, expired) = execute(&frozen, &job);
             finish_job(shared, traced, popped, job, response, expired, score_started.elapsed());
         }
         if !coalesced.is_empty() {
-            run_coalesced(shared, traced, popped, coalesced);
+            run_coalesced(shared, &frozen, traced, popped, coalesced);
         }
     }
 }
@@ -250,7 +440,13 @@ fn catalog_user_id(req: &RecommendRequest) -> Option<usize> {
 /// [`FrozenModel::recommend_users_shared`] pass. Deadlines are checked
 /// at scoring time exactly like [`execute`]; per-job score time is the
 /// shared pass divided evenly across its members.
-fn run_coalesced(shared: &Shared, traced: bool, popped: Instant, jobs: Vec<(usize, Job)>) {
+fn run_coalesced(
+    shared: &Shared,
+    frozen: &FrozenModel,
+    traced: bool,
+    popped: Instant,
+    jobs: Vec<(usize, Job)>,
+) {
     let mut live: Vec<(usize, Job)> = Vec::with_capacity(jobs.len());
     let now = Instant::now();
     for (user, job) in jobs {
@@ -268,7 +464,7 @@ fn run_coalesced(shared: &Shared, traced: bool, popped: Instant, jobs: Vec<(usiz
     let requests: Vec<(usize, usize)> =
         live.iter().map(|(user, job)| (*user, job.req.k)).collect();
     let score_started = Instant::now();
-    let results = shared.frozen.recommend_users_shared(&requests);
+    let results = frozen.recommend_users_shared(&requests);
     let per_job_elapsed = score_started.elapsed() / live.len() as u32;
     for ((_, job), result) in live.into_iter().zip(results) {
         let id = job.req.id;
@@ -282,11 +478,13 @@ fn run_coalesced(shared: &Shared, traced: bool, popped: Instant, jobs: Vec<(usiz
 
 /// Request lifecycle accounting + reply, shared by the per-job and
 /// coalesced paths. Queue-wait (enqueue → popped) is recorded for
-/// every drained job; scoring time only for jobs that ran the model.
-/// Exactly one outcome counter per drained job, so the categories stay
-/// disjoint and `submitted = completed + errors + expired` holds after
-/// a drain. (An expired request also *answers* with an `Error`
-/// response, but it must not be double-counted under `errors`.)
+/// every drained job; scoring time only for jobs that ran the model
+/// (and those observations feed the shedding policy's service-time
+/// EWMA). Exactly one outcome counter per drained job, so the
+/// categories stay disjoint and `submitted = completed + errors +
+/// expired + shed` holds after a drain. (An expired request also
+/// *answers* with an `Error` response, but it must not be
+/// double-counted under `errors`.)
 fn finish_job(
     shared: &Shared,
     traced: bool,
@@ -303,6 +501,7 @@ fn finish_job(
     } else {
         shared.metrics.note_score(score_elapsed);
         shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
+        shared.service.observe(score_elapsed.as_micros() as u64);
     }
     if traced {
         let outcome = if expired {
@@ -322,9 +521,9 @@ fn finish_job(
             ],
         );
     }
-    // A submitter that gave up (impossible today — submit blocks)
-    // would surface as a send error; drop silently.
-    let _ = job.reply.send(response);
+    // A submitter that gave up (the pipelined writer died with its
+    // connection) surfaces as a send error; drop silently.
+    job.reply.send(response);
 }
 
 impl Metrics {
@@ -338,14 +537,14 @@ impl Metrics {
 
 /// Runs one job, returning its response and whether it was dropped on
 /// deadline expiry (metrics accounting happens in the caller).
-fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
+fn execute(frozen: &FrozenModel, job: &Job) -> (Response, bool) {
     let id = job.req.id;
     if let Some(deadline) = job.deadline {
         if Instant::now() > deadline {
             return (ServeError::DeadlineExceeded.into_response(id), true);
         }
     }
-    let response = match shared.frozen.recommend(
+    let response = match frozen.recommend(
         job.req.target,
         job.req.k,
         job.req.exclude_seen,
@@ -355,4 +554,86 @@ fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
         Err(message) => ServeError::Model { message }.into_response(id),
     };
     (response, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
+    use groupsa_data::synthetic::{generate, SyntheticConfig};
+
+    fn tiny_frozen() -> FrozenModel {
+        let dataset = generate(&SyntheticConfig {
+            name: "engine-unit".into(),
+            seed: 11,
+            num_users: 12,
+            num_items: 20,
+            num_groups: 4,
+            num_topics: 2,
+            latent_dim: 4,
+            avg_items_per_user: 4.0,
+            avg_friends_per_user: 3.0,
+            avg_items_per_group: 1.5,
+            mean_group_size: 3.0,
+            zipf_exponent: 0.8,
+            homophily: 0.8,
+            social_influence: 0.3,
+            expertise_sharpness: 2.0,
+            taste_temperature: 0.3,
+            consensus_blend: 0.5,
+            connectedness_boost: 1.0,
+        });
+        let ctx = DataContext::from_train_view(&dataset, &GroupSaConfig::tiny());
+        let model = GroupSa::new(GroupSaConfig::tiny(), dataset.num_users, dataset.num_items);
+        FrozenModel::freeze(model, ctx)
+    }
+
+    /// The shutdown-drain path, unit-tested against a pool-less
+    /// `Shared` directly: jobs left in the queue when no worker will
+    /// ever pop them must be answered `WorkerLost` and counted as
+    /// errors, not silently dropped (which would leave blocking
+    /// submitters in `recv` forever).
+    #[test]
+    fn answer_worker_lost_replies_and_counts_every_job() {
+        let shared = Shared {
+            model: ModelSlot::new(Arc::new(tiny_frozen())),
+            cfg: EngineConfig::default(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            service: ServiceEstimate::new(),
+        };
+        let mut receivers = Vec::new();
+        let mut jobs = Vec::new();
+        for id in 0..3u64 {
+            let (tx, rx) = mpsc::sync_channel(1);
+            receivers.push(rx);
+            shared.metrics.note_submitted();
+            jobs.push(Job {
+                req: RecommendRequest {
+                    id,
+                    target: Target::User { id: 0 },
+                    k: 1,
+                    exclude_seen: false,
+                    mode: crate::protocol::ServeMode::Voting,
+                    deadline_ms: 0,
+                },
+                deadline: None,
+                enqueued: Instant::now(),
+                reply: Reply::Blocking(tx),
+            });
+        }
+        answer_worker_lost(&shared, jobs);
+        for rx in receivers {
+            let resp = rx.recv().expect("every abandoned job is answered");
+            assert!(
+                matches!(resp, Response::Error { ref error, .. } if error.contains("worker dropped")),
+                "{resp:?}"
+            );
+        }
+        let stats = shared.metrics.snapshot(crate::metrics::CacheStats::default());
+        assert_eq!(stats.errors, 3);
+        assert_eq!(stats.submitted, stats.completed + stats.errors + stats.expired + stats.shed);
+    }
 }

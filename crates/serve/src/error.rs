@@ -23,6 +23,23 @@ pub enum ServeError {
     },
     /// The request's deadline passed while it sat in the queue.
     DeadlineExceeded,
+    /// Admission control shed the request: the observed queue wait
+    /// predicted the deadline could not be met, so it was answered
+    /// immediately instead of expiring late in the queue.
+    Shed {
+        /// Predicted queue wait at enqueue time (µs).
+        predicted_wait_us: u64,
+        /// The deadline the prediction exceeded (ms).
+        deadline_ms: u64,
+    },
+    /// The client exceeded its per-connection token-bucket rate limit.
+    RateLimited,
+    /// A `Reload` request failed; the previously-published model keeps
+    /// serving.
+    Reload {
+        /// Why the snapshot could not be published.
+        message: String,
+    },
     /// The worker's reply channel disconnected before an answer.
     WorkerLost,
     /// A shared lock was poisoned by a panicking thread; the request
@@ -58,6 +75,12 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::QueueFull { pending } => write!(f, "queue full ({pending} pending)"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::Shed { predicted_wait_us, deadline_ms } => write!(
+                f,
+                "shed: predicted queue wait {predicted_wait_us}us exceeds {deadline_ms}ms deadline"
+            ),
+            ServeError::RateLimited => write!(f, "rate limited"),
+            ServeError::Reload { message } => write!(f, "reload failed: {message}"),
             ServeError::WorkerLost => write!(f, "worker dropped the request"),
             ServeError::LockPoisoned { what } => {
                 write!(f, "internal error: {what} lock poisoned")
@@ -80,6 +103,15 @@ mod tests {
         assert_eq!(ServeError::QueueFull { pending: 7 }.to_string(), "queue full (7 pending)");
         assert_eq!(ServeError::DeadlineExceeded.to_string(), "deadline exceeded while queued");
         assert_eq!(ServeError::WorkerLost.to_string(), "worker dropped the request");
+        assert_eq!(
+            ServeError::Shed { predicted_wait_us: 9000, deadline_ms: 5 }.to_string(),
+            "shed: predicted queue wait 9000us exceeds 5ms deadline"
+        );
+        assert_eq!(ServeError::RateLimited.to_string(), "rate limited");
+        assert_eq!(
+            ServeError::Reload { message: "bad magic".into() }.to_string(),
+            "reload failed: bad magic"
+        );
     }
 
     #[test]

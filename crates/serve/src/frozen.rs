@@ -30,6 +30,7 @@ use groupsa_snapshot::{
 use groupsa_tensor::Matrix;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Candidates scored per fused scan step: large enough that the
 /// prediction-tower matmuls amortise their setup, small enough that a
@@ -48,8 +49,11 @@ const SCAN_CHUNK: usize = 256;
 /// sharded binary snapshot ([`SnapshotTables`]) — the scoring code is
 /// identical either way, and for an f32 snapshot so are the bits.
 pub struct FrozenModel {
-    model: GroupSa,
-    ctx: DataContext,
+    /// Shared with any hot-swapped successor built by
+    /// [`FrozenModel::from_snapshot_shared`]: a reload that only
+    /// re-points the tables must not duplicate the weights.
+    model: Arc<GroupSa>,
+    ctx: Arc<DataContext>,
     /// `h_j` per user and post-voting `l×d` member reps per group.
     tables: Box<dyn TableStore>,
     /// Memory-backed models can recompute their caches from `ctx`;
@@ -75,8 +79,8 @@ impl FrozenModel {
         let (user_latents, group_reps) = Self::precompute(&model, &ctx);
         let dim = model.user_embedding_table().cols();
         Self {
-            model,
-            ctx,
+            model: Arc::new(model),
+            ctx: Arc::new(ctx),
             tables: Box::new(MemoryTables::new(user_latents, group_reps, dim)),
             rebuildable: true,
             latent_hits: AtomicU64::new(0),
@@ -94,6 +98,18 @@ impl FrozenModel {
     /// freeze-built model the snapshot was written from; f16/i8
     /// snapshots trade bounded score error for 2–4× less storage.
     pub fn from_snapshot(model: GroupSa, ctx: DataContext, dir: impl AsRef<Path>) -> Result<Self, String> {
+        Self::from_snapshot_shared(Arc::new(model), Arc::new(ctx), dir)
+    }
+
+    /// [`FrozenModel::from_snapshot`] for callers that already hold the
+    /// model and context in `Arc`s — the hot-swap path: publishing a
+    /// retrained snapshot re-uses the serving process's weights and
+    /// context by reference instead of cloning either.
+    pub fn from_snapshot_shared(
+        model: Arc<GroupSa>,
+        ctx: Arc<DataContext>,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, String> {
         let snap = Snapshot::open(dir).map_err(|e| e.to_string())?;
         let meta = *snap.meta();
         if model.num_users() != ctx.num_users || model.num_items() != ctx.num_items {
@@ -206,7 +222,7 @@ impl FrozenModel {
         }
         let (user_latents, group_reps) = Self::precompute(&model, &self.ctx);
         let dim = model.user_embedding_table().cols();
-        self.model = model;
+        self.model = Arc::new(model);
         self.tables = Box::new(MemoryTables::new(user_latents, group_reps, dim));
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -220,6 +236,19 @@ impl FrozenModel {
     /// The frozen context (universe sizes, interaction graphs).
     pub fn context(&self) -> &DataContext {
         &self.ctx
+    }
+
+    /// A shared handle to the frozen model, for building a successor
+    /// snapshot ([`FrozenModel::from_snapshot_shared`]) without
+    /// cloning the weights.
+    pub fn model_arc(&self) -> Arc<GroupSa> {
+        Arc::clone(&self.model)
+    }
+
+    /// A shared handle to the frozen context (see
+    /// [`FrozenModel::model_arc`]).
+    pub fn context_arc(&self) -> Arc<DataContext> {
+        Arc::clone(&self.ctx)
     }
 
     /// Top-`k` recommendations for `target`, mirroring

@@ -16,13 +16,19 @@
 //!   approximation (generalising the paper's §II-F fast-inference
 //!   idea, which *is* also available as a request mode).
 //! * [`engine`] — a hermetic worker pool (`std::thread` + channels):
-//!   bounded admission queue, batch-coalescing dequeue, per-request
-//!   deadlines, graceful drain-then-stop shutdown.
+//!   bounded admission queue, deadline-aware load shedding fed by an
+//!   observed service-time EWMA, batch-coalescing dequeue, per-request
+//!   deadlines, atomic model hot-swap, graceful drain-then-stop
+//!   shutdown.
 //! * [`protocol`] — the typed NDJSON request/response wire format,
 //!   serialised by `groupsa-json`. Responses carry no timing fields,
 //!   so response bytes depend only on the request and the snapshot.
-//! * [`server`] — NDJSON over TCP: one connection per client thread,
-//!   `Stats` queries answered inline, `Shutdown` drains and exits.
+//! * [`server`] — NDJSON over TCP with per-connection pipelining:
+//!   reads and writes are decoupled so many requests ride the engine
+//!   at once, replies matched by echoed id in completion order.
+//!   Optional per-connection token-bucket rate limiting; `Stats`
+//!   queries answered inline; `Reload` hot-swaps the model with zero
+//!   dropped requests; `Shutdown` drains and exits.
 //!
 //! [`metrics`] threads through all of it: atomic counters and a
 //! log₂-bucketed latency histogram, queryable live (`Stats`) and
@@ -34,15 +40,18 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod admission;
 pub mod engine;
 pub mod error;
 pub mod frozen;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub(crate) mod swap;
 
 pub use engine::{Engine, EngineConfig};
 pub use error::ServeError;
 pub use frozen::FrozenModel;
 pub use metrics::{CacheStats, Metrics, StatsSnapshot};
 pub use protocol::{RecommendRequest, Request, Response, ServeMode, Target};
+pub use server::ServerConfig;

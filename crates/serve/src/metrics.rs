@@ -8,8 +8,11 @@
 //! own counters; tests that spin up several engines in one process
 //! never share state. What this module adds on top of `groupsa-obs` is
 //! only the request-accounting vocabulary (submitted / completed /
-//! errors / expired / rejected and the conservation law between them)
-//! and the serialisable [`StatsSnapshot`].
+//! errors / expired / shed / rejected / limited and the conservation
+//! law between them: every submitted request lands in exactly one of
+//! completed/errors/expired/shed, while rejected and limited requests
+//! are answered before ever counting as submitted) and the
+//! serialisable [`StatsSnapshot`].
 
 use groupsa_json::impl_json_struct;
 use groupsa_obs::{Counter, Gauge, Histogram};
@@ -24,6 +27,10 @@ pub struct Metrics {
     errors: Counter,
     rejected: Counter,
     expired: Counter,
+    shed: Counter,
+    limited: Counter,
+    reloads: Counter,
+    connections: Gauge,
     batches: Counter,
     batched_requests: Counter,
     max_batch: Gauge,
@@ -62,6 +69,33 @@ impl Metrics {
     /// Counts one request answered with a (non-deadline) error.
     pub fn note_error(&self) {
         self.errors.inc();
+    }
+
+    /// Counts one request shed by deadline-aware admission control.
+    /// Shed requests *are* counted as submitted — they reached the
+    /// queue and were answered with a typed error — so under overload
+    /// `submitted == completed + errors + expired + shed`.
+    pub fn note_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Counts one request refused by a per-client rate limit (answered
+    /// at the connection layer, never submitted to the engine).
+    pub fn note_limited(&self) {
+        self.limited.inc();
+    }
+
+    /// Counts one successful hot-swap publish of a new frozen model.
+    pub fn note_reload(&self) {
+        self.reloads.inc();
+    }
+
+    /// Records the live connection-thread count observed by the accept
+    /// loop after reaping finished handles — the regression signal for
+    /// the handle-leak fix (a churned server must show this near zero,
+    /// not the all-time connection count).
+    pub fn note_open_connections(&self, n: usize) {
+        self.connections.set(n as u64);
     }
 
     /// Counts one successfully answered request and records its
@@ -111,6 +145,11 @@ impl Metrics {
             errors: self.errors.get(),
             rejected: self.rejected.get(),
             expired: self.expired.get(),
+            shed: self.shed.get(),
+            limited: self.limited.get(),
+            reloads: self.reloads.get(),
+            open_connections: self.connections.last(),
+            max_open_connections: self.connections.max(),
             batches,
             mean_batch: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
             max_batch: self.max_batch.max(),
@@ -170,8 +209,24 @@ pub struct StatsSnapshot {
     /// Requests refused at admission (never counted as submitted).
     pub rejected: u64,
     /// Requests dropped on deadline expiry (disjoint from `errors`;
-    /// after a drain, `submitted == completed + errors + expired`).
+    /// after a drain, `submitted == completed + errors + expired +
+    /// shed`).
     pub expired: u64,
+    /// Requests shed at enqueue time by deadline-aware admission
+    /// control (counted as submitted, disjoint from the other three
+    /// outcome categories).
+    pub shed: u64,
+    /// Requests refused by a per-client rate limit before ever
+    /// reaching the engine (like `rejected`, never counted as
+    /// submitted).
+    pub limited: u64,
+    /// Hot-swap publishes since the engine started (the engine-level
+    /// counterpart of the per-model `rebuilds` below).
+    pub reloads: u64,
+    /// Live connection threads at the accept loop's last reap.
+    pub open_connections: u64,
+    /// Most connection threads ever live at once.
+    pub max_open_connections: u64,
     /// Coalesced batches executed.
     pub batches: u64,
     /// Mean requests per batch.
@@ -222,6 +277,11 @@ impl_json_struct!(StatsSnapshot {
     errors,
     rejected,
     expired,
+    shed,
+    limited,
+    reloads,
+    open_connections,
+    max_open_connections,
     batches,
     mean_batch,
     max_batch,
@@ -349,6 +409,30 @@ mod tests {
         assert_eq!(s.last_queue_depth, 0);
         assert_eq!(s.mean_queue_wait_us, 0.0);
         assert!(s.latency_buckets.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn overload_counters_are_disjoint_from_the_drain_categories() {
+        let m = Metrics::new();
+        for _ in 0..4 {
+            m.note_submitted();
+        }
+        m.note_completed(Duration::from_micros(10));
+        m.note_error();
+        m.note_expired();
+        m.note_shed(); // the 4th submitted request, shed at enqueue
+        m.note_limited();
+        m.note_rejected();
+        m.note_reload();
+        m.note_open_connections(3);
+        m.note_open_connections(1);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.submitted, s.completed + s.errors + s.expired + s.shed);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.limited, 1);
+        assert_eq!(s.reloads, 1);
+        assert_eq!(s.open_connections, 1, "gauge tracks the last reap");
+        assert_eq!(s.max_open_connections, 3, "and the high-watermark");
     }
 
     #[test]

@@ -110,6 +110,15 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Hot-swap the serving model to a `groupsa-snapshot` directory.
+    /// On success the swap is atomic and no in-flight request is
+    /// dropped; on failure the previous model keeps serving.
+    Reload {
+        /// Correlation id.
+        id: u64,
+        /// Path of the snapshot directory, resolved on the server.
+        dir: String,
+    },
     /// Stop accepting connections and shut the server down cleanly.
     Shutdown {
         /// Correlation id.
@@ -120,6 +129,7 @@ pub enum Request {
 impl_json_enum!(Request {
     Recommend { id, target, k, exclude_seen, mode, deadline_ms },
     Stats { id },
+    Reload { id, dir },
     Shutdown { id },
 });
 
@@ -128,7 +138,10 @@ impl Request {
     /// address error replies when a request can't be dispatched.
     pub fn id(&self) -> u64 {
         match self {
-            Request::Recommend { id, .. } | Request::Stats { id } | Request::Shutdown { id } => *id,
+            Request::Recommend { id, .. }
+            | Request::Stats { id }
+            | Request::Reload { id, .. }
+            | Request::Shutdown { id } => *id,
         }
     }
 
@@ -167,6 +180,11 @@ pub enum Response {
         /// Human-readable cause.
         error: String,
     },
+    /// Acknowledges a `Reload`: the named snapshot is now live.
+    Reloaded {
+        /// Echoed correlation id.
+        id: u64,
+    },
     /// Acknowledges a `Shutdown`; the server exits after sending it.
     Bye {
         /// Echoed correlation id.
@@ -178,6 +196,7 @@ impl_json_enum!(Response {
     Recommend { id, items },
     Stats { id, stats },
     Error { id, error },
+    Reloaded { id },
     Bye { id },
 });
 
@@ -205,6 +224,7 @@ mod tests {
                 deadline_ms: 0,
             },
             Request::Stats { id: 1 },
+            Request::Reload { id: 3, dir: "/tmp/snap".into() },
             Request::Shutdown { id: 2 },
         ];
         for r in reqs {

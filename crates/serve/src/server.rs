@@ -1,91 +1,282 @@
-//! NDJSON-over-TCP front end for the [`Engine`].
+//! NDJSON-over-TCP front end for the [`Engine`], with per-connection
+//! request pipelining.
 //!
 //! One connection = one client; each line is a [`Request`], each reply
-//! a [`Response`] on its own line. Connections are handled on
-//! dedicated threads (the engine's queue, not the connection count, is
-//! the concurrency bound that matters). A `Shutdown` request stops the
-//! accept loop, drains the engine, and returns.
+//! a [`Response`] on its own line. Reads and writes are decoupled: the
+//! connection thread parses lines and submits them to the engine
+//! without waiting for answers, while a dedicated writer thread drains
+//! a response channel — so a client may keep many requests in flight
+//! and match replies to requests by the echoed `id`. Responses arrive
+//! in **completion order**, not submission order; `Stats`, `Reloaded`
+//! and `Bye` replies ride the same channel, so every line a connection
+//! ever receives comes from one writer.
+//!
+//! The accept loop polls a non-blocking listener, reaping finished
+//! connection threads as it goes (the server's thread count tracks
+//! *live* connections, not historical ones — visible as the
+//! `open_connections` gauge). A `Shutdown` request flips a shared
+//! stop flag: the loop stops admitting, refuses any backlogged
+//! connection attempts with an explicit `engine is shutting down`
+//! error line, gives live connections a grace period to finish, then
+//! severs lingering sockets so `run` always returns.
+//!
+//! Optional per-connection token-bucket rate limiting
+//! ([`ServerConfig::rate_limit`]) answers over-budget requests with
+//! `rate limited` *before* they reach the engine — limited requests
+//! are never counted as submitted.
 
+use crate::admission::TokenBucket;
 use crate::engine::Engine;
 use crate::error::ServeError;
 use crate::protocol::{Request, Response};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
-/// Serves `engine` on `listener` until a client sends `Shutdown` (or
-/// the listener errors). Returns after every connection thread has
-/// been joined and the engine has drained.
+/// How long the accept loop sleeps between polls when idle. Short
+/// enough that accept latency is invisible next to scoring work; long
+/// enough that an idle server burns no measurable CPU.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// How long shutdown waits for live connections to finish on their own
+/// before severing their sockets.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
+
+/// Connection-layer policy knobs (the engine has its own
+/// [`crate::engine::EngineConfig`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerConfig {
+    /// Per-connection sustained request budget (requests/second);
+    /// `0` disables rate limiting.
+    pub rate_limit: u64,
+    /// Burst capacity on top of `rate_limit` (tokens; `0` means
+    /// "same as the rate").
+    pub rate_burst: u64,
+}
+
+/// Serves `engine` on `listener` with default connection policy (no
+/// rate limiting) until a client sends `Shutdown`. Returns after every
+/// connection has been answered or severed and the engine has drained.
 pub fn run(listener: TcpListener, engine: Arc<Engine>) -> io::Result<()> {
+    run_with(listener, engine, ServerConfig::default())
+}
+
+/// [`run`], with explicit [`ServerConfig`].
+pub fn run_with(listener: TcpListener, engine: Arc<Engine>, cfg: ServerConfig) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let local = listener.local_addr()?;
-    let mut handles = Vec::new();
-    loop {
-        let (stream, _) = listener.accept()?;
-        if stop.load(Ordering::SeqCst) {
-            break; // the self-connect wake-up (or a post-shutdown client)
-        }
-        let engine = Arc::clone(&engine);
-        let stop = Arc::clone(&stop);
-        handles.push(std::thread::spawn(move || {
-            if handle_connection(stream, &engine, &stop) {
-                // Shutdown requested: wake the accept loop, which
-                // blocks in `accept` with no timeout.
-                let _ = TcpStream::connect(local);
+    // Each live connection keeps its join handle plus a spare stream
+    // handle, so shutdown can sever sockets whose clients never hang
+    // up (a blocking `read_line` only returns once the socket dies).
+    let mut live: Vec<(std::thread::JoinHandle<()>, Option<TcpStream>)> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue; // socket already dead
+                }
+                let spare = stream.try_clone().ok();
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                match std::thread::Builder::new().name("serve-conn".into()).spawn(move || {
+                    handle_connection(stream, &engine, &stop, cfg);
+                }) {
+                    Ok(handle) => live.push((handle, spare)),
+                    Err(_) => {
+                        // Out of threads: refuse rather than hang the
+                        // client on an unserved connection.
+                        if let Some(mut s) = spare {
+                            let _ = send(&mut s, &ServeError::ShuttingDown.into_response(0));
+                        }
+                    }
+                }
             }
-        }));
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                reap_finished(&mut live, &engine);
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Listener broke: sever everything so `run` can report
+                // the error instead of hanging on live connections.
+                stop.store(true, Ordering::SeqCst);
+                finish(live, &engine);
+                engine.shutdown();
+                return Err(e);
+            }
+        }
     }
-    for handle in handles {
-        let _ = handle.join();
+    // Stop flag is up. Anything still sitting in the accept backlog is
+    // a legitimate client that lost the race with shutdown — answer it
+    // with a typed refusal instead of silently dropping the socket.
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = send(&mut stream, &ServeError::ShuttingDown.into_response(0));
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            Err(_) => break, // WouldBlock (backlog empty) or a dead listener
+        }
     }
+    finish(live, &engine);
     engine.shutdown();
     Ok(())
 }
 
-/// Runs one connection to completion; `true` when the client requested
-/// shutdown.
-fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> bool {
-    let mut writer = match stream.try_clone() {
+/// Joins finished connection threads and refreshes the
+/// `open_connections` gauge. Called on every idle poll tick, so the
+/// handle list tracks live connections instead of growing one entry
+/// per connection for the lifetime of the server.
+fn reap_finished(live: &mut Vec<(std::thread::JoinHandle<()>, Option<TcpStream>)>, engine: &Engine) {
+    let mut still = Vec::with_capacity(live.len());
+    for (handle, spare) in live.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join(); // finished: joins without blocking
+        } else {
+            still.push((handle, spare));
+        }
+    }
+    *live = still;
+    engine.metrics().note_open_connections(live.len());
+}
+
+/// Shutdown path for live connections: wait out a grace period, sever
+/// whatever is left (unblocking readers parked in `read_line`), then
+/// join every thread.
+fn finish(mut live: Vec<(std::thread::JoinHandle<()>, Option<TcpStream>)>, engine: &Engine) {
+    let deadline = Instant::now() + SHUTDOWN_GRACE;
+    while Instant::now() < deadline {
+        reap_finished(&mut live, engine);
+        if live.is_empty() {
+            return;
+        }
+        std::thread::sleep(ACCEPT_POLL);
+    }
+    for (handle, spare) in live {
+        if let Some(stream) = spare {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let _ = handle.join();
+    }
+    engine.metrics().note_open_connections(0);
+}
+
+/// Runs one pipelined connection to completion.
+///
+/// The calling thread is the reader: it parses each line and either
+/// answers it structurally (admission refusals, `Stats`, `Reload`,
+/// `Shutdown`) or hands it to the engine — in both cases the response
+/// travels through `tx` to the writer thread, which owns the socket's
+/// write half. Dropping `tx` after the last line means the writer
+/// naturally drains every in-flight response before hanging up: the
+/// channel only disconnects once the engine has answered everything
+/// this connection submitted.
+fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool, cfg: ServerConfig) {
+    let writer_stream = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return false,
+        Err(_) => return,
     };
+    let (tx, rx) = mpsc::channel::<Response>();
+    let writer = std::thread::Builder::new().name("serve-conn-writer".into()).spawn(move || {
+        let mut stream = writer_stream;
+        for response in rx {
+            if send(&mut stream, &response).is_err() {
+                // Client stopped reading: sever the read half too so
+                // the reader notices, then drain the channel so
+                // in-flight submitters never block on a full pipe.
+                let _ = stream.shutdown(Shutdown::Both);
+                break;
+            }
+        }
+    });
+    let writer = match writer {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut bucket = (cfg.rate_limit > 0).then(|| {
+        TokenBucket::new(
+            cfg.rate_limit,
+            if cfg.rate_burst > 0 { cfg.rate_burst } else { cfg.rate_limit },
+        )
+    });
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let line = match line {
             Ok(l) => l,
-            Err(_) => break, // client went away mid-line
+            Err(_) => break, // client went away mid-line (or was severed)
         };
         if line.trim().is_empty() {
             continue;
         }
-        let response = match groupsa_json::from_str::<Request>(&line) {
+        let request = match groupsa_json::from_str::<Request>(&line) {
+            Ok(request) => request,
             Err(e) => {
-                ServeError::BadRequest { message: e.to_string() }.into_response(0)
-            }
-            Ok(Request::Stats { id }) => Response::Stats { id, stats: engine.stats() },
-            Ok(Request::Shutdown { id }) => {
-                stop.store(true, Ordering::SeqCst);
-                let _ = send(&mut writer, &Response::Bye { id });
-                return true;
-            }
-            Ok(req) => {
-                let id = req.id();
-                match req.into_recommend() {
-                    Some(req) => engine.submit(req),
-                    // Unreachable today (Stats/Shutdown matched above),
-                    // but a future Request variant must degrade to an
-                    // error reply, not a server panic.
-                    None => ServeError::BadRequest { message: "unsupported operation".into() }
-                        .into_response(id),
+                let refusal = ServeError::BadRequest { message: e.to_string() }.into_response(0);
+                if tx.send(refusal).is_err() {
+                    break;
                 }
+                continue;
             }
         };
-        if send(&mut writer, &response).is_err() {
-            break; // client stopped reading
+        let id = request.id();
+        if let Some(bucket) = bucket.as_mut() {
+            if !bucket.admit(Instant::now()) {
+                engine.metrics().note_limited();
+                if tx.send(ServeError::RateLimited.into_response(id)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        }
+        match request {
+            Request::Stats { id } => {
+                if tx.send(Response::Stats { id, stats: engine.stats() }).is_err() {
+                    break;
+                }
+            }
+            Request::Reload { id, dir } => {
+                // Synchronous on the reader thread: later lines from
+                // this connection see the new model, and in-flight
+                // requests finish on whichever snapshot their batch
+                // pinned.
+                let response = match engine.reload_from_snapshot(&dir) {
+                    Ok(()) => Response::Reloaded { id },
+                    Err(message) => ServeError::Reload { message }.into_response(id),
+                };
+                if tx.send(response).is_err() {
+                    break;
+                }
+            }
+            Request::Shutdown { id } => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = tx.send(Response::Bye { id });
+                break;
+            }
+            request => match request.into_recommend() {
+                Some(req) => engine.submit_streamed(req, tx.clone()),
+                // Unreachable today (every variant is matched above),
+                // but a future Request variant must degrade to an
+                // error reply, not a server panic.
+                None => {
+                    let refusal = ServeError::BadRequest {
+                        message: "unsupported operation".into(),
+                    }
+                    .into_response(id);
+                    if tx.send(refusal).is_err() {
+                        break;
+                    }
+                }
+            },
         }
     }
-    false
+    // Close the reader's sender; once every in-flight job's clone is
+    // gone too, the writer drains and exits. Joining it guarantees no
+    // response is abandoned half-written when the thread retires.
+    drop(tx);
+    let _ = writer.join();
 }
 
 fn send(writer: &mut TcpStream, response: &Response) -> io::Result<()> {

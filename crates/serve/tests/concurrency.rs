@@ -125,7 +125,13 @@ fn coalesced_catalog_user_requests_match_direct_scoring() {
     let frozen = frozen_world(84);
     let engine = Engine::start(
         Arc::clone(&frozen),
-        EngineConfig { workers: 1, queue_capacity: 256, max_batch: 16, default_deadline_ms: 0 },
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_batch: 16,
+            default_deadline_ms: 0,
+            shed: true,
+        },
     );
     let mut handles = Vec::new();
     for t in 0..6u64 {
@@ -201,7 +207,13 @@ fn deadlines_and_queue_bounds_are_enforced() {
     // but the accounting must balance exactly and nothing may hang.
     let engine = Engine::start(
         frozen,
-        EngineConfig { workers: 1, queue_capacity: 4, max_batch: 2, default_deadline_ms: 0 },
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+            max_batch: 2,
+            default_deadline_ms: 0,
+            shed: true,
+        },
     );
     let requests = workload(32);
     let mut handles = Vec::new();
@@ -221,9 +233,9 @@ fn deadlines_and_queue_bounds_are_enforced() {
     }
     let stats = engine.shutdown();
     assert_eq!(stats.submitted + stats.rejected, requests.len() as u64);
-    // Disjoint accounting: a drained request lands in exactly one of
-    // completed/errors/expired (an expired request still *answers*
-    // with an error response, but is only counted under `expired`).
-    assert_eq!(stats.completed + stats.errors + stats.expired, stats.submitted);
+    // Disjoint accounting: a submitted request lands in exactly one of
+    // completed/errors/expired/shed (an expired or shed request still
+    // *answers* with an error response, but is counted exactly once).
+    assert_eq!(stats.completed + stats.errors + stats.expired + stats.shed, stats.submitted);
     assert!(stats.max_queue_depth <= 4, "admission bound respected");
 }

@@ -61,7 +61,16 @@ fn drained_categories_are_disjoint_and_conserve_submissions() {
     // 1 ms deadlines expire while waiting behind heavier requests.
     let engine = Engine::start(
         Arc::clone(&frozen),
-        EngineConfig { workers: 1, queue_capacity: 256, max_batch: 4, default_deadline_ms: 0 },
+        // Shedding off: this test pins the *expiry* path, so deadlines
+        // must be allowed to burn down in the queue rather than being
+        // pre-empted by admission control.
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_batch: 4,
+            default_deadline_ms: 0,
+            shed: false,
+        },
     );
 
     let mut handles = Vec::new();
@@ -131,4 +140,69 @@ fn drained_categories_are_disjoint_and_conserve_submissions() {
     assert_eq!(after.rejected, drained.rejected + rejected_probes);
     assert_eq!(after.submitted, drained.submitted, "rejected requests are never submitted");
     assert_eq!(after.submitted, after.completed + after.errors + after.expired);
+}
+
+/// Past saturation with shedding on, the four-way conservation law
+/// holds — `submitted == completed + errors + expired + shed` — and
+/// the shed path actually fires.
+///
+/// Built deterministically: one completed request warms the engine's
+/// service-time EWMA, a pile of streamed no-deadline requests stacks
+/// the queue behind the single busy worker, and then a tight-deadline
+/// request arrives whose predicted wait (queue depth × observed
+/// service time) is far past its 1 ms budget — so admission control
+/// must answer it `shed` instead of letting it expire in the queue.
+#[test]
+fn overload_sheds_at_admission_and_conserves_submissions() {
+    let frozen = frozen_world(9);
+    let engine = Engine::start(
+        Arc::clone(&frozen),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_batch: 1,
+            default_deadline_ms: 0,
+            shed: true,
+        },
+    );
+
+    // Warm the service-time estimate: a heavy group-voting request on
+    // this 400-item world takes well over a microsecond, so after one
+    // completion the EWMA is non-zero.
+    assert!(matches!(engine.submit(request(1, 0, 0)), Response::Recommend { .. }));
+
+    // Stack the queue without blocking: streamed submissions return
+    // immediately, so the queue depth really grows while the single
+    // worker grinds through them one at a time.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let backlog = 32u64;
+    for i in 0..backlog {
+        engine.submit_streamed(request(100 + i, (i as usize) % NUM_GROUPS, 0), tx.clone());
+    }
+
+    // With ~32 queued and a warmed per-request estimate, the predicted
+    // wait dwarfs a 1 ms deadline: this must be shed at admission.
+    let shed_resp = engine.submit(request(999, 0, 1));
+    match shed_resp {
+        Response::Error { id, ref error } => {
+            assert_eq!(id, 999);
+            assert!(error.starts_with("shed: "), "expected a shed answer, got: {error}");
+        }
+        other => panic!("expected shed, got {other:?}"),
+    }
+
+    // Every streamed response still arrives (shedding never drops
+    // admitted work), then the books balance with shed counted.
+    drop(tx);
+    let mut streamed = 0u64;
+    while let Ok(resp) = rx.recv_timeout(std::time::Duration::from_secs(60)) {
+        assert!(matches!(resp, Response::Recommend { .. }), "{resp:?}");
+        streamed += 1;
+    }
+    assert_eq!(streamed, backlog);
+
+    let stats = engine.shutdown();
+    assert!(stats.shed >= 1, "{stats:?}");
+    assert_eq!(stats.submitted, stats.completed + stats.errors + stats.expired + stats.shed);
+    assert_eq!(stats.submitted, 1 + backlog + stats.shed);
 }

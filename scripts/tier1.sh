@@ -71,12 +71,18 @@ if [ "$digest1" != "$digest4" ]; then
 fi
 echo "tier1: parallel-training digest matches serial"
 
-# Serving smoke test: boot groupsa-serve on an ephemeral port, drive it
-# with the load generator over TCP (which validates every response),
-# ask it to shut down, and require a clean exit from both processes.
+# Serving smoke test: boot groupsa-serve on an ephemeral port (also
+# exporting its frozen model as a snapshot directory), drive it with
+# the load generator over TCP — first request-per-roundtrip, then the
+# pipelined wire path (many requests in flight on one connection,
+# replies matched by id), then a live hot-swap onto the exported
+# snapshot followed by more validated traffic — ask it to shut down,
+# and require a clean exit from both processes.
 serve_log="$(mktemp)"
-trap 'rm -f "$serve_log"' EXIT
-./target/release/groupsa-serve --dataset tiny --port 0 --workers 2 >"$serve_log" 2>/dev/null &
+snap_dir="$(mktemp -d)/snap"
+trap 'rm -f "$serve_log"; rm -rf "$(dirname "$snap_dir")"' EXIT
+./target/release/groupsa-serve --dataset tiny --port 0 --workers 2 \
+    --snapshot-export "$snap_dir" >"$serve_log" 2>/dev/null &
 serve_pid=$!
 
 addr=""
@@ -91,9 +97,12 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 
-./target/release/serve_bench --addr "$addr" --clients 3 --requests 8 --shutdown true
+./target/release/serve_bench --addr "$addr" --clients 3 --requests 8
+./target/release/serve_bench --addr "$addr" --clients 3 --requests 16 --pipeline true
+./target/release/serve_bench --addr "$addr" --clients 2 --requests 8 --pipeline true \
+    --reload "$snap_dir" --shutdown true
 wait "$serve_pid"
-echo "tier1: serve smoke test passed"
+echo "tier1: serve smoke test passed (roundtrip, pipelined, hot-swap)"
 
 # Observability: with GROUPSA_TRACE set, a training run must leave a
 # schema-valid JSONL trace behind — and its stdout digest must be
