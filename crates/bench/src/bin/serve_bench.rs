@@ -1,6 +1,6 @@
 //! Load generator for the `groupsa-serve` subsystem.
 //!
-//! Four modes:
+//! Five modes:
 //!
 //! * **In-process sweep** (default): freezes a tiny model, runs the
 //!   engine at 1/2/4 workers under concurrent client threads, and
@@ -23,6 +23,15 @@
 //!   `results/serve_bench_snapshot.json`. `--memory-budget-mb` turns
 //!   the million-scale memory claim into a hard gate: the bench exits
 //!   nonzero if peak RSS exceeds the budget.
+//! * **Telemetry sweep** (`--telemetry true`): boots a real TCP server
+//!   in-process and drives the pipelined wire path at sampling off,
+//!   `1/64`, and `1/1` (injected via `EngineConfig`, not the
+//!   environment), measuring what request-lifecycle telemetry costs.
+//!   Each sampled run also fetches the `MetricsDump` page and
+//!   schema-validates it (parses, declares every contract metric,
+//!   agrees with the sampling rate). Writes per-mode throughput,
+//!   latency percentiles, ring counters, and overhead relative to the
+//!   telemetry-off baseline to `results/serve_bench_telemetry.json`.
 //! * **TCP** (`--addr HOST:PORT`): drives a running `groupsa-serve`
 //!   over NDJSON, validating every response (echoed id, ≤ k items,
 //!   descending scores). Learns the id universe from a `Stats`
@@ -33,12 +42,15 @@
 //!   `Reloaded`) and then benches against the swapped model. With
 //!   `--shutdown true` it finishes by asking the server to exit (and
 //!   expects `Bye`) — this is the tier-1 smoke path. Exits nonzero on
-//!   any malformed response.
+//!   any malformed response. `--metrics true` additionally fetches a
+//!   `MetricsDump` after the bench and fails unless the page parses
+//!   and declares every contract metric.
 //!
 //! ```text
 //! serve_bench [--clients N] [--requests N] [--k N] [--save true|false]
 //!             [--addr HOST:PORT] [--shutdown true|false]
 //!             [--pipeline true|false] [--reload DIR]
+//!             [--metrics true|false] [--telemetry true|false]
 //!             [--overload true|false] [--deadline-ms N]
 //!             [--users N] [--items N] [--groups N] [--snapshot DIR]
 //!             [--shards N] [--quant f32|f16|i8] [--chunk N]
@@ -62,13 +74,16 @@ use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
 use groupsa_data::synthetic::{generate, SyntheticConfig};
 use groupsa_data::StreamConfig;
 use groupsa_json::impl_json_struct;
+use groupsa_obs::TelemetryConfig;
 use groupsa_serve::engine::{Engine, EngineConfig};
+use groupsa_serve::metrics::EXPOSITION_METRICS;
 use groupsa_serve::protocol::{RecommendRequest, Request, Response, ServeMode, Target};
+use groupsa_serve::server::{self, ServerConfig};
 use groupsa_serve::FrozenModel;
 use groupsa_snapshot::{Quant, SnapshotMeta, SnapshotWriter};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -256,12 +271,9 @@ fn exact_percentiles(latencies: &mut [u64]) -> (u64, u64, u64, f64) {
 
 // ----------------------------------------------------- in-process mode
 
-fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> Result<(), String> {
-    let unset = std::env::var(groupsa_obs::TRACE_ENV).map(|v| v.trim().is_empty()).unwrap_or(true);
-    if unset {
-        std::env::set_var(groupsa_obs::TRACE_ENV, "results/serve_bench_trace.jsonl");
-    }
-    groupsa_obs::emit("run", &[("label", groupsa_obs::to_json(&"serve_bench_sweep"))]);
+/// The tiny serve-bench world shared by the in-process and telemetry
+/// sweeps: (dataset name, frozen model, users, items, groups).
+fn tiny_world() -> (String, Arc<FrozenModel>, usize, usize, usize) {
     let syn = SyntheticConfig {
         name: "serve-bench".into(),
         seed: 7,
@@ -287,7 +299,16 @@ fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> 
     let ctx = DataContext::from_train_view(&dataset, model.config());
     let (users, groups) = (ctx.num_users, ctx.num_groups());
     let num_items = ctx.num_items;
-    let frozen = Arc::new(FrozenModel::freeze(model, ctx));
+    (syn.name, Arc::new(FrozenModel::freeze(model, ctx)), users, num_items, groups)
+}
+
+fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> Result<(), String> {
+    let unset = std::env::var(groupsa_obs::TRACE_ENV).map(|v| v.trim().is_empty()).unwrap_or(true);
+    if unset {
+        std::env::set_var(groupsa_obs::TRACE_ENV, "results/serve_bench_trace.jsonl");
+    }
+    groupsa_obs::emit("run", &[("label", groupsa_obs::to_json(&"serve_bench_sweep"))]);
+    let (dataset_name, frozen, users, num_items, groups) = tiny_world();
 
     let mut runs = Vec::new();
     for workers in [1usize, 2, 4] {
@@ -340,7 +361,7 @@ fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> 
         groupsa_bench::output::check_schema("serve_bench", RESULT_SCHEMA_VERSION)?;
         let report = BenchReport {
             schema_version: RESULT_SCHEMA_VERSION,
-            dataset: syn.name.clone(),
+            dataset: dataset_name,
             num_users: users,
             num_items,
             num_groups: groups,
@@ -351,6 +372,245 @@ fn in_process_sweep(clients: usize, per_client: usize, k: usize, save: bool) -> 
         println!("[saved {}]", path.display());
     } else {
         println!("[--save false: skipped results/serve_bench.json]");
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------ telemetry mode
+
+/// One sampling mode of the telemetry sweep.
+#[derive(Clone, Debug)]
+struct TelemetryRun {
+    mode: String,
+    sample_every: u64,
+    requests: u64,
+    elapsed_ms: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+    /// Lifecycle records the ring accepted / overwrote-and-dropped,
+    /// as the exposition page reported them at the end of the run.
+    ring_pushed: u64,
+    ring_dropped: u64,
+    /// Records still resident in the ring after shutdown.
+    records_captured: u64,
+    /// Throughput lost relative to the telemetry-off run of the same
+    /// sweep, in percent (0 for the off run itself; negative when a
+    /// sampled run happened to measure faster).
+    overhead_pct: f64,
+}
+
+impl_json_struct!(TelemetryRun {
+    mode,
+    sample_every,
+    requests,
+    elapsed_ms,
+    throughput_rps,
+    p50_us,
+    p95_us,
+    p99_us,
+    mean_us,
+    ring_pushed,
+    ring_dropped,
+    records_captured,
+    overhead_pct,
+});
+
+/// The telemetry report (`results/serve_bench_telemetry.json`): what
+/// request-lifecycle telemetry costs on the pipelined wire path, per
+/// sampling rate, against the telemetry-off baseline.
+#[derive(Clone, Debug)]
+struct TelemetryReport {
+    schema_version: u64,
+    dataset: String,
+    num_users: usize,
+    num_items: usize,
+    num_groups: usize,
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    k: usize,
+    runs: Vec<TelemetryRun>,
+}
+
+impl_json_struct!(TelemetryReport {
+    schema_version,
+    dataset,
+    num_users,
+    num_items,
+    num_groups,
+    workers,
+    clients,
+    requests_per_client,
+    k,
+    runs,
+});
+
+/// Fetches a `MetricsDump` over `conn` and checks the exposition
+/// contract: the page parses and declares every metric in
+/// [`EXPOSITION_METRICS`]. Returns the parsed page.
+fn fetch_metrics_page(
+    conn: &mut Connection,
+    id: u64,
+) -> Result<groupsa_obs::expo::ParsedPage, String> {
+    let page = match conn.roundtrip(&Request::MetricsDump { id })? {
+        Response::Metrics { id: got, page } if got == id => page,
+        other => return Err(format!("expected Metrics response, got {other:?}")),
+    };
+    let parsed = groupsa_obs::expo::parse(&page)
+        .map_err(|e| format!("metrics page does not parse: {e}"))?;
+    for name in EXPOSITION_METRICS {
+        if !parsed.declares(name) {
+            return Err(format!("metrics page is missing # TYPE for {name}"));
+        }
+    }
+    Ok(parsed)
+}
+
+/// The telemetry cost sweep: the same pipelined TCP workload against a
+/// fresh server at sampling off, `1/64`, and `1/1` — configs injected
+/// through [`EngineConfig`] so the environment cannot skew a mode —
+/// with the `MetricsDump` page validated in every mode.
+fn telemetry_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let clients: usize = num(flags, "clients", 4)?;
+    let per_client: usize = num(flags, "requests", 256)?;
+    let k: usize = num(flags, "k", 5)?;
+    let workers: usize = num(flags, "workers", 2)?;
+    let reps: usize = num(flags, "reps", 5)?.max(1);
+    let save = !matches!(flags.get("save").map(String::as_str), Some("false"));
+    let (dataset, frozen, users, items, groups) = tiny_world();
+    println!(
+        "telemetry sweep: pipelined TCP, {workers} workers, {clients} clients × {per_client} \
+         requests, best of {reps}"
+    );
+
+    let mut runs: Vec<TelemetryRun> = Vec::new();
+    for (mode, telemetry) in [
+        ("off", TelemetryConfig::disabled()),
+        ("1/64", TelemetryConfig::sampling(64)),
+        ("1/1", TelemetryConfig::sampling(1)),
+    ] {
+        let engine = Engine::start(
+            Arc::clone(&frozen),
+            EngineConfig {
+                workers,
+                // The whole pipelined burst may be in flight at once;
+                // this sweep measures telemetry cost, not overload
+                // behaviour, so the queue must swallow it.
+                queue_capacity: (clients * per_client).max(256),
+                telemetry: Some(telemetry),
+                ..EngineConfig::default()
+            },
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
+        let server = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || server::run_with(listener, engine, ServerConfig::default()))
+        };
+
+        // Best-of-`reps` bursts against the same server: one 40 ms
+        // burst is far too noisy to support an overhead comparison, and
+        // the fastest rep is the one least polluted by scheduler luck.
+        let mut best: Option<(Vec<u64>, std::time::Duration)> = None;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let mut handles = Vec::new();
+            for c in 0..clients {
+                let addr = addr.clone();
+                let reqs = workload(per_client, c * per_client, k, users, groups);
+                handles.push(std::thread::spawn(move || {
+                    let mut conn = Connection::open(&addr)?;
+                    pipelined_batch(&mut conn, &reqs)
+                }));
+            }
+            let mut latencies = Vec::new();
+            for handle in handles {
+                latencies
+                    .extend(handle.join().map_err(|_| "client thread panicked".to_string())??);
+            }
+            let elapsed = started.elapsed();
+            if best.as_ref().is_none_or(|(_, fastest)| elapsed < *fastest) {
+                best = Some((latencies, elapsed));
+            }
+        }
+        let (mut latencies, elapsed) = best.expect("reps >= 1");
+
+        // The exposition contract holds in every mode, off included.
+        let mut probe = Connection::open(&addr)?;
+        let parsed = fetch_metrics_page(&mut probe, 9_000)?;
+        if parsed.value("groupsa_obs_sample_every") != Some(telemetry.sample_every as f64) {
+            return Err(format!("page reports the wrong sampling rate for mode {mode}"));
+        }
+        let ring_pushed = parsed.value("groupsa_obs_ring_pushed_total").unwrap_or(0.0) as u64;
+        let ring_dropped = parsed.value("groupsa_obs_ring_dropped_total").unwrap_or(0.0) as u64;
+        match probe.roundtrip(&Request::Shutdown { id: 9_001 })? {
+            Response::Bye { id: 9_001 } => {}
+            other => return Err(format!("expected Bye, got {other:?}")),
+        }
+        server
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| e.to_string())?;
+        let records_captured = engine.telemetry().records().len() as u64;
+
+        let (p50, p95, p99, mean) = exact_percentiles(&mut latencies);
+        let total = latencies.len() as u64;
+        let throughput_rps = total as f64 / elapsed.as_secs_f64();
+        let overhead_pct = runs
+            .first()
+            .map(|off| (off.throughput_rps - throughput_rps) / off.throughput_rps * 100.0)
+            .unwrap_or(0.0);
+        let run = TelemetryRun {
+            mode: mode.to_string(),
+            sample_every: telemetry.sample_every,
+            requests: total,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            throughput_rps,
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
+            mean_us: mean,
+            ring_pushed,
+            ring_dropped,
+            records_captured,
+            overhead_pct,
+        };
+        println!(
+            "  mode={:<5} {:>7.0} req/s p50={}us p95={}us ring={}/{}dropped records={} overhead={:+.1}%",
+            run.mode,
+            run.throughput_rps,
+            run.p50_us,
+            run.p95_us,
+            run.ring_pushed,
+            run.ring_dropped,
+            run.records_captured,
+            run.overhead_pct
+        );
+        runs.push(run);
+    }
+
+    if save {
+        groupsa_bench::output::check_schema("serve_bench_telemetry", RESULT_SCHEMA_VERSION)?;
+        let report = TelemetryReport {
+            schema_version: RESULT_SCHEMA_VERSION,
+            dataset,
+            num_users: users,
+            num_items: items,
+            num_groups: groups,
+            workers,
+            clients,
+            requests_per_client: per_client,
+            k,
+            runs,
+        };
+        let path = groupsa_bench::output::save_json("serve_bench_telemetry", &report)
+            .map_err(|e| e.to_string())?;
+        println!("[saved {}]", path.display());
+    } else {
+        println!("[--save false: skipped results/serve_bench_telemetry.json]");
     }
     Ok(())
 }
@@ -504,6 +764,7 @@ fn overload_step(
             max_batch: 4,
             default_deadline_ms: 0,
             shed,
+            telemetry: None,
         },
     );
     let started = Instant::now();
@@ -942,6 +1203,7 @@ fn pipelined_batch(conn: &mut Connection, reqs: &[RecommendRequest]) -> Result<V
     Ok(latencies)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn tcp_bench(
     addr: &str,
     clients: usize,
@@ -949,6 +1211,7 @@ fn tcp_bench(
     k: usize,
     shutdown: bool,
     pipeline: bool,
+    metrics: bool,
     reload: Option<&str>,
 ) -> Result<(), String> {
     // Learn the id universe from the server itself.
@@ -1029,6 +1292,20 @@ fn tcp_bench(
         stats.submitted, stats.completed, stats.errors, stats.batches, stats.mean_batch
     );
 
+    if metrics {
+        let parsed = fetch_metrics_page(&mut probe, 4)?;
+        let submitted = parsed.value("groupsa_serve_submitted_total").unwrap_or(-1.0);
+        if submitted < expected as f64 {
+            return Err(format!(
+                "metrics page reports {submitted} submissions, expected at least {expected}"
+            ));
+        }
+        println!(
+            "metrics page ok: {} contract metrics declared, submitted={submitted}",
+            EXPOSITION_METRICS.len()
+        );
+    }
+
     if shutdown {
         match probe.roundtrip(&Request::Shutdown { id: 3 })? {
             Response::Bye { id: 3 } => println!("server acknowledged shutdown"),
@@ -1049,7 +1326,11 @@ fn run() -> Result<(), String> {
         Some(addr) => {
             let shutdown = matches!(flags.get("shutdown").map(String::as_str), Some("true"));
             let pipeline = matches!(flags.get("pipeline").map(String::as_str), Some("true"));
-            tcp_bench(addr, clients, per_client, k, shutdown, pipeline, flags.get("reload").map(String::as_str))
+            let metrics = matches!(flags.get("metrics").map(String::as_str), Some("true"));
+            tcp_bench(addr, clients, per_client, k, shutdown, pipeline, metrics, flags.get("reload").map(String::as_str))
+        }
+        None if matches!(flags.get("telemetry").map(String::as_str), Some("true")) => {
+            telemetry_sweep(&flags)
         }
         None if matches!(flags.get("overload").map(String::as_str), Some("true")) => {
             overload_sweep(&flags)

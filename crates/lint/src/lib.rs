@@ -5,7 +5,9 @@
 //!
 //! * **determinism** — no ambient time, ambient entropy, or
 //!   randomized-order hash containers in the numeric crates whose
-//!   outputs must be bit-identical across runs and thread counts;
+//!   outputs must be bit-identical across runs and thread counts —
+//!   and, workspace-wide, ambient clock reads confined to the timing
+//!   modules listed in [`rules::CLOCK_SCOPES`];
 //! * **panic-safety** — no `unwrap`/`expect`/`panic!`/unjustified
 //!   indexing on the serve request paths (typed errors only);
 //! * **hermeticity** — no `extern crate`, no `use` roots outside the
@@ -30,7 +32,7 @@ pub mod report;
 pub mod rules;
 
 pub use report::{Finding, Report, REPORT_VERSION};
-pub use rules::{in_panic_scope, Analyzer, ALLOWED_FILES, PANIC_SCOPES, RULES};
+pub use rules::{in_clock_scope, in_panic_scope, Analyzer, ALLOWED_FILES, CLOCK_SCOPES, PANIC_SCOPES, RULES};
 
 use std::path::{Path, PathBuf};
 

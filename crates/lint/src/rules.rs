@@ -6,6 +6,7 @@
 //! | rule | family | scope | fires on |
 //! |------|--------|-------|----------|
 //! | `ambient-time` | determinism | numeric crates | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
+//! | `clock-scope` | determinism | whole workspace minus timing modules | `Instant::now`, `SystemTime`, `UNIX_EPOCH` outside [`CLOCK_SCOPES`] |
 //! | `ambient-entropy` | determinism | numeric crates | `thread_rng`, `from_entropy`, `OsRng` |
 //! | `hash-container` | determinism | numeric crates | any `HashMap` / `HashSet` use |
 //! | `panic-path` | panic-safety | serve request paths + kernel bench (allowlisted) | `.unwrap()`, `.expect()`, `panic!`-family macros, indexing without a `// bounds:` comment |
@@ -33,6 +34,7 @@ use std::collections::BTreeSet;
 /// Every rule identifier the engine knows, in stable order.
 pub const RULES: &[&str] = &[
     "ambient-time",
+    "clock-scope",
     "ambient-entropy",
     "hash-container",
     "panic-path",
@@ -75,6 +77,44 @@ pub fn in_panic_scope(rel_path: &str) -> bool {
         .any(|s| if s.ends_with('/') { rel_path.starts_with(s) } else { rel_path == *s })
 }
 
+/// The timing modules: the only non-test files allowed to read ambient
+/// clocks (`Instant::now`, `SystemTime`, `UNIX_EPOCH`). Same entry
+/// semantics as [`PANIC_SCOPES`]: a trailing `/` is a directory prefix,
+/// anything else matches exactly. Everything outside this list answers
+/// to the `clock-scope` rule — a clock read that creeps into, say, the
+/// frozen-model scorer or the snapshot reader is a determinism bug
+/// waiting to happen, and must either move its timing into one of
+/// these modules or record a justification.
+///
+/// Numeric crates ([`NUMERIC_SCOPES`]) are deliberately *not* listed:
+/// there the stricter `ambient-time` rule governs (with its own
+/// recorded exemptions, e.g. `train.rs`), and `clock-scope` stays
+/// silent so one clock read never fires two rules.
+pub const CLOCK_SCOPES: &[&str] = &[
+    // Benchmarks exist to measure wall-clock time.
+    "crates/bench/src/",
+    // The criterion shim is a timing harness by definition.
+    "crates/compat/criterion/src/",
+    // Tracing, telemetry records, sliding windows: the clock's home.
+    "crates/obs/src/",
+    // Token-bucket refill and predicted-wait shedding are time-based.
+    "crates/serve/src/admission.rs",
+    // Queue-wait / score-stage / deadline timing on the request path.
+    "crates/serve/src/engine.rs",
+    // Stage histograms and window plumbing own per-stage durations.
+    "crates/serve/src/metrics.rs",
+    // The connection writer times serialize-and-write per response.
+    "crates/serve/src/server.rs",
+];
+
+/// Whether `rel_path` is a timing module where ambient clock reads are
+/// legitimate (exact [`CLOCK_SCOPES`] entry, or a `/`-suffixed prefix).
+pub fn in_clock_scope(rel_path: &str) -> bool {
+    CLOCK_SCOPES
+        .iter()
+        .any(|s| if s.ends_with('/') { rel_path.starts_with(s) } else { rel_path == *s })
+}
+
 /// Per-rule file allowlist: `(rule, workspace-relative path, why)`.
 /// An entry exempts the whole file from that one rule; the
 /// justification is part of the record on purpose — an allowlist entry
@@ -89,6 +129,11 @@ pub const ALLOWED_FILES: &[(&str, &str, &str)] = &[
         "panic-path",
         "crates/bench/src/bin/kernel_bench.rs",
         "a measurement harness must fail loudly on any setup/shape error; asserts are its error handling",
+    ),
+    (
+        "clock-scope",
+        "examples/fast_vs_full.rs",
+        "a fast-vs-full latency comparison demo; wall-clock timing is the example's entire point",
     ),
 ];
 
@@ -122,6 +167,13 @@ impl Analyzer {
         let panic_scope = !in_tests_dir
             && in_panic_scope(rel_path)
             && !self.file_allowed("panic-path", rel_path);
+        // Clock confinement applies to every non-test file that is
+        // neither a timing module nor a numeric crate (where the
+        // stricter `ambient-time` rule already owns clock reads).
+        let clock_confined = !in_tests_dir
+            && !NUMERIC_SCOPES.iter().any(|p| rel_path.starts_with(p))
+            && !in_clock_scope(rel_path)
+            && !self.file_allowed("clock-scope", rel_path);
 
         let mut sink = Sink { rel_path, lexed: &lexed, findings: Vec::new(), suppressed: 0 };
         let toks = &lexed.tokens;
@@ -194,6 +246,27 @@ impl Analyzer {
                         "ambient-time",
                         t.line,
                         &format!("`{}` reads ambient wall-clock time in a deterministic numeric crate", t.text),
+                    );
+                }
+            }
+            if clock_confined {
+                if t.kind == TokenKind::Ident
+                    && t.text == "Instant"
+                    && punct_at(toks, i + 1, "::")
+                    && ident_at(toks, i + 2, "now")
+                {
+                    sink.report(
+                        "clock-scope",
+                        t.line,
+                        "`Instant::now()` outside the timing modules; move the measurement into a CLOCK_SCOPES file or justify it",
+                    );
+                }
+                if t.kind == TokenKind::Ident && (t.text == "SystemTime" || t.text == "UNIX_EPOCH")
+                {
+                    sink.report(
+                        "clock-scope",
+                        t.line,
+                        &format!("`{}` outside the timing modules; move the measurement into a CLOCK_SCOPES file or justify it", t.text),
                     );
                 }
             }
@@ -425,6 +498,43 @@ mod tests {
             vec![(1, "ambient-time".to_string())]
         );
         assert!(rules_fired("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_scope_confines_clocks_to_timing_modules() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        // Outside any allowlist: both clock reads fire.
+        assert_eq!(
+            rules_fired("crates/serve/src/frozen.rs", src),
+            vec![(1, "clock-scope".to_string()), (1, "clock-scope".to_string())]
+        );
+        // Timing modules: exact entries and directory prefixes.
+        assert!(rules_fired("crates/serve/src/server.rs", src).is_empty());
+        assert!(rules_fired("crates/serve/src/metrics.rs", src).is_empty());
+        assert!(rules_fired("crates/obs/src/telemetry.rs", src).is_empty());
+        assert!(rules_fired("crates/obs/src/bin/obs_top.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/bin/serve_bench.rs", src).is_empty());
+        assert!(rules_fired("crates/compat/criterion/src/lib.rs", src).is_empty());
+        // Numeric crates answer to `ambient-time` instead — one clock
+        // read never fires two rules.
+        assert_eq!(
+            rules_fired("crates/core/src/model.rs", src),
+            vec![(1, "ambient-time".to_string()), (1, "ambient-time".to_string())]
+        );
+        // Tests may read clocks freely.
+        assert!(rules_fired("crates/serve/tests/latency.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_scope_exact_entries_do_not_become_prefixes() {
+        assert!(in_clock_scope("crates/serve/src/engine.rs"));
+        assert!(in_clock_scope("crates/serve/src/admission.rs"));
+        assert!(in_clock_scope("crates/obs/src/trace.rs"));
+        assert!(in_clock_scope("crates/bench/src/experiments.rs"));
+        assert!(!in_clock_scope("crates/serve/src/frozen.rs"));
+        assert!(!in_clock_scope("crates/serve/src/protocol.rs"));
+        assert!(!in_clock_scope("crates/snapshot/src/reader.rs"));
+        assert!(!in_clock_scope("crates/core/src/train.rs"));
     }
 
     #[test]

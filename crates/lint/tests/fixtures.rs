@@ -72,10 +72,58 @@ fn hash_container_fires_and_allow_suppresses() {
 
 #[test]
 fn determinism_rules_do_not_fire_outside_numeric_crates() {
-    for rel in ["crates/serve/src/frozen.rs", "crates/bench/src/lib.rs", "src/lib.rs"] {
+    // Outside the numeric crates the `ambient-time` rule is silent;
+    // clock reads there answer to `clock-scope` instead — which is
+    // itself silent inside the timing modules.
+    for rel in ["crates/bench/src/lib.rs", "crates/obs/src/trace.rs"] {
         let (fired, _) = run_fixture("determinism_time.rs", rel);
-        assert!(fired.is_empty(), "{rel} is outside the determinism scope");
+        assert!(fired.is_empty(), "{rel} is a timing module: {fired:?}");
     }
+    for rel in ["crates/serve/src/frozen.rs", "src/lib.rs"] {
+        let (fired, _) = run_fixture("determinism_time.rs", rel);
+        assert!(
+            fired.iter().all(|(_, rule)| rule == "clock-scope") && !fired.is_empty(),
+            "{rel} clock reads fire clock-scope, never ambient-time: {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn clock_scope_fires_outside_timing_modules_and_allow_suppresses() {
+    let (fired, suppressed) = run_fixture("clock_scope.rs", "crates/serve/src/frozen.rs");
+    assert_eq!(
+        fired,
+        vec![
+            (4, "clock-scope".to_string()),
+            (5, "clock-scope".to_string()),
+            (6, "clock-scope".to_string()),
+        ],
+        "Instant::now, SystemTime, and UNIX_EPOCH all fire"
+    );
+    assert_eq!(suppressed, 1, "the justified banner timestamp is allow-suppressed");
+
+    // The same file analyzes clean anywhere inside the timing modules,
+    // whether matched by an exact entry or a directory prefix.
+    for rel in [
+        "crates/serve/src/engine.rs",
+        "crates/serve/src/admission.rs",
+        "crates/obs/src/telemetry.rs",
+        "crates/bench/src/bin/serve_bench.rs",
+        "crates/compat/criterion/src/lib.rs",
+    ] {
+        assert!(groupsa_lint::in_clock_scope(rel), "{rel} must be a timing module");
+        let (fired, _) = run_fixture("clock_scope.rs", rel);
+        assert!(fired.is_empty(), "{rel} may read clocks: {fired:?}");
+    }
+
+    // In a numeric crate the same reads are `ambient-time` findings —
+    // the two rules partition the workspace instead of overlapping.
+    let (fired, _) = run_fixture("clock_scope.rs", "crates/core/src/fixture.rs");
+    assert!(!fired.is_empty());
+    assert!(
+        fired.iter().all(|(_, rule)| rule == "ambient-time"),
+        "numeric crates answer to ambient-time, not clock-scope: {fired:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,16 @@
+//! clock-scope fixture: ambient clock reads outside the timing modules.
+
+pub fn stamped() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let epoch = UNIX_EPOCH;
+    let _ = (t0, wall, epoch);
+    0
+}
+
+pub fn justified() -> u64 {
+    // boot-banner timestamp, display only; lint: allow(clock-scope)
+    let wall = SystemTime::now();
+    let _ = wall;
+    0
+}

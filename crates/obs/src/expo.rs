@@ -1,0 +1,337 @@
+//! Prometheus-style text exposition: a renderer for metrics pages and
+//! a parser for validating them.
+//!
+//! The format is the familiar line protocol — `# TYPE name kind`
+//! headers followed by `name{label="value",…} value` samples;
+//! histograms expand to cumulative `name_bucket{le="…"}` samples plus
+//! `name_sum` / `name_count` — restricted to what this workspace needs
+//! (no `# HELP`, no exemplars, no escaped quotes inside label values).
+//! The serve crate renders its `MetricsDump` page through
+//! [`Exposition`]; `serve_bench` and tier-1 validate the page through
+//! [`parse`]; `obs_top` renders its dashboard from the parsed samples.
+//!
+//! Metric names are sanitised through [`sanitize`] (`.` and any other
+//! non-`[a-zA-Z0-9_]` byte become `_`), so registry names like
+//! `nn.attention.forward_us` expose as `nn_attention_forward_us`.
+
+use crate::registry::{bucket_upper, HistogramSnapshot, RegistrySnapshot};
+
+/// Rewrites `name` into the exposition charset: `[a-zA-Z0-9_]`, with
+/// every other byte (registry dots, say) replaced by `_`.
+pub fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}
+
+fn format_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// An exposition page under construction. Emits one `# TYPE` header
+/// per metric name (the first time the name appears) and tracks the
+/// declared names so callers can assert coverage.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    names: Vec<String>,
+}
+
+impl Exposition {
+    /// An empty page.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    /// Metric names declared so far (sanitised, in declaration order).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn declare(&mut self, name: &str, kind: &str) -> bool {
+        if self.names.iter().any(|n| n == name) {
+            return false;
+        }
+        self.names.push(name.to_string());
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        true
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (key, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(key);
+                self.out.push_str("=\"");
+                // Keep the parser trivial: strip the two bytes the
+                // quoting cannot carry.
+                self.out.extend(val.chars().filter(|&c| c != '"' && c != '\\'));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&format_value(value));
+        self.out.push('\n');
+    }
+
+    /// Emits a counter sample.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let name = sanitize(name);
+        self.declare(&name, "counter");
+        self.sample(&name, &[], value as f64);
+    }
+
+    /// Emits a gauge sample.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        let name = sanitize(name);
+        self.declare(&name, "gauge");
+        self.sample(&name, &[], value);
+    }
+
+    /// Emits a labelled gauge sample; repeated names share one `# TYPE`
+    /// header (e.g. the same windowed rate at `window="10s"` and
+    /// `window="60s"`).
+    pub fn labeled_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let name = sanitize(name);
+        self.declare(&name, "gauge");
+        self.sample(&name, labels, value);
+    }
+
+    /// Emits a full histogram: cumulative `_bucket{le="…"}` samples
+    /// over the workspace's log₂ buckets (empty buckets elided — the
+    /// closing `+Inf` carries the total), then `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, snapshot: &HistogramSnapshot) {
+        let name = sanitize(name);
+        self.declare(&name, "histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in snapshot.buckets.iter().enumerate() {
+            cumulative += count;
+            if *count == 0 {
+                continue; // elide empty buckets; `+Inf` closes the series
+            }
+            let le = bucket_upper(i).to_string();
+            self.sample(&format!("{name}_bucket"), &[("le", le.as_str())], cumulative as f64);
+        }
+        self.sample(&format!("{name}_bucket"), &[("le", "+Inf")], snapshot.count as f64);
+        self.sample(&format!("{name}_sum"), &[], snapshot.sum as f64);
+        self.sample(&format!("{name}_count"), &[], snapshot.count as f64);
+    }
+
+    /// Renders an entire [`RegistrySnapshot`] (names prefixed with
+    /// `prefix`, sanitised).
+    pub fn registry(&mut self, prefix: &str, snapshot: &RegistrySnapshot) {
+        for counter in &snapshot.counters {
+            self.counter(&format!("{prefix}{}", counter.name), counter.value);
+        }
+        for gauge in &snapshot.gauges {
+            let name = sanitize(&format!("{prefix}{}", gauge.name));
+            self.declare(&name, "gauge");
+            self.sample(&name, &[("stat", "last")], gauge.last as f64);
+            self.sample(&name, &[("stat", "max")], gauge.max as f64);
+        }
+        for histogram in &snapshot.histograms {
+            self.histogram(&format!("{prefix}{}", histogram.name), &histogram.histogram);
+        }
+    }
+
+    /// The finished page text.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name (may carry a `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs, in order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: f64,
+}
+
+/// A parsed exposition page: declared types plus every sample.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedPage {
+    /// `(name, kind)` per `# TYPE` header, in order.
+    pub types: Vec<(String, String)>,
+    /// Every sample line, in order.
+    pub samples: Vec<ParsedSample>,
+}
+
+impl ParsedPage {
+    /// Whether the page declares metric `name` (via its `# TYPE`
+    /// header).
+    pub fn declares(&self, name: &str) -> bool {
+        self.types.iter().any(|(n, _)| n == name)
+    }
+
+    /// The first sample value for exactly `name` with no label filter.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name).map(|s| s.value)
+    }
+
+    /// The first sample value for `name` carrying the given label pair.
+    pub fn value_with(&self, name: &str, label: (&str, &str)) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.iter().any(|(k, v)| k == label.0 && v == label.1))
+            .map(|s| s.value)
+    }
+
+    /// Every sample for `name`, in page order.
+    pub fn all(&self, name: &str) -> Vec<&ParsedSample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = text;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").ok_or_else(|| format!("label without =\": '{rest}'"))?;
+        let key = rest[..eq].trim_start_matches(',').to_string();
+        let after = &rest[eq + 2..];
+        let close = after.find('"').ok_or_else(|| format!("unterminated label value: '{rest}'"))?;
+        labels.push((key, after[..close].to_string()));
+        rest = &after[close + 1..];
+    }
+    Ok(labels)
+}
+
+/// Parses an exposition page, validating the line grammar: every
+/// non-comment line must be `name[{labels}] value` with a numeric
+/// value, every `# TYPE` must name a known kind. Returns the first
+/// offending line in the error.
+pub fn parse(text: &str) -> Result<ParsedPage, String> {
+    let mut page = ParsedPage::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let fail = |what: &str| format!("line {}: {what}: '{line}'", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim().split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let name = parts.next().ok_or_else(|| fail("TYPE without a name"))?;
+                let kind = parts.next().ok_or_else(|| fail("TYPE without a kind"))?;
+                if !["counter", "gauge", "histogram"].contains(&kind) {
+                    return Err(fail("unknown metric kind"));
+                }
+                page.types.push((name.to_string(), kind.to_string()));
+            }
+            continue;
+        }
+        let (head, value) = line.rsplit_once(' ').ok_or_else(|| fail("no value"))?;
+        let value: f64 = value.parse().map_err(|_| fail("value is not a number"))?;
+        let (name, labels) = match head.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').ok_or_else(|| fail("unterminated labels"))?;
+                (name, parse_labels(body).map_err(|e| fail(&e))?)
+            }
+            None => (head, Vec::new()),
+        };
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(fail("bad metric name"));
+        }
+        page.samples.push(ParsedSample { name: name.to_string(), labels, value });
+    }
+    Ok(page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Histogram;
+
+    #[test]
+    fn render_then_parse_roundtrips() {
+        let mut e = Exposition::new();
+        e.counter("serve.submitted_total", 42);
+        e.gauge("queue_depth", 3.5);
+        e.labeled_gauge("window_req_per_s", &[("window", "10s")], 120.25);
+        e.labeled_gauge("window_req_per_s", &[("window", "60s")], 80.0);
+        let h = Histogram::new();
+        h.record(8);
+        h.record(1000);
+        e.histogram("latency_us", &h.snapshot());
+        let text = e.render();
+        let page = parse(&text).expect("rendered pages must parse");
+        assert!(page.declares("serve_submitted_total"), "dots sanitised");
+        assert_eq!(page.value("serve_submitted_total"), Some(42.0));
+        assert_eq!(page.value("queue_depth"), Some(3.5));
+        assert_eq!(page.value_with("window_req_per_s", ("window", "10s")), Some(120.25));
+        assert_eq!(page.value_with("window_req_per_s", ("window", "60s")), Some(80.0));
+        assert_eq!(page.value("latency_us_count"), Some(2.0));
+        assert_eq!(page.value("latency_us_sum"), Some(1008.0));
+        assert_eq!(page.value_with("latency_us_bucket", ("le", "+Inf")), Some(2.0));
+        // One TYPE header per name, even with two labelled samples.
+        assert_eq!(page.types.iter().filter(|(n, _)| n == "window_req_per_s").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut e = Exposition::new();
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        e.histogram("lat", &h.snapshot());
+        let page = parse(&e.render()).unwrap();
+        // 8 µs lands in bucket 4 (upper bound 16): cumulative 90 there.
+        assert_eq!(page.value_with("lat_bucket", ("le", "16")), Some(90.0));
+        assert_eq!(page.value_with("lat_bucket", ("le", "1024")), Some(100.0));
+        assert_eq!(page.value_with("lat_bucket", ("le", "+Inf")), Some(100.0));
+        // Cumulative counts never decrease in page order.
+        let buckets = page.all("lat_bucket");
+        assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+    }
+
+    #[test]
+    fn registry_snapshots_render_with_prefix() {
+        let r = crate::registry::Registry::new();
+        r.counter("hits").inc();
+        r.gauge("depth").set(7);
+        r.histogram("nn.forward_us").record(100);
+        let mut e = Exposition::new();
+        e.registry("reg_", &r.snapshot());
+        let page = parse(&e.render()).unwrap();
+        assert_eq!(page.value("reg_hits"), Some(1.0));
+        assert_eq!(page.value_with("reg_depth", ("stat", "last")), Some(7.0));
+        assert_eq!(page.value_with("reg_depth", ("stat", "max")), Some(7.0));
+        assert_eq!(page.value("reg_nn_forward_us_count"), Some(1.0));
+    }
+
+    #[test]
+    fn malformed_pages_are_rejected_with_line_numbers() {
+        assert!(parse("name_only\n").is_err());
+        assert!(parse("bad-name 1\n").is_err());
+        assert!(parse("x{le=\"1\" 2\n").is_err(), "unterminated labels");
+        assert!(parse("x nan_text\n").is_err());
+        let err = parse("good 1\n# TYPE t teapot\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn sanitize_keeps_the_exposition_charset() {
+        assert_eq!(sanitize("nn.attention.forward_us"), "nn_attention_forward_us");
+        assert_eq!(sanitize("ok_name_9"), "ok_name_9");
+        assert_eq!(sanitize("a b/c"), "a_b_c");
+    }
+}

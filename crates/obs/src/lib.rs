@@ -25,6 +25,19 @@
 //!   parses an emitted JSONL file and checks the required fields of
 //!   every event kind. The `trace_check` binary wraps it for CI.
 //!
+//! On top of those, request-lifecycle telemetry for the serve path:
+//!
+//! * [`record`] — per-request [`RequestRecord`]s in a lock-free
+//!   overwrite-oldest [`RecordRing`];
+//! * [`window`] — per-second [`TimeWindows`] deriving 10 s / 60 s
+//!   rates and windowed percentiles;
+//! * [`telemetry`] — the [`Telemetry`] facade gating both behind
+//!   deterministic `GROUPSA_OBS_SAMPLE=1/N` id-hash sampling (plus
+//!   unconditional slow-request capture);
+//! * [`expo`] — a Prometheus-style text exposition renderer/parser
+//!   (the `MetricsDump` page format), polled by the `obs_top`
+//!   dashboard binary.
+//!
 //! ## Capturing a trace
 //!
 //! ```text
@@ -38,12 +51,19 @@
 
 #![warn(missing_docs)]
 
+pub mod expo;
+pub mod record;
 pub mod registry;
 pub mod schema;
+pub mod telemetry;
 pub mod trace;
+pub mod window;
 
+pub use record::{RecordOutcome, RecordRing, RequestRecord};
 pub use registry::{
     bucket_of, bucket_upper, global, percentile, Counter, Gauge, Histogram, HistogramSnapshot,
     Registry, RegistrySnapshot, NUM_BUCKETS,
 };
+pub use telemetry::{hash_id, Telemetry, TelemetryConfig, SAMPLE_ENV, SLOW_US_ENV};
 pub use trace::{emit, enabled, maybe_timer, to_json, ScopedTimer, Span, TRACE_ENV};
+pub use window::{TimeWindows, WindowKind, WindowStats};

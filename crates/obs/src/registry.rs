@@ -418,6 +418,80 @@ mod tests {
         assert_eq!(percentile(&counts, 1, 1.0), 2);
     }
 
+    /// The boundary-convention audit, pinned sample by sample:
+    ///
+    /// * value `0` is its own bucket (upper bound 0) — a histogram of
+    ///   zeros reports every percentile as exactly 0;
+    /// * value `1` lands in bucket 1, reported as its upper bound 2;
+    /// * an exact power of two `2^k` is the *lower* edge of bucket
+    ///   `k + 1` (`[2^k, 2^(k+1))`), so it reports as `2^(k+1)` — the
+    ///   convention is "upper bound of the containing half-open
+    ///   bucket", never the sample itself;
+    /// * anything at or past `2^(NUM_BUCKETS−2)` saturates into the
+    ///   top bucket and reports as `2^(NUM_BUCKETS−1)`.
+    #[test]
+    fn percentile_convention_is_pinned_at_exact_bucket_boundaries() {
+        let zeros = Histogram::new();
+        for _ in 0..10 {
+            zeros.record(0);
+        }
+        let s = zeros.snapshot();
+        assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0), "bucket 0 holds exactly the value 0");
+
+        let ones = Histogram::new();
+        ones.record(1);
+        let s = ones.snapshot();
+        assert_eq!((s.p50, s.p99), (2, 2), "1 ∈ bucket 1 = [1,2) → upper bound 2");
+
+        for k in [3u32, 10, 20] {
+            let edge = Histogram::new();
+            edge.record(1 << k);
+            let s = edge.snapshot();
+            assert_eq!(
+                s.p50,
+                1 << (k + 1),
+                "2^{k} is the lower edge of [2^{k}, 2^{}) → upper bound 2^{}",
+                k + 1,
+                k + 1
+            );
+            // One below the edge stays in the previous bucket.
+            let below = Histogram::new();
+            below.record((1 << k) - 1);
+            assert_eq!(below.snapshot().p50, 1 << k);
+        }
+
+        let top = Histogram::new();
+        top.record(1 << (NUM_BUCKETS - 2)); // first value of the top bucket
+        top.record(u64::MAX); // saturates into the same bucket
+        let s = top.snapshot();
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 2);
+        assert_eq!(s.p99, 1 << (NUM_BUCKETS - 1), "top bucket reports 2^39");
+    }
+
+    /// A mixed fill across the boundary cases: the rank arithmetic
+    /// (`ceil(q·total)` clamped to `[1, total]`, first bucket whose
+    /// cumulative count reaches it) walks zeros → ones → edge values
+    /// in order.
+    #[test]
+    fn percentile_rank_walks_mixed_boundary_fill_in_order() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(0);
+        }
+        for _ in 0..40 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(16); // lower edge of [16, 32)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 0, "rank 50 is the last zero");
+        assert_eq!(percentile(&s.buckets, s.count, 0.51), 2, "rank 51 is the first 1");
+        assert_eq!(s.p95, 32, "rank 95 is an edge sample: upper bound of [16,32)");
+        assert_eq!(s.p99, 32);
+    }
+
     #[test]
     fn gauge_tracks_last_and_high_watermark() {
         let g = Gauge::new();

@@ -1,0 +1,290 @@
+//! Sliding-window time series: a ring of per-second tallies from which
+//! windowed rates (req/s, shed/s, …) and windowed latency percentiles
+//! over the last 10 s / 60 s are derived — so a long-lived server's
+//! `Stats` can report *current* behaviour, not just lifetime totals.
+//!
+//! The module is deliberately clock-free: every entry point takes the
+//! caller's second index (seconds since the owner's epoch — see
+//! [`crate::telemetry::Telemetry`], which derives it from one
+//! `Instant`). That keeps the tallies exactly testable and keeps all
+//! ambient-clock reads in the owner, inside its enabled gate.
+//!
+//! ## Slot recycling
+//!
+//! [`WINDOW_SLOTS`] per-second slots are addressed by `sec %
+//! WINDOW_SLOTS`; each carries a stamp (`sec + 1`, so `0` means never
+//! used). The first writer of a new second claims the slot with a CAS
+//! on the stamp and zeroes its tallies. The claim-then-zero sequence
+//! is not atomic as a whole: a burst of writers crossing a second
+//! boundary can lose a handful of increments to the reset, and a
+//! reader can observe a slot mid-reset. Windows are *rate estimates* —
+//! these boundary races smudge a second by a few events at worst, and
+//! never block anyone. Exact accounting lives in the lifetime counters,
+//! not here.
+
+use crate::registry::{percentile, NUM_BUCKETS};
+use groupsa_json::impl_json_struct;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-second slots kept; windows up to `WINDOW_SLOTS − 1` seconds can
+/// be summed without a recycled slot aliasing into the range.
+pub const WINDOW_SLOTS: usize = 64;
+
+/// The per-second event tallies a window tracks, mirroring the serve
+/// outcome vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Requests admitted to the queue.
+    Submitted,
+    /// Requests answered successfully.
+    Completed,
+    /// Requests answered with a non-deadline error.
+    Errors,
+    /// Requests dropped on deadline expiry.
+    Expired,
+    /// Requests shed by deadline-aware admission control.
+    Shed,
+    /// Requests refused by a per-connection rate limit.
+    Limited,
+    /// Requests refused at admission (queue full / stopping).
+    Rejected,
+}
+
+const NUM_KINDS: usize = 7;
+
+impl WindowKind {
+    fn index(self) -> usize {
+        match self {
+            WindowKind::Submitted => 0,
+            WindowKind::Completed => 1,
+            WindowKind::Errors => 2,
+            WindowKind::Expired => 3,
+            WindowKind::Shed => 4,
+            WindowKind::Limited => 5,
+            WindowKind::Rejected => 6,
+        }
+    }
+}
+
+struct SecSlot {
+    /// `sec + 1` of the second this slot currently tallies; `0` = never
+    /// used.
+    stamp: AtomicU64,
+    counts: [AtomicU64; NUM_KINDS],
+    latency: [AtomicU64; NUM_BUCKETS],
+}
+
+impl SecSlot {
+    fn empty() -> Self {
+        SecSlot {
+            stamp: AtomicU64::new(0),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A ring of per-second tallies; see the module docs for semantics.
+pub struct TimeWindows {
+    slots: Box<[SecSlot]>,
+}
+
+impl Default for TimeWindows {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWindows {
+    /// A fresh, all-empty window ring.
+    pub fn new() -> Self {
+        TimeWindows { slots: (0..WINDOW_SLOTS).map(|_| SecSlot::empty()).collect() }
+    }
+
+    /// The slot for `sec`, recycled (stamped and zeroed) if it still
+    /// tallies an older second.
+    fn claim(&self, sec: u64) -> &SecSlot {
+        let slot = &self.slots[(sec % WINDOW_SLOTS as u64) as usize];
+        let want = sec + 1;
+        let current = slot.stamp.load(Ordering::Acquire);
+        if current != want
+            && slot
+                .stamp
+                .compare_exchange(current, want, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            // We won the recycle: zero the stale tallies. Racing
+            // writers of the same second may increment before we zero
+            // (a benign boundary smudge, see module docs).
+            for count in &slot.counts {
+                count.store(0, Ordering::Relaxed);
+            }
+            for bucket in &slot.latency {
+                bucket.store(0, Ordering::Relaxed);
+            }
+        }
+        slot
+    }
+
+    /// Tallies one `kind` event in second `sec`.
+    pub fn note(&self, kind: WindowKind, sec: u64) {
+        self.claim(sec).counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one completed-request latency sample in second `sec`.
+    pub fn note_latency_us(&self, us: u64, sec: u64) {
+        self.claim(sec).latency[crate::registry::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Derives windowed rates and latency percentiles over the
+    /// `window_s` seconds ending at `now_sec` (inclusive — the current,
+    /// possibly partial, second counts). Only slots still stamped with
+    /// a second inside the window contribute.
+    pub fn stats(&self, window_s: u64, now_sec: u64) -> WindowStats {
+        let window_s = window_s.clamp(1, WINDOW_SLOTS as u64 - 1);
+        let first = now_sec.saturating_sub(window_s - 1);
+        let mut totals = [0u64; NUM_KINDS];
+        let mut latency = vec![0u64; NUM_BUCKETS];
+        for sec in first..=now_sec {
+            let slot = &self.slots[(sec % WINDOW_SLOTS as u64) as usize];
+            if slot.stamp.load(Ordering::Acquire) != sec + 1 {
+                continue; // never used, or already recycled past the window
+            }
+            for (total, count) in totals.iter_mut().zip(&slot.counts) {
+                *total += count.load(Ordering::Relaxed);
+            }
+            for (sum, bucket) in latency.iter_mut().zip(&slot.latency) {
+                *sum += bucket.load(Ordering::Relaxed);
+            }
+        }
+        let rate = |kind: WindowKind| totals[kind.index()] as f64 / window_s as f64;
+        let samples: u64 = latency.iter().sum();
+        WindowStats {
+            window_s,
+            submitted_per_s: rate(WindowKind::Submitted),
+            completed_per_s: rate(WindowKind::Completed),
+            errors_per_s: rate(WindowKind::Errors),
+            shed_per_s: rate(WindowKind::Shed),
+            limited_per_s: rate(WindowKind::Limited),
+            p50_latency_us: percentile(&latency, samples, 0.50),
+            p95_latency_us: percentile(&latency, samples, 0.95),
+        }
+    }
+}
+
+impl std::fmt::Debug for TimeWindows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeWindows").field("slots", &self.slots.len()).finish()
+    }
+}
+
+/// Windowed rates and latency percentiles, derived by
+/// [`TimeWindows::stats`]. Rates are events per second averaged over
+/// the window; percentiles are histogram bucket upper bounds in µs,
+/// computed only from samples inside the window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowStats {
+    /// Window length in seconds.
+    pub window_s: u64,
+    /// Admitted requests per second.
+    pub submitted_per_s: f64,
+    /// Successful answers per second.
+    pub completed_per_s: f64,
+    /// Error answers per second.
+    pub errors_per_s: f64,
+    /// Admission sheds per second.
+    pub shed_per_s: f64,
+    /// Rate-limit refusals per second.
+    pub limited_per_s: f64,
+    /// Windowed median latency (µs, bucket upper bound).
+    pub p50_latency_us: u64,
+    /// Windowed 95th-percentile latency (µs, bucket upper bound).
+    pub p95_latency_us: u64,
+}
+
+impl_json_struct!(WindowStats {
+    window_s,
+    submitted_per_s,
+    completed_per_s,
+    errors_per_s,
+    shed_per_s,
+    limited_per_s,
+    p50_latency_us,
+    p95_latency_us,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_average_over_the_window() {
+        let w = TimeWindows::new();
+        // 30 submissions in second 100, 10 in second 101.
+        for _ in 0..30 {
+            w.note(WindowKind::Submitted, 100);
+        }
+        for _ in 0..10 {
+            w.note(WindowKind::Submitted, 101);
+        }
+        let s = w.stats(10, 101);
+        assert_eq!(s.window_s, 10);
+        assert!((s.submitted_per_s - 4.0).abs() < 1e-12, "40 events / 10 s");
+        let s1 = w.stats(1, 101);
+        assert!((s1.submitted_per_s - 10.0).abs() < 1e-12, "only the current second");
+    }
+
+    #[test]
+    fn old_seconds_age_out_of_the_window() {
+        let w = TimeWindows::new();
+        w.note(WindowKind::Shed, 5);
+        assert!(w.stats(10, 5).shed_per_s > 0.0);
+        assert_eq!(w.stats(10, 30).shed_per_s, 0.0, "second 5 is outside [21, 30]");
+    }
+
+    #[test]
+    fn slot_recycling_zeroes_the_stale_second() {
+        let w = TimeWindows::new();
+        for _ in 0..50 {
+            w.note(WindowKind::Submitted, 3);
+        }
+        // Second 3 + WINDOW_SLOTS lands in the same slot; claiming it
+        // must discard the stale tallies rather than inherit 50 events.
+        let later = 3 + WINDOW_SLOTS as u64;
+        w.note(WindowKind::Submitted, later);
+        let s = w.stats(1, later);
+        assert!((s.submitted_per_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_percentiles_cover_only_the_window() {
+        let w = TimeWindows::new();
+        // Slow requests long ago, fast ones now.
+        for _ in 0..100 {
+            w.note_latency_us(100_000, 2);
+        }
+        for _ in 0..100 {
+            w.note_latency_us(100, 40);
+        }
+        let now = w.stats(10, 40);
+        assert_eq!(now.p95_latency_us, 128, "100 µs lands in (64,128]");
+        let all = w.stats(60, 40);
+        assert_eq!(all.p95_latency_us, 131_072, "60 s window still sees the slow burst");
+    }
+
+    #[test]
+    fn empty_windows_are_all_zero() {
+        let s = TimeWindows::new().stats(10, 1000);
+        assert_eq!(s, WindowStats { window_s: 10, ..WindowStats::default() });
+    }
+
+    #[test]
+    fn window_stats_roundtrip_as_json() {
+        let w = TimeWindows::new();
+        w.note(WindowKind::Completed, 7);
+        w.note_latency_us(300, 7);
+        let s = w.stats(10, 7);
+        let text = groupsa_json::to_string(&s);
+        assert_eq!(groupsa_json::from_str::<WindowStats>(&text).unwrap(), s);
+    }
+}

@@ -5,6 +5,7 @@
 //! groupsa-serve [--port N] [--workers N] [--queue N] [--batch N]
 //!               [--deadline-ms N] [--shed true|false]
 //!               [--rate-limit N] [--rate-burst N]
+//!               [--obs-sample 1/N]
 //!               [--dataset tiny|yelp|douban]
 //!               [--seed N] [--checkpoint PATH]
 //!               [--snapshot-export DIR]
@@ -23,9 +24,16 @@
 //! `SNAPSHOT <dir>` on stdout). `--rate-limit`/`--rate-burst` bound
 //! each connection's request rate; `--shed false` disables
 //! deadline-aware load shedding (on by default).
+//!
+//! `--obs-sample 1/N` turns on request-lifecycle telemetry (stage
+//! records for every Nth request plus slow-request capture, sliding
+//! windows, `MetricsDump` detail), overriding the `GROUPSA_OBS_SAMPLE`
+//! environment. Without either, telemetry is off and the serve path
+//! pays one boolean load per request.
 
 use groupsa_core::{DataContext, GroupSa, GroupSaConfig};
 use groupsa_data::synthetic::{self, SyntheticConfig};
+use groupsa_obs::TelemetryConfig;
 use groupsa_serve::engine::{Engine, EngineConfig};
 use groupsa_serve::frozen::FrozenModel;
 use std::collections::HashMap;
@@ -85,6 +93,11 @@ fn run() -> Result<(), String> {
         max_batch: num(&flags, "batch", 8)?,
         default_deadline_ms: num(&flags, "deadline-ms", 0)?,
         shed: num(&flags, "shed", true)?,
+        // The flag beats the environment; `None` falls back to
+        // `GROUPSA_OBS_SAMPLE` / `GROUPSA_OBS_SLOW_US`.
+        telemetry: flags
+            .get("obs-sample")
+            .map(|spec| TelemetryConfig::sampling(TelemetryConfig::parse_sample(spec))),
     };
     let server_cfg = groupsa_serve::ServerConfig {
         rate_limit: num(&flags, "rate-limit", 0)?,
@@ -126,6 +139,9 @@ fn run() -> Result<(), String> {
         println!("SNAPSHOT {dir}");
     }
     let engine = Engine::start(frozen, cfg);
+    // A run marker at the head of any `GROUPSA_TRACE` capture, so
+    // serve-path traces identify themselves to `trace_check` readers.
+    groupsa_obs::emit("run", &[("label", groupsa_obs::to_json(&"groupsa_serve"))]);
 
     let listener =
         TcpListener::bind(("127.0.0.1", port)).map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;

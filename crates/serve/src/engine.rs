@@ -31,13 +31,14 @@ use crate::frozen::FrozenModel;
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::protocol::{RecommendRequest, Response, Target};
 use crate::swap::ModelSlot;
+use groupsa_obs::{RecordOutcome, RequestRecord, Telemetry, TelemetryConfig};
 use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Sender, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Worker-pool tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -58,11 +59,23 @@ pub struct EngineConfig {
     /// `Shed` at enqueue time instead of expiring late in the queue.
     /// Requests without a deadline are never shed.
     pub shed: bool,
+    /// Request-lifecycle telemetry config. `None` reads the
+    /// `GROUPSA_OBS_*` environment (the production default); tests and
+    /// benches inject `Some(..)` so engines in one process never race
+    /// on env vars.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { workers: 2, queue_capacity: 256, max_batch: 8, default_deadline_ms: 0, shed: true }
+        Self {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 8,
+            default_deadline_ms: 0,
+            shed: true,
+            telemetry: None,
+        }
     }
 }
 
@@ -74,19 +87,48 @@ enum Reply {
     /// [`Engine::submit`]: the submitter blocks in `recv`.
     Blocking(SyncSender<Response>),
     /// [`Engine::submit_streamed`]: the connection's writer drains it.
-    Stream(Sender<Response>),
+    Stream(Sender<Outbound>),
 }
 
-impl Reply {
-    fn send(self, response: Response) {
-        match self {
-            Reply::Blocking(tx) => {
-                let _ = tx.send(response);
-            }
-            Reply::Stream(tx) => {
-                let _ = tx.send(response);
-            }
-        }
+/// What the engine delivers into a streamed reply channel: the
+/// response plus, when telemetry is enabled, the request's lifecycle
+/// record awaiting its final stage (the connection writer measures
+/// serialize-and-write time and files the finished record).
+pub struct Outbound {
+    /// The wire response.
+    pub response: Response,
+    /// The pending lifecycle record; `None` when telemetry is off or
+    /// the response never rode the engine (protocol-level replies).
+    pub record: Option<PendingRecord>,
+}
+
+impl Outbound {
+    /// A response with no lifecycle record attached.
+    pub fn plain(response: Response) -> Self {
+        Outbound { response, record: None }
+    }
+}
+
+/// A [`RequestRecord`] missing only its write stage: everything up to
+/// the reply leaving the engine is filled in; the connection's writer
+/// thread calls [`PendingRecord::finish`] after the bytes hit the
+/// socket.
+pub struct PendingRecord {
+    record: RequestRecord,
+    /// The admission-time sampling decision (hashing happens once).
+    sampled: bool,
+    /// Admission instant, for the final end-to-end `total_us`.
+    enqueued: Instant,
+}
+
+impl PendingRecord {
+    /// Completes the record with the measured serialize-and-write time
+    /// and the end-to-end total; returns it with the sampling decision
+    /// for [`Telemetry::observe`].
+    pub fn finish(mut self, write_elapsed: Duration) -> (RequestRecord, bool) {
+        self.record.write_us = write_elapsed.as_micros() as u64;
+        self.record.total_us = self.enqueued.elapsed().as_micros() as u64;
+        (self.record, self.sampled)
     }
 }
 
@@ -94,6 +136,9 @@ struct Job {
     req: RecommendRequest,
     deadline: Option<Instant>,
     enqueued: Instant,
+    /// Admission-time sampling decision (false when telemetry is off),
+    /// carried so the id is hashed once per request.
+    sampled: bool,
     reply: Reply,
 }
 
@@ -116,13 +161,17 @@ pub struct Engine {
 impl Engine {
     /// Spawns `cfg.workers` threads over the frozen snapshot.
     pub fn start(frozen: Arc<FrozenModel>, cfg: EngineConfig) -> Arc<Self> {
+        let telemetry = match cfg.telemetry {
+            Some(telemetry_cfg) => Telemetry::new(telemetry_cfg),
+            None => Telemetry::from_env(),
+        };
         let shared = Arc::new(Shared {
             model: ModelSlot::new(frozen),
             cfg,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stopping: AtomicBool::new(false),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_telemetry(telemetry),
             service: ServiceEstimate::new(),
         });
         let workers = (0..cfg.workers.max(1))
@@ -138,6 +187,23 @@ impl Engine {
             })
             .collect();
         Arc::new(Self { shared, workers: Mutex::new(workers) })
+    }
+
+    /// Files a lifecycle record for a request refused at admission
+    /// (never queued, so every stage after arrival is zero). One ring
+    /// push when telemetry is on; nothing at all when it is off.
+    fn record_refusal(&self, id: u64, outcome: RecordOutcome) {
+        let telemetry = self.shared.metrics.telemetry();
+        if !telemetry.enabled() {
+            return;
+        }
+        let record = RequestRecord {
+            id,
+            arrival_us: telemetry.now_us(),
+            outcome,
+            ..RequestRecord::default()
+        };
+        telemetry.observe(record, telemetry.sampled(id));
     }
 
     /// Runs the shared admission policy and, on success, enqueues the
@@ -156,15 +222,18 @@ impl Engine {
                 Ok(queue) => queue,
                 Err(_) => {
                     self.shared.metrics.note_rejected();
+                    self.record_refusal(id, RecordOutcome::Rejected);
                     return Err(ServeError::LockPoisoned { what: "queue" }.into_response(id));
                 }
             };
             if self.shared.stopping.load(Ordering::SeqCst) {
                 self.shared.metrics.note_rejected();
+                self.record_refusal(id, RecordOutcome::Rejected);
                 return Err(ServeError::ShuttingDown.into_response(id));
             }
             if queue.len() >= self.shared.cfg.queue_capacity {
                 self.shared.metrics.note_rejected();
+                self.record_refusal(id, RecordOutcome::Rejected);
                 return Err(ServeError::QueueFull { pending: queue.len() }.into_response(id));
             }
             // Deadline-aware shedding: if the observed queue wait says
@@ -181,17 +250,20 @@ impl Engine {
                 if predicted_wait_us > deadline_ms.saturating_mul(1000) {
                     self.shared.metrics.note_submitted();
                     self.shared.metrics.note_shed();
+                    self.record_refusal(id, RecordOutcome::Shed);
                     return Err(
                         ServeError::Shed { predicted_wait_us, deadline_ms }.into_response(id)
                     );
                 }
             }
+            let telemetry = self.shared.metrics.telemetry();
             let now = Instant::now();
             queue.push_back(Job {
                 req,
                 deadline: (deadline_ms > 0)
                     .then(|| now + std::time::Duration::from_millis(deadline_ms)),
                 enqueued: now,
+                sampled: telemetry.enabled() && telemetry.sampled(id),
                 reply,
             });
             self.shared.metrics.note_submitted();
@@ -219,15 +291,28 @@ impl Engine {
     /// pipelining path: a connection thread calls it once per parsed
     /// line and keeps reading, so many requests ride the engine at
     /// once while a single writer drains `reply` in completion order.
-    pub fn submit_streamed(&self, req: RecommendRequest, reply: Sender<Response>) {
+    pub fn submit_streamed(&self, req: RecommendRequest, reply: Sender<Outbound>) {
         if let Err(refusal) = self.enqueue(req, Reply::Stream(reply.clone())) {
-            let _ = reply.send(refusal);
+            let _ = reply.send(Outbound::plain(refusal));
         }
     }
 
     /// A live metrics snapshot (engine counters + frozen-cache stats).
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.metrics.snapshot(self.shared.model.load().cache_stats())
+    }
+
+    /// The engine's telemetry facade: sampling config, record ring,
+    /// and sliding windows. Disabled telemetry returns a facade whose
+    /// `enabled()` is `false` and whose observers are no-ops.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.shared.metrics.telemetry()
+    }
+
+    /// Renders the live Prometheus-style metrics page — the body of a
+    /// `MetricsDump` protocol response.
+    pub fn exposition(&self) -> String {
+        self.shared.metrics.exposition(self.shared.model.load().cache_stats())
     }
 
     /// The engine metrics, for collaborators in this crate (the server
@@ -309,6 +394,23 @@ impl Engine {
         // actually drained (idempotent re-snapshots stay silent).
         if drained_any && groupsa_obs::enabled() {
             groupsa_obs::emit("stats", &[("stats", groupsa_obs::to_json(&stats))]);
+            if self.shared.metrics.telemetry().enabled() {
+                for window in [&stats.window_10s, &stats.window_60s] {
+                    groupsa_obs::emit(
+                        "window_snapshot",
+                        &[
+                            ("window_s", groupsa_obs::to_json(&window.window_s)),
+                            ("submitted_per_s", groupsa_obs::to_json(&window.submitted_per_s)),
+                            ("completed_per_s", groupsa_obs::to_json(&window.completed_per_s)),
+                            ("errors_per_s", groupsa_obs::to_json(&window.errors_per_s)),
+                            ("shed_per_s", groupsa_obs::to_json(&window.shed_per_s)),
+                            ("limited_per_s", groupsa_obs::to_json(&window.limited_per_s)),
+                            ("p50_latency_us", groupsa_obs::to_json(&window.p50_latency_us)),
+                            ("p95_latency_us", groupsa_obs::to_json(&window.p95_latency_us)),
+                        ],
+                    );
+                }
+            }
         }
         stats
     }
@@ -339,10 +441,33 @@ impl Engine {
 /// when a pool dies with work in the queue.
 fn answer_worker_lost(shared: &Shared, jobs: Vec<Job>) {
     let popped = Instant::now();
+    let telemetry = shared.metrics.telemetry();
     for job in jobs {
-        shared.metrics.note_queue_wait(popped.saturating_duration_since(job.enqueued));
+        let queue_wait = popped.saturating_duration_since(job.enqueued);
+        shared.metrics.note_queue_wait(queue_wait);
         shared.metrics.note_error();
-        job.reply.send(ServeError::WorkerLost.into_response(job.req.id));
+        if telemetry.enabled() {
+            telemetry.observe(
+                RequestRecord {
+                    id: job.req.id,
+                    arrival_us: telemetry.us_since_start(job.enqueued),
+                    outcome: RecordOutcome::Error,
+                    queue_us: queue_wait.as_micros() as u64,
+                    total_us: job.enqueued.elapsed().as_micros() as u64,
+                    ..RequestRecord::default()
+                },
+                job.sampled,
+            );
+        }
+        let response = ServeError::WorkerLost.into_response(job.req.id);
+        match job.reply {
+            Reply::Blocking(tx) => {
+                let _ = tx.send(response);
+            }
+            Reply::Stream(tx) => {
+                let _ = tx.send(Outbound::plain(response));
+            }
+        }
     }
 }
 
@@ -389,7 +514,7 @@ fn worker_loop(shared: &Shared) {
         // Pin the published model once per batch: a hot-swap lands
         // between batches, never inside one.
         let frozen = shared.model.load();
-        shared.metrics.note_batch(batch.len());
+        let batch_id = shared.metrics.note_batch(batch.len());
         if traced {
             groupsa_obs::emit(
                 "batch",
@@ -416,10 +541,19 @@ fn worker_loop(shared: &Shared) {
             }
             let score_started = Instant::now();
             let (response, expired) = execute(&frozen, &job);
-            finish_job(shared, traced, popped, job, response, expired, score_started.elapsed());
+            finish_job(
+                shared,
+                traced,
+                popped,
+                batch_id,
+                job,
+                response,
+                expired,
+                score_started.elapsed(),
+            );
         }
         if !coalesced.is_empty() {
-            run_coalesced(shared, &frozen, traced, popped, coalesced);
+            run_coalesced(shared, &frozen, traced, popped, batch_id, coalesced);
         }
     }
 }
@@ -445,6 +579,7 @@ fn run_coalesced(
     frozen: &FrozenModel,
     traced: bool,
     popped: Instant,
+    batch_id: u64,
     jobs: Vec<(usize, Job)>,
 ) {
     let mut live: Vec<(usize, Job)> = Vec::with_capacity(jobs.len());
@@ -453,7 +588,7 @@ fn run_coalesced(
         match job.deadline {
             Some(deadline) if now > deadline => {
                 let response = ServeError::DeadlineExceeded.into_response(job.req.id);
-                finish_job(shared, traced, popped, job, response, true, std::time::Duration::ZERO);
+                finish_job(shared, traced, popped, batch_id, job, response, true, Duration::ZERO);
             }
             _ => live.push((user, job)),
         }
@@ -472,7 +607,7 @@ fn run_coalesced(
             Ok(items) => Response::Recommend { id, items },
             Err(message) => ServeError::Model { message }.into_response(id),
         };
-        finish_job(shared, traced, popped, job, response, false, per_job_elapsed);
+        finish_job(shared, traced, popped, batch_id, job, response, false, per_job_elapsed);
     }
 }
 
@@ -489,48 +624,74 @@ fn finish_job(
     shared: &Shared,
     traced: bool,
     popped: Instant,
+    batch_id: u64,
     job: Job,
     response: Response,
     expired: bool,
-    score_elapsed: std::time::Duration,
+    score_elapsed: Duration,
 ) {
     let queue_wait = popped.saturating_duration_since(job.enqueued);
     shared.metrics.note_queue_wait(queue_wait);
-    if expired {
+    let outcome = if expired {
         shared.metrics.note_expired();
+        RecordOutcome::Expired
     } else {
         shared.metrics.note_score(score_elapsed);
-        shared.metrics.note_completed_kind(&response, job.enqueued.elapsed());
         shared.service.observe(score_elapsed.as_micros() as u64);
-    }
-    if traced {
-        let outcome = if expired {
-            "expired"
-        } else if matches!(response, Response::Error { .. }) {
-            "error"
+        if matches!(response, Response::Error { .. }) {
+            shared.metrics.note_error();
+            RecordOutcome::Error
         } else {
-            "ok"
-        };
+            shared.metrics.note_completed(job.enqueued.elapsed());
+            RecordOutcome::Completed
+        }
+    };
+    if traced {
         groupsa_obs::emit(
             "request",
             &[
                 ("id", groupsa_obs::to_json(&job.req.id)),
-                ("outcome", groupsa_obs::to_json(&outcome)),
+                ("outcome", groupsa_obs::to_json(&outcome.name())),
                 ("queue_us", groupsa_obs::to_json(&(queue_wait.as_micros() as u64))),
                 ("score_us", groupsa_obs::to_json(&(score_elapsed.as_micros() as u64))),
             ],
         );
     }
+    let telemetry = shared.metrics.telemetry();
+    let record = telemetry.enabled().then(|| RequestRecord {
+        id: job.req.id,
+        arrival_us: telemetry.us_since_start(job.enqueued),
+        outcome,
+        queue_us: queue_wait.as_micros() as u64,
+        batch: batch_id,
+        score_us: score_elapsed.as_micros() as u64,
+        write_us: 0,
+        total_us: 0,
+        slow: false,
+    });
     // A submitter that gave up (the pipelined writer died with its
     // connection) surfaces as a send error; drop silently.
-    job.reply.send(response);
-}
-
-impl Metrics {
-    fn note_completed_kind(&self, response: &Response, latency: std::time::Duration) {
-        match response {
-            Response::Error { .. } => self.note_error(),
-            _ => self.note_completed(latency),
+    match job.reply {
+        Reply::Blocking(tx) => {
+            // No write stage on the in-process path: the record closes
+            // here, with the rendezvous hand-off as the total.
+            if let Some(mut record) = record {
+                record.total_us = job.enqueued.elapsed().as_micros() as u64;
+                telemetry.observe(record, job.sampled);
+            }
+            let _ = tx.send(response);
+        }
+        Reply::Stream(tx) => {
+            // The connection's writer thread measures the write stage
+            // and files the finished record via [`PendingRecord`].
+            let _ = tx.send(Outbound {
+                response,
+                record: record.map(|record| PendingRecord {
+                    record,
+                    sampled: job.sampled,
+                    enqueued: job.enqueued,
+                }),
+            });
         }
     }
 }
@@ -621,6 +782,7 @@ mod tests {
                 },
                 deadline: None,
                 enqueued: Instant::now(),
+                sampled: false,
                 reply: Reply::Blocking(tx),
             });
         }

@@ -15,7 +15,9 @@
 //! serialisable [`StatsSnapshot`].
 
 use groupsa_json::impl_json_struct;
-use groupsa_obs::{Counter, Gauge, Histogram};
+use groupsa_obs::expo::Exposition;
+use groupsa_obs::{Counter, Gauge, Histogram, Telemetry, WindowKind, WindowStats};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Live counters, updated by workers and the admission path with
@@ -38,23 +40,50 @@ pub struct Metrics {
     latency: Histogram,
     queue_wait: Histogram,
     score: Histogram,
+    /// Serialize-and-write time on connection writer threads; recorded
+    /// only when telemetry is enabled (the stage is otherwise unmetered
+    /// so the default path stays byte-for-byte the PR 8 hot path).
+    write: Histogram,
+    /// Monotone coalesced-batch ids, handed out by [`Metrics::note_batch`]
+    /// so sampled records can point at the batch that drained them.
+    batch_seq: AtomicU64,
+    /// Request-lifecycle telemetry: the sampling gate, record ring, and
+    /// sliding windows. `Telemetry::disabled()` under `Default`, so
+    /// plain `Metrics::default()` carries zero telemetry overhead.
+    telemetry: Telemetry,
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics.
+    /// Fresh metrics with telemetry configured from the
+    /// `GROUPSA_OBS_*` environment (off when `GROUPSA_OBS_SAMPLE` is
+    /// unset).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_telemetry(Telemetry::from_env())
+    }
+
+    /// Fresh metrics with an explicitly-configured [`Telemetry`]
+    /// (tests and benches inject configs instead of racing on env
+    /// vars).
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        Metrics { telemetry, ..Metrics::default() }
+    }
+
+    /// The embedded request-lifecycle telemetry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Counts one admitted request.
     pub fn note_submitted(&self) {
         self.submitted.inc();
+        self.telemetry.note(WindowKind::Submitted);
     }
 
     /// Counts one request rejected at admission (queue full / engine
     /// stopping).
     pub fn note_rejected(&self) {
         self.rejected.inc();
+        self.telemetry.note(WindowKind::Rejected);
     }
 
     /// Counts one request dropped because its deadline passed while it
@@ -64,11 +93,13 @@ impl Metrics {
     /// expired` once the queue is drained.
     pub fn note_expired(&self) {
         self.expired.inc();
+        self.telemetry.note(WindowKind::Expired);
     }
 
     /// Counts one request answered with a (non-deadline) error.
     pub fn note_error(&self) {
         self.errors.inc();
+        self.telemetry.note(WindowKind::Errors);
     }
 
     /// Counts one request shed by deadline-aware admission control.
@@ -77,12 +108,14 @@ impl Metrics {
     /// `submitted == completed + errors + expired + shed`.
     pub fn note_shed(&self) {
         self.shed.inc();
+        self.telemetry.note(WindowKind::Shed);
     }
 
     /// Counts one request refused by a per-client rate limit (answered
     /// at the connection layer, never submitted to the engine).
     pub fn note_limited(&self) {
         self.limited.inc();
+        self.telemetry.note(WindowKind::Limited);
     }
 
     /// Counts one successful hot-swap publish of a new frozen model.
@@ -103,13 +136,25 @@ impl Metrics {
     pub fn note_completed(&self, latency: Duration) {
         self.completed.inc();
         self.latency.record_duration(latency);
+        self.telemetry.note(WindowKind::Completed);
+        self.telemetry.note_latency_us(latency.as_micros() as u64);
     }
 
-    /// Records one coalesced batch of `n` requests popped together.
-    pub fn note_batch(&self, n: usize) {
+    /// Records one coalesced batch of `n` requests popped together,
+    /// returning the batch's monotone id (first batch = 1) for the
+    /// sampled records of its members.
+    pub fn note_batch(&self, n: usize) -> u64 {
         self.batches.inc();
         self.batched_requests.add(n as u64);
         self.max_batch.set(n as u64);
+        self.batch_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records the serialize-and-write time of one response on a
+    /// connection's writer thread. Only called when telemetry is
+    /// enabled — the write stage is unmetered on the default path.
+    pub fn note_write(&self, elapsed: Duration) {
+        self.write.record_duration(elapsed);
     }
 
     /// Records the queue depth observed right after an enqueue — both
@@ -137,6 +182,7 @@ impl Metrics {
         let latency = self.latency.snapshot();
         let queue_wait = self.queue_wait.snapshot();
         let score = self.score.snapshot();
+        let write = self.write.snapshot();
         let batches = self.batches.get();
         let batched = self.batched_requests.get();
         StatsSnapshot {
@@ -164,6 +210,10 @@ impl Metrics {
             p95_queue_wait_us: queue_wait.p95,
             mean_score_us: score.mean,
             p95_score_us: score.p95,
+            mean_write_us: write.mean,
+            p95_write_us: write.p95,
+            window_10s: self.telemetry.window_stats(10),
+            window_60s: self.telemetry.window_stats(60),
             latent_cache_hits: cache.latent_hits,
             group_rep_cache_hits: cache.group_rep_hits,
             rebuilds: cache.rebuilds,
@@ -172,7 +222,135 @@ impl Metrics {
             num_groups: cache.num_groups,
         }
     }
+
+    /// Renders the `MetricsDump` exposition page: every engine metric
+    /// (counters, gauges, stage histograms), the 10 s / 60 s windowed
+    /// series, telemetry meta, the most recent slow-request records,
+    /// and a `registry_`-prefixed dump of the process-global registry
+    /// (the `nn.*` per-call timers). Every name in
+    /// [`EXPOSITION_METRICS`] is always declared, so validators can
+    /// assert coverage against a page from any engine state.
+    pub fn exposition(&self, cache: CacheStats) -> String {
+        let mut e = Exposition::new();
+        for (name, value) in [
+            ("groupsa_serve_submitted_total", self.submitted.get()),
+            ("groupsa_serve_completed_total", self.completed.get()),
+            ("groupsa_serve_errors_total", self.errors.get()),
+            ("groupsa_serve_rejected_total", self.rejected.get()),
+            ("groupsa_serve_expired_total", self.expired.get()),
+            ("groupsa_serve_shed_total", self.shed.get()),
+            ("groupsa_serve_limited_total", self.limited.get()),
+            ("groupsa_serve_reloads_total", self.reloads.get()),
+            ("groupsa_serve_batches_total", self.batches.get()),
+            ("groupsa_serve_batched_requests_total", self.batched_requests.get()),
+        ] {
+            e.counter(name, value);
+        }
+        for (name, gauge) in [
+            ("groupsa_serve_open_connections", &self.connections),
+            ("groupsa_serve_batch_size", &self.max_batch),
+            ("groupsa_serve_queue_depth", &self.queue_depth),
+        ] {
+            e.labeled_gauge(name, &[("stat", "last")], gauge.last() as f64);
+            e.labeled_gauge(name, &[("stat", "max")], gauge.max() as f64);
+        }
+        for (name, histogram) in [
+            ("groupsa_serve_latency_us", &self.latency),
+            ("groupsa_serve_queue_wait_us", &self.queue_wait),
+            ("groupsa_serve_score_us", &self.score),
+            ("groupsa_serve_write_us", &self.write),
+        ] {
+            e.histogram(name, &histogram.snapshot());
+        }
+        for window in [self.telemetry.window_stats(10), self.telemetry.window_stats(60)] {
+            let label = format!("{}s", window.window_s);
+            let w = label.as_str();
+            for (name, value) in [
+                ("groupsa_serve_window_submitted_per_s", window.submitted_per_s),
+                ("groupsa_serve_window_completed_per_s", window.completed_per_s),
+                ("groupsa_serve_window_errors_per_s", window.errors_per_s),
+                ("groupsa_serve_window_shed_per_s", window.shed_per_s),
+                ("groupsa_serve_window_limited_per_s", window.limited_per_s),
+                ("groupsa_serve_window_p50_latency_us", window.p50_latency_us as f64),
+                ("groupsa_serve_window_p95_latency_us", window.p95_latency_us as f64),
+            ] {
+                e.labeled_gauge(name, &[("window", w)], value);
+            }
+        }
+        e.gauge("groupsa_obs_sample_every", self.telemetry.config().sample_every as f64);
+        e.counter("groupsa_obs_ring_pushed_total", self.telemetry.ring_pushed());
+        e.counter("groupsa_obs_ring_dropped_total", self.telemetry.ring_dropped());
+        for (name, value) in [
+            ("groupsa_serve_cache_latent_hits_total", cache.latent_hits),
+            ("groupsa_serve_cache_group_rep_hits_total", cache.group_rep_hits),
+            ("groupsa_serve_rebuilds_total", cache.rebuilds),
+        ] {
+            e.counter(name, value);
+        }
+        // Most recent slow requests, newest last, as labelled samples
+        // (value = total µs; the stage split rides in the labels).
+        e.labeled_gauge("groupsa_serve_slow_request_us", &[("id", "none")], 0.0);
+        let slow = self.telemetry.slow_records();
+        for record in slow.iter().rev().take(16).rev() {
+            let id = record.id.to_string();
+            let (queue, score, write) = (
+                record.queue_us.to_string(),
+                record.score_us.to_string(),
+                record.write_us.to_string(),
+            );
+            e.labeled_gauge(
+                "groupsa_serve_slow_request_us",
+                &[
+                    ("id", id.as_str()),
+                    ("outcome", record.outcome.name()),
+                    ("queue_us", queue.as_str()),
+                    ("score_us", score.as_str()),
+                    ("write_us", write.as_str()),
+                ],
+                record.total_us as f64,
+            );
+        }
+        e.registry("registry_", &groupsa_obs::global().snapshot());
+        e.render()
+    }
 }
+
+/// The metric names every exposition page declares regardless of
+/// engine state — the coverage contract `serve_bench --metrics` and
+/// the tier-1 MetricsDump smoke validate.
+pub const EXPOSITION_METRICS: &[&str] = &[
+    "groupsa_serve_submitted_total",
+    "groupsa_serve_completed_total",
+    "groupsa_serve_errors_total",
+    "groupsa_serve_rejected_total",
+    "groupsa_serve_expired_total",
+    "groupsa_serve_shed_total",
+    "groupsa_serve_limited_total",
+    "groupsa_serve_reloads_total",
+    "groupsa_serve_batches_total",
+    "groupsa_serve_batched_requests_total",
+    "groupsa_serve_open_connections",
+    "groupsa_serve_batch_size",
+    "groupsa_serve_queue_depth",
+    "groupsa_serve_latency_us",
+    "groupsa_serve_queue_wait_us",
+    "groupsa_serve_score_us",
+    "groupsa_serve_write_us",
+    "groupsa_serve_window_submitted_per_s",
+    "groupsa_serve_window_completed_per_s",
+    "groupsa_serve_window_errors_per_s",
+    "groupsa_serve_window_shed_per_s",
+    "groupsa_serve_window_limited_per_s",
+    "groupsa_serve_window_p50_latency_us",
+    "groupsa_serve_window_p95_latency_us",
+    "groupsa_obs_sample_every",
+    "groupsa_obs_ring_pushed_total",
+    "groupsa_obs_ring_dropped_total",
+    "groupsa_serve_cache_latent_hits_total",
+    "groupsa_serve_cache_group_rep_hits_total",
+    "groupsa_serve_rebuilds_total",
+    "groupsa_serve_slow_request_us",
+];
 
 /// Cache statistics contributed by the `FrozenModel`, merged into the
 /// engine snapshot.
@@ -257,6 +435,17 @@ pub struct StatsSnapshot {
     pub mean_score_us: f64,
     /// 95th-percentile scoring time (µs, bucket upper bound).
     pub p95_score_us: u64,
+    /// Mean serialize-and-write time per response on connection writer
+    /// threads (µs; 0 unless telemetry is enabled — the write stage is
+    /// unmetered on the default path).
+    pub mean_write_us: f64,
+    /// 95th-percentile write time (µs, bucket upper bound).
+    pub p95_write_us: u64,
+    /// Windowed rates/percentiles over the last 10 s (all zero unless
+    /// telemetry is enabled via `GROUPSA_OBS_SAMPLE`).
+    pub window_10s: WindowStats,
+    /// Windowed rates/percentiles over the last 60 s.
+    pub window_60s: WindowStats,
     /// User-latent cache hits.
     pub latent_cache_hits: u64,
     /// Group-representation cache hits.
@@ -296,6 +485,10 @@ impl_json_struct!(StatsSnapshot {
     p95_queue_wait_us,
     mean_score_us,
     p95_score_us,
+    mean_write_us,
+    p95_write_us,
+    window_10s,
+    window_60s,
     latent_cache_hits,
     group_rep_cache_hits,
     rebuilds,
@@ -433,6 +626,90 @@ mod tests {
         assert_eq!(s.reloads, 1);
         assert_eq!(s.open_connections, 1, "gauge tracks the last reap");
         assert_eq!(s.max_open_connections, 3, "and the high-watermark");
+    }
+
+    #[test]
+    fn exposition_declares_every_contract_metric_even_when_fresh() {
+        let page = Metrics::new().exposition(CacheStats::default());
+        let parsed = groupsa_obs::expo::parse(&page).expect("a fresh page parses");
+        for name in EXPOSITION_METRICS {
+            assert!(parsed.declares(name), "missing # TYPE for {name}");
+        }
+    }
+
+    #[test]
+    fn exposition_reflects_counters_windows_and_slow_records() {
+        use groupsa_obs::TelemetryConfig;
+        let m = Metrics::with_telemetry(Telemetry::new(TelemetryConfig {
+            sample_every: 1,
+            slow_us: 0, // every observed record captures as slow
+            ring_capacity: 64,
+        }));
+        m.note_submitted();
+        m.note_completed(Duration::from_micros(400));
+        m.note_write(Duration::from_micros(30));
+        m.telemetry().observe(
+            groupsa_obs::RequestRecord { id: 77, total_us: 123, ..Default::default() },
+            true,
+        );
+        let page = m.exposition(CacheStats { latent_hits: 5, ..CacheStats::default() });
+        let parsed = groupsa_obs::expo::parse(&page).unwrap();
+        assert_eq!(parsed.value("groupsa_serve_submitted_total"), Some(1.0));
+        assert_eq!(parsed.value("groupsa_serve_cache_latent_hits_total"), Some(5.0));
+        assert_eq!(parsed.value("groupsa_serve_write_us_count"), Some(1.0));
+        assert_eq!(parsed.value("groupsa_obs_sample_every"), Some(1.0));
+        assert!(
+            parsed
+                .value_with("groupsa_serve_window_submitted_per_s", ("window", "10s"))
+                .unwrap()
+                > 0.0,
+            "the windowed rate must see the submission"
+        );
+        let slow = parsed.all("groupsa_serve_slow_request_us");
+        assert!(
+            slow.iter().any(|s| s.labels.iter().any(|(k, v)| k == "id" && v == "77")),
+            "the slow record must surface as a labelled sample: {page}"
+        );
+    }
+
+    #[test]
+    fn windows_stay_zero_without_telemetry_and_fill_with_it() {
+        let off = Metrics::with_telemetry(Telemetry::disabled());
+        off.note_submitted();
+        off.note_completed(Duration::from_micros(10));
+        let s = off.snapshot(CacheStats::default());
+        assert_eq!(s.window_10s, WindowStats { window_s: 10, ..WindowStats::default() });
+
+        let on = Metrics::with_telemetry(Telemetry::new(
+            groupsa_obs::TelemetryConfig::sampling(1),
+        ));
+        for _ in 0..20 {
+            on.note_submitted();
+            on.note_completed(Duration::from_micros(100));
+        }
+        let s = on.snapshot(CacheStats::default());
+        assert!(s.window_10s.submitted_per_s >= 2.0, "{:?}", s.window_10s);
+        assert!(s.window_10s.completed_per_s >= 2.0);
+        assert_eq!(s.window_10s.p95_latency_us, 128, "100 µs lands in (64,128]");
+        assert!(s.window_60s.submitted_per_s > 0.0);
+    }
+
+    #[test]
+    fn write_stage_feeds_its_histogram() {
+        let m = Metrics::new();
+        m.note_write(Duration::from_micros(10));
+        m.note_write(Duration::from_micros(30));
+        let s = m.snapshot(CacheStats::default());
+        assert!((s.mean_write_us - 20.0).abs() < 1e-9);
+        assert_eq!(s.p95_write_us, 32, "30 µs lands in (16,32]");
+    }
+
+    #[test]
+    fn batch_ids_are_monotone_from_one() {
+        let m = Metrics::new();
+        assert_eq!(m.note_batch(3), 1);
+        assert_eq!(m.note_batch(1), 2);
+        assert_eq!(m.note_batch(5), 3);
     }
 
     #[test]

@@ -110,6 +110,13 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Dump the full metrics registry as a Prometheus-style text page
+    /// (counters, stat-labeled gauges, cumulative histograms, windowed
+    /// rates, and recent slow requests) — what `obs_top` polls.
+    MetricsDump {
+        /// Correlation id.
+        id: u64,
+    },
     /// Hot-swap the serving model to a `groupsa-snapshot` directory.
     /// On success the swap is atomic and no in-flight request is
     /// dropped; on failure the previous model keeps serving.
@@ -129,6 +136,7 @@ pub enum Request {
 impl_json_enum!(Request {
     Recommend { id, target, k, exclude_seen, mode, deadline_ms },
     Stats { id },
+    MetricsDump { id },
     Reload { id, dir },
     Shutdown { id },
 });
@@ -140,6 +148,7 @@ impl Request {
         match self {
             Request::Recommend { id, .. }
             | Request::Stats { id }
+            | Request::MetricsDump { id }
             | Request::Reload { id, .. }
             | Request::Shutdown { id } => *id,
         }
@@ -173,6 +182,14 @@ pub enum Response {
         /// The snapshot.
         stats: StatsSnapshot,
     },
+    /// The metrics page a `MetricsDump` asked for.
+    Metrics {
+        /// Echoed correlation id.
+        id: u64,
+        /// Prometheus-style text page; parse with
+        /// [`groupsa_obs::expo::parse`].
+        page: String,
+    },
     /// The request failed; the engine stays up.
     Error {
         /// Echoed correlation id (`0` when the request didn't parse).
@@ -195,6 +212,7 @@ pub enum Response {
 impl_json_enum!(Response {
     Recommend { id, items },
     Stats { id, stats },
+    Metrics { id, page },
     Error { id, error },
     Reloaded { id },
     Bye { id },
@@ -224,6 +242,7 @@ mod tests {
                 deadline_ms: 0,
             },
             Request::Stats { id: 1 },
+            Request::MetricsDump { id: 4 },
             Request::Reload { id: 3, dir: "/tmp/snap".into() },
             Request::Shutdown { id: 2 },
         ];
@@ -256,6 +275,17 @@ mod tests {
             ServeMode::FastMaxSatisfaction.group_mode(),
             GroupMode::Fast(ScoreAggregation::MaxSatisfaction)
         );
+    }
+
+    #[test]
+    fn metrics_page_roundtrips_with_newlines_and_quotes() {
+        let resp = Response::Metrics {
+            id: 12,
+            page: "# TYPE a counter\na 1\nb{k=\"v\"} 2\n".into(),
+        };
+        let text = groupsa_json::to_string(&resp);
+        assert!(!text.contains('\n'), "stays one NDJSON line: {text}");
+        assert_eq!(groupsa_json::from_str::<Response>(&text).unwrap(), resp);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! are never counted as submitted.
 
 use crate::admission::TokenBucket;
-use crate::engine::Engine;
+use crate::engine::{Engine, Outbound};
 use crate::error::ServeError;
 use crate::protocol::{Request, Response};
 use std::io::{self, BufRead, BufReader, Write};
@@ -174,16 +174,34 @@ fn finish(mut live: Vec<(std::thread::JoinHandle<()>, Option<TcpStream>)>, engin
 /// naturally drains every in-flight response before hanging up: the
 /// channel only disconnects once the engine has answered everything
 /// this connection submitted.
-fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool, cfg: ServerConfig) {
+///
+/// The writer is also the final telemetry stage: when telemetry is
+/// enabled it times each serialize-and-write, feeds the write
+/// histogram, and files the [`Outbound`]'s pending lifecycle record —
+/// the only point that knows when the response bytes actually left.
+fn handle_connection(stream: TcpStream, engine: &Arc<Engine>, stop: &AtomicBool, cfg: ServerConfig) {
     let writer_stream = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let (tx, rx) = mpsc::channel::<Response>();
+    let (tx, rx) = mpsc::channel::<Outbound>();
+    let writer_engine = Arc::clone(engine);
     let writer = std::thread::Builder::new().name("serve-conn-writer".into()).spawn(move || {
         let mut stream = writer_stream;
-        for response in rx {
-            if send(&mut stream, &response).is_err() {
+        for outbound in rx {
+            // One immutable-bool load when telemetry is off; the timed
+            // path only exists for sampled/slow-capturing servers.
+            let t0 = writer_engine.telemetry().enabled().then(Instant::now);
+            let sent = send(&mut stream, &outbound.response);
+            if let Some(t0) = t0 {
+                let elapsed = t0.elapsed();
+                writer_engine.metrics().note_write(elapsed);
+                if let Some(pending) = outbound.record {
+                    let (record, sampled) = pending.finish(elapsed);
+                    writer_engine.telemetry().observe(record, sampled);
+                }
+            }
+            if sent.is_err() {
                 // Client stopped reading: sever the read half too so
                 // the reader notices, then drain the channel so
                 // in-flight submitters never block on a full pipe.
@@ -215,7 +233,7 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool, cfg:
             Ok(request) => request,
             Err(e) => {
                 let refusal = ServeError::BadRequest { message: e.to_string() }.into_response(0);
-                if tx.send(refusal).is_err() {
+                if tx.send(Outbound::plain(refusal)).is_err() {
                     break;
                 }
                 continue;
@@ -225,7 +243,7 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool, cfg:
         if let Some(bucket) = bucket.as_mut() {
             if !bucket.admit(Instant::now()) {
                 engine.metrics().note_limited();
-                if tx.send(ServeError::RateLimited.into_response(id)).is_err() {
+                if tx.send(Outbound::plain(ServeError::RateLimited.into_response(id))).is_err() {
                     break;
                 }
                 continue;
@@ -233,7 +251,16 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool, cfg:
         }
         match request {
             Request::Stats { id } => {
-                if tx.send(Response::Stats { id, stats: engine.stats() }).is_err() {
+                if tx.send(Outbound::plain(Response::Stats { id, stats: engine.stats() })).is_err()
+                {
+                    break;
+                }
+            }
+            Request::MetricsDump { id } => {
+                // Rendered on the reader thread, like `Stats`: the page
+                // is a point-in-time snapshot and never blocks workers.
+                let page = engine.exposition();
+                if tx.send(Outbound::plain(Response::Metrics { id, page })).is_err() {
                     break;
                 }
             }
@@ -246,13 +273,13 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool, cfg:
                     Ok(()) => Response::Reloaded { id },
                     Err(message) => ServeError::Reload { message }.into_response(id),
                 };
-                if tx.send(response).is_err() {
+                if tx.send(Outbound::plain(response)).is_err() {
                     break;
                 }
             }
             Request::Shutdown { id } => {
                 stop.store(true, Ordering::SeqCst);
-                let _ = tx.send(Response::Bye { id });
+                let _ = tx.send(Outbound::plain(Response::Bye { id }));
                 break;
             }
             request => match request.into_recommend() {
@@ -265,7 +292,7 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool, cfg:
                         message: "unsupported operation".into(),
                     }
                     .into_response(id);
-                    if tx.send(refusal).is_err() {
+                    if tx.send(Outbound::plain(refusal)).is_err() {
                         break;
                     }
                 }

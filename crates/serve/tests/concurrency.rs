@@ -131,6 +131,7 @@ fn coalesced_catalog_user_requests_match_direct_scoring() {
             max_batch: 16,
             default_deadline_ms: 0,
             shed: true,
+            telemetry: None,
         },
     );
     let mut handles = Vec::new();
@@ -213,6 +214,7 @@ fn deadlines_and_queue_bounds_are_enforced() {
             max_batch: 2,
             default_deadline_ms: 0,
             shed: true,
+            telemetry: None,
         },
     );
     let requests = workload(32);

@@ -74,6 +74,7 @@ fn poisoned_queue_answers_every_submitter_instead_of_stranding_them() {
             max_batch: 1,
             default_deadline_ms: 0,
             shed: false,
+            telemetry: None,
         },
     );
 

@@ -86,6 +86,7 @@ fn hot_swap_under_load_drops_and_misroutes_nothing() {
             max_batch: 4,
             default_deadline_ms: 0,
             shed: false,
+            telemetry: None,
         },
     );
 

@@ -70,6 +70,7 @@ fn drained_categories_are_disjoint_and_conserve_submissions() {
             max_batch: 4,
             default_deadline_ms: 0,
             shed: false,
+            telemetry: None,
         },
     );
 
@@ -163,6 +164,7 @@ fn overload_sheds_at_admission_and_conserves_submissions() {
             max_batch: 1,
             default_deadline_ms: 0,
             shed: true,
+            telemetry: None,
         },
     );
 
@@ -196,7 +198,7 @@ fn overload_sheds_at_admission_and_conserves_submissions() {
     drop(tx);
     let mut streamed = 0u64;
     while let Ok(resp) = rx.recv_timeout(std::time::Duration::from_secs(60)) {
-        assert!(matches!(resp, Response::Recommend { .. }), "{resp:?}");
+        assert!(matches!(resp.response, Response::Recommend { .. }), "{:?}", resp.response);
         streamed += 1;
     }
     assert_eq!(streamed, backlog);
@@ -205,4 +207,88 @@ fn overload_sheds_at_admission_and_conserves_submissions() {
     assert!(stats.shed >= 1, "{stats:?}");
     assert_eq!(stats.submitted, stats.completed + stats.errors + stats.expired + stats.shed);
     assert_eq!(stats.submitted, 1 + backlog + stats.shed);
+}
+
+/// With `1/1` sampling, every request — completed, errored, shed at
+/// admission, or rejected outright — files exactly one lifecycle
+/// record, and the ring's per-outcome tallies reconcile with the
+/// conservation counters. This pins the record plumbing to the same
+/// law the counters obey: an outcome that double-filed or dropped a
+/// record would break one of the equalities below.
+#[test]
+fn sampled_records_reconcile_with_conservation_counters() {
+    use groupsa_obs::{RecordOutcome, TelemetryConfig};
+    let frozen = frozen_world(11);
+    let engine = Engine::start(
+        Arc::clone(&frozen),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 2,
+            default_deadline_ms: 0,
+            shed: true,
+            // Sample everything, capture nothing as "slow" (so the
+            // slow path can't double-count), ring big enough that no
+            // record is overwritten.
+            telemetry: Some(TelemetryConfig {
+                sample_every: 1,
+                slow_us: u64::MAX,
+                ring_capacity: 4096,
+            }),
+        },
+    );
+
+    // Completed lane (also warms the shedding EWMA).
+    assert!(matches!(engine.submit(request(1, 0, 0)), Response::Recommend { .. }));
+    // Error lane: out-of-range group ids.
+    for i in 0..5u64 {
+        assert!(matches!(engine.submit(request(10 + i, NUM_GROUPS + 1, 0)), Response::Error { .. }));
+    }
+    // Streamed backlog, still under the hard queue bound: stacks the
+    // queue so the shed probe below sees a deep queue (a full one
+    // would answer `QueueFull` before the shed check runs). On this
+    // in-process path the test thread plays the connection writer's
+    // role and files each pending record itself.
+    let (tx, rx) = std::sync::mpsc::channel();
+    for i in 0..32u64 {
+        engine.submit_streamed(request(100 + i, (i as usize) % NUM_GROUPS, 0), tx.clone());
+    }
+    // Shed lane: with the queue stacked and the EWMA warm, a 1 ms
+    // deadline is predicted unmeetable.
+    assert!(matches!(engine.submit(request(999, 0, 1)), Response::Error { .. }));
+    // Rejection lane: a second burst past the remaining queue space
+    // must overflow the 64-slot bound while the single worker grinds
+    // through the first one.
+    for i in 0..64u64 {
+        engine.submit_streamed(request(200 + i, (i as usize) % NUM_GROUPS, 0), tx.clone());
+    }
+    drop(tx);
+    while let Ok(out) = rx.recv_timeout(std::time::Duration::from_secs(60)) {
+        if let Some(pending) = out.record {
+            let (record, sampled) = pending.finish(std::time::Duration::ZERO);
+            engine.telemetry().observe(record, sampled);
+        }
+    }
+
+    let stats = engine.shutdown();
+    let records = engine.telemetry().records();
+    let tally = |outcome: RecordOutcome| -> u64 {
+        records.iter().filter(|r| r.outcome == outcome).count() as u64
+    };
+    assert_eq!(tally(RecordOutcome::Completed), stats.completed, "{stats:?}");
+    assert_eq!(tally(RecordOutcome::Error), stats.errors, "{stats:?}");
+    assert_eq!(tally(RecordOutcome::Expired), stats.expired, "{stats:?}");
+    assert_eq!(tally(RecordOutcome::Shed), stats.shed, "{stats:?}");
+    assert_eq!(tally(RecordOutcome::Rejected), stats.rejected, "{stats:?}");
+    assert!(stats.rejected > 0, "the second burst must overflow the 64-slot queue: {stats:?}");
+    assert!(stats.shed > 0, "{stats:?}");
+    // The records obey the same conservation law as the counters:
+    // submitted = ok + error + expired + shed (rejected rides apart).
+    assert_eq!(
+        stats.submitted,
+        tally(RecordOutcome::Completed)
+            + tally(RecordOutcome::Error)
+            + tally(RecordOutcome::Expired)
+            + tally(RecordOutcome::Shed),
+    );
 }

@@ -72,17 +72,20 @@ fi
 echo "tier1: parallel-training digest matches serial"
 
 # Serving smoke test: boot groupsa-serve on an ephemeral port (also
-# exporting its frozen model as a snapshot directory), drive it with
+# exporting its frozen model as a snapshot directory) with
+# request-lifecycle telemetry sampling every request, drive it with
 # the load generator over TCP — first request-per-roundtrip, then the
 # pipelined wire path (many requests in flight on one connection,
-# replies matched by id), then a live hot-swap onto the exported
-# snapshot followed by more validated traffic — ask it to shut down,
-# and require a clean exit from both processes.
+# replies matched by id) with the MetricsDump exposition page fetched
+# and schema-validated (--metrics true), then a live hot-swap onto the
+# exported snapshot followed by more validated traffic — render the
+# obs_top dashboard once against the live server, ask the server to
+# shut down, and require a clean exit from every process.
 serve_log="$(mktemp)"
 snap_dir="$(mktemp -d)/snap"
 trap 'rm -f "$serve_log"; rm -rf "$(dirname "$snap_dir")"' EXIT
 ./target/release/groupsa-serve --dataset tiny --port 0 --workers 2 \
-    --snapshot-export "$snap_dir" >"$serve_log" 2>/dev/null &
+    --obs-sample 1/1 --snapshot-export "$snap_dir" >"$serve_log" 2>/dev/null &
 serve_pid=$!
 
 addr=""
@@ -98,11 +101,13 @@ if [ -z "$addr" ]; then
 fi
 
 ./target/release/serve_bench --addr "$addr" --clients 3 --requests 8
-./target/release/serve_bench --addr "$addr" --clients 3 --requests 16 --pipeline true
+./target/release/serve_bench --addr "$addr" --clients 3 --requests 16 --pipeline true \
+    --metrics true
+./target/release/obs_top --addr "$addr" --iterations 1 --plain true >/dev/null
 ./target/release/serve_bench --addr "$addr" --clients 2 --requests 8 --pipeline true \
     --reload "$snap_dir" --shutdown true
 wait "$serve_pid"
-echo "tier1: serve smoke test passed (roundtrip, pipelined, hot-swap)"
+echo "tier1: serve smoke test passed (roundtrip, pipelined, metrics page, obs_top, hot-swap)"
 
 # Observability: with GROUPSA_TRACE set, a training run must leave a
 # schema-valid JSONL trace behind — and its stdout digest must be
@@ -129,6 +134,15 @@ GROUPSA_TRACE="$trace_dir/serve_trace.jsonl" \
     ./target/release/serve_bench --clients 2 --requests 8 --save false >/dev/null
 ./target/release/trace_check "$trace_dir/serve_trace.jsonl" run batch request stats
 echo "tier1: traced serve sweep emitted a schema-valid lifecycle trace"
+
+# Traced serving with telemetry on: the same sweep sampling every
+# request must additionally emit per-request lifecycle records and
+# shutdown window snapshots, all schema-valid.
+GROUPSA_TRACE="$trace_dir/serve_telemetry_trace.jsonl" GROUPSA_OBS_SAMPLE=1/1 \
+    ./target/release/serve_bench --clients 2 --requests 8 --save false >/dev/null
+./target/release/trace_check "$trace_dir/serve_telemetry_trace.jsonl" \
+    run batch request request_record window_snapshot stats
+echo "tier1: telemetry-sampled sweep emitted schema-valid request records and window snapshots"
 
 # Snapshot format: write→read round-trip must be bit-exact, every
 # corruption family (bad magic, future version, truncation, slab bit
