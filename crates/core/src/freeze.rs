@@ -251,10 +251,11 @@ impl GroupSa {
         let r2 = if with_latent.is_empty() {
             None
         } else {
+            // lint: allow(panic-reach) — xv is gathered above whenever with_latent is non-empty.
             let xv = xv.expect("caller gathers xv whenever any latent engages");
             let mut cat2 = vec![0.0f32; with_latent.len() * n * width];
             for (rank, &j) in with_latent.iter().enumerate() {
-                let h = latents[j].expect("filtered to Some").row(0);
+                let h = latents[j].expect("filtered to Some").row(0); // lint: allow(panic-reach)
                 for i in 0..n {
                     let xvr = xv.row(i);
                     let row = &mut cat2[(rank * n + i) * width..(rank * n + i + 1) * width];
@@ -273,6 +274,7 @@ impl GroupSa {
         for j in 0..users.len() {
             let r1_rows = &r1.as_slice()[j * n..(j + 1) * n];
             if with_latent.contains(&j) {
+                // lint: allow(panic-reach) — r2 is Some exactly when with_latent is non-empty.
                 let r2 = r2.as_ref().expect("r2 computed for latent-bearing users");
                 let r2_rows = &r2.as_slice()[latent_rank * n..(latent_rank + 1) * n];
                 latent_rank += 1;

@@ -62,6 +62,7 @@ impl GroupSa {
     /// If the configuration fails [`GroupSaConfig::validate`].
     pub fn new(cfg: GroupSaConfig, num_users: usize, num_items: usize) -> Self {
         if let Err(e) = cfg.validate() {
+            // lint: allow(panic-reach) — documented `# Panics` contract; model-build time, never per request
             panic!("invalid GroupSaConfig: {e}");
         }
         let mut rng = seeded(cfg.seed);

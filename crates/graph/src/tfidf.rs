@@ -29,6 +29,7 @@ pub fn rank_items(b: &Bipartite, user: usize) -> Vec<usize> {
     items.sort_by(|&x, &y| {
         item_idf(b, y)
             .partial_cmp(&item_idf(b, x))
+            // lint: allow(panic-reach) — IDF is ln(N/df) over positive counts, always finite.
             .expect("IDF is finite")
             .then(x.cmp(&y))
     });
@@ -49,6 +50,7 @@ pub fn rank_friends(g: &CsrGraph, user: usize) -> Vec<usize> {
     friends.sort_by(|&x, &y| {
         friend_idf(g, y)
             .partial_cmp(&friend_idf(g, x))
+            // lint: allow(panic-reach) — IDF is ln(N/df) over positive counts, always finite.
             .expect("IDF is finite")
             .then(x.cmp(&y))
     });

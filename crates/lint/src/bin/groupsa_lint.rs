@@ -1,13 +1,22 @@
 //! `groupsa-lint` — workspace static analysis for determinism,
-//! panic-safety, hermeticity, and float-hygiene invariants.
+//! panic-safety, hermeticity, float-hygiene, and concurrency-discipline
+//! invariants.
 //!
 //! ```text
-//! groupsa-lint [--root <dir>] [--format text|json] [--list-rules]
+//! groupsa-lint [--root <dir>] [--format text|json] [--diff <baseline.json>]
+//!              [--dump-atomics] [--list-rules]
 //! ```
 //!
-//! Exits `0` on a clean tree, `1` when any non-allowed finding exists,
-//! `2` on usage or IO errors. `--format json` emits the schema in
-//! DESIGN.md §11 (version, files_scanned, suppressed, findings[]).
+//! Without `--diff`: exits `0` on a clean tree, `1` when any
+//! non-allowed finding exists. With `--diff <baseline.json>` the exit
+//! code reflects **drift** against the committed report instead — new
+//! findings, resolved findings, suppression-count changes, or a
+//! file-count change all fail, so a new escape hatch can't slip in
+//! just because the tree stayed "clean". `--dump-atomics` prints
+//! suggested `ATOMIC_SITES` manifest rows for unmanifested atomic
+//! sites. Exit `2` on usage or IO errors. `--format json` emits the
+//! schema in DESIGN.md §11/§16 (version, files_scanned, suppressed,
+//! timings[], findings[]).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,6 +24,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
+    let mut diff: Option<PathBuf> = None;
+    let mut dump_atomics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,6 +37,11 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root expects a directory"),
             },
+            "--diff" => match args.next() {
+                Some(path) => diff = Some(PathBuf::from(path)),
+                None => return usage("--diff expects a baseline report path"),
+            },
+            "--dump-atomics" => dump_atomics = true,
             "--list-rules" => {
                 for rule in groupsa_lint::RULES {
                     println!("{rule}");
@@ -33,7 +49,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: groupsa-lint [--root <dir>] [--format text|json] [--list-rules]");
+                println!(
+                    "usage: groupsa-lint [--root <dir>] [--format text|json] \
+                     [--diff <baseline.json>] [--dump-atomics] [--list-rules]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -54,6 +73,20 @@ fn main() -> ExitCode {
         }
     };
 
+    if dump_atomics {
+        return match groupsa_lint::dump_atomic_suggestions(&root) {
+            Ok(rows) if rows.is_empty() => {
+                eprintln!("groupsa-lint: every atomic site is manifested");
+                ExitCode::SUCCESS
+            }
+            Ok(rows) => {
+                println!("{rows}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("analysis failed: {e}")),
+        };
+    }
+
     let report = match groupsa_lint::run(&root) {
         Ok(r) => r,
         Err(e) => return fail(&format!("analysis failed: {e}")),
@@ -62,6 +95,33 @@ fn main() -> ExitCode {
         "json" => println!("{}", report.to_json_string()),
         _ => print!("{}", report.to_text()),
     }
+
+    if let Some(baseline_path) = diff {
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read baseline {}: {e}", baseline_path.display())),
+        };
+        let baseline: groupsa_lint::Report = match groupsa_json::from_str(&baseline_text) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("baseline {} does not parse: {e}", baseline_path.display())),
+        };
+        let drift = report.drift_against(&baseline);
+        return if drift.is_empty() {
+            eprintln!("groupsa-lint: no drift against {}", baseline_path.display());
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "groupsa-lint: lint state drifted from {} — regenerate it with \
+                 `groupsa-lint --format json` if the change is intentional:",
+                baseline_path.display()
+            );
+            for line in drift {
+                eprintln!("  {line}");
+            }
+            ExitCode::FAILURE
+        };
+    }
+
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -71,7 +131,10 @@ fn main() -> ExitCode {
 
 fn usage(message: &str) -> ExitCode {
     eprintln!("groupsa-lint: {message}");
-    eprintln!("usage: groupsa-lint [--root <dir>] [--format text|json] [--list-rules]");
+    eprintln!(
+        "usage: groupsa-lint [--root <dir>] [--format text|json] [--diff <baseline.json>] \
+         [--dump-atomics] [--list-rules]"
+    );
     ExitCode::from(2)
 }
 

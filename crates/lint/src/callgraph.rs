@@ -1,0 +1,349 @@
+//! A name-resolution-approximate intra-workspace call graph.
+//!
+//! Nodes are the `fn` items [`crate::items`] extracted from every
+//! scanned file; edges come from three call shapes found inside fn
+//! bodies:
+//!
+//! * `name(..)` — a plain call, linked to every same-named free fn;
+//! * `Type::name(..)` — a qualified call, linked to the matching
+//!   `Type::name` symbols (`Self::` resolves within the caller's own
+//!   impl type), falling back to free fns when the qualifier is a
+//!   module path rather than a type;
+//! * `.name(..)` — a method call, linked to every impl method with
+//!   that name unless the name is in [`COMMON_METHODS`] (ubiquitous
+//!   std names whose edges would connect everything to everything).
+//!
+//! "Approximate" is a design point, not an apology: with no type
+//! inference, a shadowed or overloaded name links to **all** its
+//! definitions, which over-approximates reachability — exactly the
+//! conservative direction a panic-reachability rule wants (it may
+//! flag too much, never too little). The shadowed-name unit test
+//! below pins this behaviour.
+
+use crate::items::{Item, ItemKind};
+use crate::lexer::{LexedFile, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One analyzed source file: its path, tokens, and extracted items.
+/// Built once per file by the driver and shared by every item-graph
+/// rule family.
+#[derive(Debug)]
+pub struct SourceUnit {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// The lexed token stream.
+    pub lexed: LexedFile,
+    /// Items extracted from the token stream.
+    pub items: Vec<Item>,
+    /// Whether the file lives under a `tests/` directory (test code is
+    /// neither a reachability root nor a panic-reach target).
+    pub in_tests_dir: bool,
+}
+
+impl SourceUnit {
+    /// Lexes and parses one file into a unit.
+    pub fn build(rel: &str, source: &str) -> Self {
+        let lexed = crate::lexer::lex(source);
+        let items = crate::items::parse_items(&lexed);
+        let in_tests_dir = rel.contains("/tests/") || rel.starts_with("tests/");
+        Self { rel: rel.to_string(), lexed, items, in_tests_dir }
+    }
+}
+
+/// One function node in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the owning [`SourceUnit`].
+    pub unit: usize,
+    /// Index of the fn's [`Item`] within that unit.
+    pub item: usize,
+    /// The fn's qualified symbol (`Type::name` or bare name).
+    pub symbol: String,
+    /// The fn's bare name.
+    pub name: String,
+    /// Whether the fn is test code (a `#[cfg(test)]` region or a
+    /// `tests/` directory file).
+    pub in_test: bool,
+}
+
+/// Method names too common to resolve: linking every `.len()` call to
+/// every `len` definition would connect the whole workspace. Calls to
+/// these names simply produce no edge — a documented approximation
+/// hole (std methods dominate these names anyway).
+pub const COMMON_METHODS: &[&str] = &[
+    "as_bytes", "as_mut", "as_ref", "as_slice", "as_str", "borrow", "borrow_mut", "clone",
+    "cloned", "cmp", "collect", "contains", "copied", "default", "drain", "drop", "entry", "eq",
+    "extend", "filter", "flush", "fmt", "from", "get", "get_mut", "hash", "insert", "into",
+    "into_iter", "is_empty", "iter", "iter_mut", "join", "len", "lock", "map", "max", "min",
+    "new", "next", "parse", "pop", "push", "read", "recv", "remove", "retain", "rev", "send",
+    "sort", "spawn", "split", "sum", "take", "to_owned", "to_string", "to_vec", "trim",
+    "unwrap", "unwrap_or", "wait", "write", "zip",
+];
+
+/// The call graph over every fn in a set of [`SourceUnit`]s.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All fn nodes, in (unit, item) order.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: `edges[i]` is the set of node indices `i` may call.
+    pub edges: Vec<BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph: one node per fn item, edges from the three
+    /// call shapes in the module docs.
+    pub fn build(units: &[SourceUnit]) -> Self {
+        let mut nodes = Vec::new();
+        for (u, unit) in units.iter().enumerate() {
+            for (ix, it) in unit.items.iter().enumerate() {
+                if it.kind == ItemKind::Fn {
+                    nodes.push(FnNode {
+                        unit: u,
+                        item: ix,
+                        symbol: it.symbol.clone(),
+                        name: it.name.clone(),
+                        in_test: it.in_test || unit.in_tests_dir,
+                    });
+                }
+            }
+        }
+
+        // Name indices over non-test definitions (test helpers are
+        // never call targets on production paths).
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_symbol: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (n, node) in nodes.iter().enumerate() {
+            if node.in_test {
+                continue;
+            }
+            by_symbol.entry(node.symbol.as_str()).or_default().push(n);
+            if node.symbol.contains("::") {
+                methods_by_name.entry(node.name.as_str()).or_default().push(n);
+            } else {
+                free_by_name.entry(node.name.as_str()).or_default().push(n);
+            }
+        }
+
+        let mut edges = vec![BTreeSet::new(); nodes.len()];
+        for (n, node) in nodes.iter().enumerate() {
+            let unit = &units[node.unit];
+            let it = &unit.items[node.item];
+            let Some((lo, hi)) = it.body else { continue };
+            let toks = &unit.lexed.tokens;
+            // The caller's impl type, for `Self::` resolution.
+            let self_ty = node.symbol.split_once("::").map(|(ty, _)| ty);
+            for i in lo..=hi.min(toks.len().saturating_sub(1)) {
+                let t = &toks[i];
+                if t.kind != TokenKind::Ident || !punct_at(toks, i + 1, "(") {
+                    continue;
+                }
+                let name = t.text.as_str();
+                if is_keyword(name) {
+                    continue;
+                }
+                // Skip the name in a nested `fn name(` declaration.
+                if i > 0 && toks[i - 1].kind == TokenKind::Ident && toks[i - 1].text == "fn" {
+                    continue;
+                }
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let targets: Vec<usize> = match prev {
+                    Some(p) if p.kind == TokenKind::Punct && p.text == "." => {
+                        if COMMON_METHODS.contains(&name) {
+                            continue;
+                        }
+                        methods_by_name.get(name).cloned().unwrap_or_default()
+                    }
+                    Some(p) if p.kind == TokenKind::Punct && p.text == "::" => {
+                        let Some(q) = i.checked_sub(2).map(|q| &toks[q]) else { continue };
+                        if q.kind != TokenKind::Ident {
+                            continue;
+                        }
+                        let qualifier = if q.text == "Self" {
+                            match self_ty {
+                                Some(ty) => ty,
+                                None => continue,
+                            }
+                        } else {
+                            q.text.as_str()
+                        };
+                        let symbol = format!("{qualifier}::{name}");
+                        match by_symbol.get(symbol.as_str()) {
+                            Some(v) => v.clone(),
+                            // Module-qualified free fn (`manifest::run(..)`).
+                            None => free_by_name.get(name).cloned().unwrap_or_default(),
+                        }
+                    }
+                    _ => free_by_name.get(name).cloned().unwrap_or_default(),
+                };
+                for target in targets {
+                    if target != n {
+                        edges[n].insert(target);
+                    }
+                }
+            }
+        }
+        Self { nodes, edges }
+    }
+
+    /// Node indices whose `(file, symbol)` matches an entry — the
+    /// reachability roots.
+    pub fn roots(&self, units: &[SourceUnit], entries: &[(&str, &str)]) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| {
+                entries
+                    .iter()
+                    .any(|(file, symbol)| units[node.unit].rel == *file && node.symbol == *symbol)
+            })
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// BFS from `roots`, skipping test nodes. Returns, per reached
+    /// node, the root it was first reached from (roots map to
+    /// themselves).
+    pub fn reachable_from(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut origin = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if !self.nodes[r].in_test && origin.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let root = origin[&n];
+            for &next in &self.edges[n] {
+                if self.nodes[next].in_test {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = origin.entry(next) {
+                    e.insert(root);
+                    queue.push_back(next);
+                }
+            }
+        }
+        origin
+    }
+}
+
+fn punct_at(toks: &[crate::lexer::Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "if" | "while" | "for" | "match" | "return" | "loop" | "fn" | "let" | "mut" | "move"
+            | "in" | "as" | "else" | "break" | "continue" | "unsafe" | "pub" | "where" | "impl"
+            | "dyn" | "ref" | "use" | "mod" | "struct" | "enum" | "trait" | "type" | "static"
+            | "const" | "crate" | "super" | "self"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<SourceUnit>, CallGraph) {
+        let units: Vec<SourceUnit> =
+            files.iter().map(|(rel, src)| SourceUnit::build(rel, src)).collect();
+        let g = CallGraph::build(&units);
+        (units, g)
+    }
+
+    fn node(g: &CallGraph, symbol: &str) -> usize {
+        g.nodes.iter().position(|n| n.symbol == symbol).unwrap()
+    }
+
+    #[test]
+    fn free_and_qualified_calls_create_edges() {
+        let (_, g) = graph(&[(
+            "crates/x/src/lib.rs",
+            "fn a() { b(); Helper::run(); }\nfn b() {}\nstruct Helper;\nimpl Helper { fn run() { b(); } }",
+        )]);
+        let a = node(&g, "a");
+        let b = node(&g, "b");
+        let run = node(&g, "Helper::run");
+        assert!(g.edges[a].contains(&b));
+        assert!(g.edges[a].contains(&run));
+        assert!(g.edges[run].contains(&b));
+    }
+
+    #[test]
+    fn method_calls_resolve_across_files_but_common_names_do_not() {
+        let (_, g) = graph(&[
+            ("crates/x/src/a.rs", "fn caller(s: &Slot) { s.refresh(); s.len(); }"),
+            (
+                "crates/x/src/b.rs",
+                "struct Slot;\nimpl Slot { fn refresh(&self) {} fn len(&self) -> usize { 0 } }",
+            ),
+        ]);
+        let caller = node(&g, "caller");
+        assert!(g.edges[caller].contains(&node(&g, "Slot::refresh")));
+        assert!(
+            !g.edges[caller].contains(&node(&g, "Slot::len")),
+            "`.len()` is a COMMON_METHODS name: no edge"
+        );
+    }
+
+    #[test]
+    fn self_calls_resolve_within_the_impl_type() {
+        let (_, g) = graph(&[(
+            "crates/x/src/lib.rs",
+            "struct A; struct B;\nimpl A { fn go() { Self::helper(); } fn helper() {} }\nimpl B { fn helper() {} }",
+        )]);
+        let go = node(&g, "A::go");
+        assert!(g.edges[go].contains(&node(&g, "A::helper")));
+        assert!(!g.edges[go].contains(&node(&g, "B::helper")));
+    }
+
+    #[test]
+    fn shadowed_fn_names_link_to_all_definitions() {
+        // Two files each define `compute`; a call by bare name links to
+        // both — reachability over-approximates on purpose, so a panic
+        // in either definition is caught.
+        let (_, g) = graph(&[
+            ("crates/x/src/a.rs", "fn entry() { compute(); }\nfn compute() {}"),
+            ("crates/y/src/b.rs", "fn compute() { helper(); }\nfn helper() {}"),
+        ]);
+        let entry = node(&g, "entry");
+        let a_compute = g
+            .nodes
+            .iter()
+            .position(|n| n.symbol == "compute" && n.unit == 0)
+            .unwrap();
+        let b_compute = g
+            .nodes
+            .iter()
+            .position(|n| n.symbol == "compute" && n.unit == 1)
+            .unwrap();
+        assert!(g.edges[entry].contains(&a_compute));
+        assert!(
+            g.edges[entry].contains(&b_compute),
+            "shadowed names over-approximate: both definitions are targets"
+        );
+        // And transitively, helper is reachable from entry.
+        let reached = g.reachable_from(&[entry]);
+        assert!(reached.contains_key(&node(&g, "helper")));
+        assert_eq!(reached[&node(&g, "helper")], entry, "origin points at the root");
+    }
+
+    #[test]
+    fn test_code_is_excluded_from_nodes_reached_and_targets() {
+        let (units, g) = graph(&[
+            (
+                "crates/x/src/lib.rs",
+                "fn entry() { helper(); }\nfn helper() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { panic!() }\n    fn t() { entry(); }\n}",
+            ),
+        ]);
+        let entry = node(&g, "entry");
+        let reached = g.reachable_from(&[entry]);
+        // Only the production helper is reached, not the test shadow.
+        let reached_syms: Vec<&str> =
+            reached.keys().map(|&n| g.nodes[n].symbol.as_str()).collect();
+        assert_eq!(reached_syms.len(), 2, "{reached_syms:?}");
+        assert!(g.roots(&units, &[("crates/x/src/lib.rs", "entry")]).len() == 1);
+    }
+}

@@ -1,0 +1,453 @@
+//! Item-level parsing on top of the lexer.
+//!
+//! The lexer gives the rule engine a flat token stream; the
+//! concurrency-discipline families (atomics manifest, lock order,
+//! panic reachability) additionally need to know *which function* a
+//! token sits in and where that function's body ends. This module
+//! extracts exactly that: `fn` / `impl` / `struct` / `use` items with
+//! brace-matched body ranges, plus the `Type::method` symbol of every
+//! function defined inside an `impl` block.
+//!
+//! It is deliberately not a Rust parser. Generics are skipped by
+//! counting angle brackets, bodies by counting braces (sound because
+//! the lexer already swallowed strings, chars, and comments), and name
+//! resolution is left to [`crate::callgraph`]'s approximation. That is
+//! the same altitude/robustness trade the lexer makes, and it is
+//! enough to attribute every token in the workspace to its enclosing
+//! symbol.
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// What kind of item an [`Item`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function or method (`fn name(..) { .. }` or a bodyless trait
+    /// signature).
+    Fn,
+    /// A `struct` definition.
+    Struct,
+    /// An `impl` block (inherent or trait).
+    Impl,
+    /// A `use` declaration.
+    Use,
+}
+
+/// One extracted item with its body's token range.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// The bare name (`push`, `Engine`, …). For [`ItemKind::Impl`] this
+    /// is the self type's last path segment; for [`ItemKind::Use`] the
+    /// root segment.
+    pub name: String,
+    /// The qualified symbol: `Type::name` for functions inside an
+    /// `impl`, otherwise the same as `name`.
+    pub symbol: String,
+    /// 1-based line of the introducing keyword.
+    pub line: usize,
+    /// Inclusive token-index range of the `{ … }` body (braces
+    /// included), or `None` for bodyless items (`fn f();`, `struct S;`,
+    /// tuple structs, `use`).
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl Item {
+    /// Whether token index `i` lies inside this item's body.
+    pub fn contains(&self, i: usize) -> bool {
+        self.body.is_some_and(|(lo, hi)| lo <= i && i <= hi)
+    }
+}
+
+/// Tracks `#[cfg(test)]`-attributed items so rules can exempt in-file
+/// test modules. Feed every token index in order via [`Self::observe`].
+#[derive(Default)]
+pub struct TestRegionTracker {
+    /// A `#[cfg(test)]` attribute was seen and its item hasn't started.
+    pending: bool,
+    /// Brace depth inside the current `#[cfg(test)]` item, if any.
+    depth: Option<usize>,
+}
+
+impl TestRegionTracker {
+    /// Feeds token `i`; returns whether it lies inside a test region.
+    pub fn observe(&mut self, toks: &[Token], i: usize) -> bool {
+        let t = &toks[i];
+        if let Some(depth) = self.depth.as_mut() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => *depth += 1,
+                    "}" => {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            self.depth = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return true;
+        }
+        // `#` `[` `cfg` `(` `test` … — the attribute that opens a test
+        // region (matches `cfg(test)` and `cfg(all(test, …))`, but not
+        // `cfg(not(test))`, which marks *non*-test code).
+        let cfg_test = t.kind == TokenKind::Punct
+            && t.text == "#"
+            && punct_at(toks, i + 1, "[")
+            && ident_at(toks, i + 2, "cfg")
+            && punct_at(toks, i + 3, "(")
+            && (ident_at(toks, i + 4, "test")
+                || ((ident_at(toks, i + 4, "all") || ident_at(toks, i + 4, "any"))
+                    && toks[i + 5..]
+                        .iter()
+                        .take(4)
+                        .any(|x| x.kind == TokenKind::Ident && x.text == "test")));
+        if cfg_test {
+            self.pending = true;
+            return false;
+        }
+        if self.pending && t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                self.pending = false;
+                self.depth = Some(1);
+                return true;
+            }
+            if t.text == ";" {
+                // `#[cfg(test)] mod tests;` — out-of-line test module;
+                // its file lives under a path the tests-dir check covers.
+                self.pending = false;
+            }
+        }
+        false
+    }
+}
+
+/// Extracts every item from a lexed file. Items arrive in source
+/// order; nested functions are separate items.
+pub fn parse_items(lexed: &LexedFile) -> Vec<Item> {
+    let toks = &lexed.tokens;
+    let mut items = Vec::new();
+    let mut tracker = TestRegionTracker::default();
+    for i in 0..toks.len() {
+        let in_test = tracker.observe(toks, i);
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "fn" => {
+                // `fn` the item keyword, not the `fn(..)` pointer type:
+                // the next token must be the function's name.
+                let Some(name_tok) = toks.get(i + 1) else { continue };
+                if name_tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let body = find_body(toks, i + 2).and_then(|open| {
+                    match_brace(toks, open).map(|close| (open, close))
+                });
+                items.push(Item {
+                    kind: ItemKind::Fn,
+                    name: name_tok.text.clone(),
+                    symbol: name_tok.text.clone(), // qualified in the post-pass
+                    line: t.line,
+                    body,
+                    in_test,
+                });
+            }
+            "impl" => {
+                let Some(open) = find_body(toks, i + 1) else { continue };
+                let Some(close) = match_brace(toks, open) else { continue };
+                let name = impl_type_name(&toks[i + 1..open]).unwrap_or_default();
+                if name.is_empty() {
+                    continue;
+                }
+                items.push(Item {
+                    kind: ItemKind::Impl,
+                    symbol: name.clone(),
+                    name,
+                    line: t.line,
+                    body: Some((open, close)),
+                    in_test,
+                });
+            }
+            "struct" => {
+                let Some(name_tok) = toks.get(i + 1) else { continue };
+                if name_tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let body = find_body(toks, i + 2).and_then(|open| {
+                    match_brace(toks, open).map(|close| (open, close))
+                });
+                items.push(Item {
+                    kind: ItemKind::Struct,
+                    name: name_tok.text.clone(),
+                    symbol: name_tok.text.clone(),
+                    line: t.line,
+                    body,
+                    in_test,
+                });
+            }
+            "use" => {
+                // Skip closure captures (`move`) — `use` as an item is
+                // preceded by nothing interesting; a false positive here
+                // only adds a harmless Use item anyway.
+                let Some(root) = toks.get(i + 1).filter(|r| r.kind == TokenKind::Ident)
+                else {
+                    continue;
+                };
+                items.push(Item {
+                    kind: ItemKind::Use,
+                    name: root.text.clone(),
+                    symbol: root.text.clone(),
+                    line: t.line,
+                    body: None,
+                    in_test,
+                });
+            }
+            _ => {}
+        }
+    }
+    qualify_methods(&mut items);
+    items
+}
+
+/// Post-pass: give every `fn` inside an `impl` block its `Type::name`
+/// symbol (innermost impl wins — nested impls don't occur here, but
+/// the innermost rule is the safe one).
+fn qualify_methods(items: &mut [Item]) {
+    let impls: Vec<(String, usize, usize)> = items
+        .iter()
+        .filter(|it| it.kind == ItemKind::Impl)
+        .filter_map(|it| it.body.map(|(lo, hi)| (it.name.clone(), lo, hi)))
+        .collect();
+    for it in items.iter_mut().filter(|it| it.kind == ItemKind::Fn) {
+        // The fn's position is its body start when it has one; a
+        // bodyless trait signature still sits between its impl's
+        // braces, so fall back to any contained token — we only have
+        // the body range, so bodyless fns outside impls keep the bare
+        // name (they have no call sites to attribute anyway).
+        let Some((pos, _)) = it.body else { continue };
+        let innermost = impls
+            .iter()
+            .filter(|(_, lo, hi)| *lo < pos && pos <= *hi)
+            .min_by_key(|(_, lo, hi)| hi - lo);
+        if let Some((ty, _, _)) = innermost {
+            it.symbol = format!("{ty}::{}", it.name);
+        }
+    }
+}
+
+/// The symbol of the innermost `fn` whose body contains token `i`, if
+/// any.
+pub fn enclosing_symbol(items: &[Item], i: usize) -> Option<&str> {
+    items
+        .iter()
+        .filter(|it| it.kind == ItemKind::Fn && it.contains(i))
+        .min_by_key(|it| {
+            let (lo, hi) = it.body.expect("contains() implies a body");
+            hi - lo
+        })
+        .map(|it| it.symbol.as_str())
+}
+
+/// Finds the token index of the `{` opening an item body, scanning
+/// from `from` past the signature (parens/brackets balanced). Returns
+/// `None` on a `;` at depth 0 first — a bodyless item.
+fn find_body(toks: &[Token], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, t) in toks[from..].iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(from + off),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Matches the `{` at `open` to its closing `}`; returns its index.
+fn match_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, t) in toks[open..].iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The self-type name of an `impl` header (the tokens between `impl`
+/// and its `{`): the last path segment before the generics of the type
+/// after `for` when present (`impl Trait for Type`), else of the type
+/// itself (`impl Type`). Generic parameter lists are skipped by angle
+/// counting (`>>` closes two).
+fn impl_type_name(header: &[Token]) -> Option<String> {
+    // Everything after the last top-level `for` is the self type; with
+    // no `for`, the whole header is. (`for` also appears inside HRTB
+    // `for<'a>` bounds — those sit inside `<…>` and are skipped.)
+    let mut angle = 0i32;
+    let mut ty_start = 0;
+    for (i, t) in header.iter().enumerate() {
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "<") => angle += 1,
+            (TokenKind::Punct, ">") => angle -= 1,
+            (TokenKind::Punct, "<<") => angle += 2,
+            (TokenKind::Punct, ">>") => angle -= 2,
+            (TokenKind::Ident, "for") if angle == 0 => ty_start = i + 1,
+            _ => {}
+        }
+    }
+    // Last identifier at angle depth 0 in the self-type region: the
+    // type's final path segment (`snapshot::Reader` → `Reader`,
+    // `FrozenModel<T>` → `FrozenModel`).
+    let mut angle = 0i32;
+    let mut name = None;
+    for t in &header[ty_start..] {
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "<") => angle += 1,
+            (TokenKind::Punct, ">") => angle -= 1,
+            (TokenKind::Punct, "<<") => angle += 2,
+            (TokenKind::Punct, ">>") => angle -= 2,
+            (TokenKind::Ident, s) if angle == 0 && s != "dyn" && s != "mut" => {
+                name = Some(s.to_string());
+            }
+            _ => {}
+        }
+    }
+    name
+}
+
+fn ident_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn punct_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<Item> {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn free_fn_body_is_brace_matched() {
+        let its = items("fn f(x: u8) -> u8 { if x > 0 { x } else { 0 } }\nfn g();");
+        let f = &its[0];
+        assert_eq!((f.kind, f.name.as_str(), f.line), (ItemKind::Fn, "f", 1));
+        let (lo, hi) = f.body.unwrap();
+        assert!(lo < hi);
+        let g = &its[1];
+        assert_eq!(g.name, "g");
+        assert!(g.body.is_none(), "`fn g();` is bodyless");
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_symbols() {
+        let src = "impl<T: Store> Slot<T> {\n    fn load(&self) -> T { self.inner() }\n    fn inner(&self) -> T { todo!() }\n}\nimpl Drop for Guard { fn drop(&mut self) {} }\nfn free() {}";
+        let its = items(src);
+        let syms: Vec<&str> = its
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| i.symbol.as_str())
+            .collect();
+        assert_eq!(syms, vec!["Slot::load", "Slot::inner", "Guard::drop", "free"]);
+    }
+
+    #[test]
+    fn impl_trait_for_qualified_path_takes_last_segment() {
+        let src = "impl std::fmt::Debug for ring::RecordRing { fn fmt(&self) {} }";
+        let its = items(src);
+        assert_eq!(its[0].name, "RecordRing");
+        assert_eq!(its[1].symbol, "RecordRing::fmt");
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items() {
+        let src = "fn outer() {\n    fn inner(v: Vec<u8>) -> usize { v.len() }\n    inner(vec![]);\n}";
+        let its = items(src);
+        let names: Vec<&str> = its.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // outer's body contains inner's body.
+        let (olo, ohi) = its[0].body.unwrap();
+        let (ilo, ihi) = its[1].body.unwrap();
+        assert!(olo < ilo && ihi < ohi);
+    }
+
+    #[test]
+    fn enclosing_symbol_picks_the_innermost_fn() {
+        let src = "impl Engine {\n    fn submit(&self) {\n        fn helper() { marker(); }\n        helper();\n    }\n}";
+        let lexed = lex(src);
+        let its = parse_items(&lexed);
+        let marker = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "marker")
+            .unwrap();
+        assert_eq!(enclosing_symbol(&its, marker), Some("Engine::helper"));
+        let helper_call = lexed
+            .tokens
+            .iter()
+            .rposition(|t| t.text == "helper")
+            .unwrap();
+        assert_eq!(enclosing_symbol(&its, helper_call), Some("Engine::submit"));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let its = items("fn takes(cb: fn(usize) -> u8) { cb(1); }");
+        assert_eq!(its.len(), 1);
+        assert_eq!(its[0].name, "takes");
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}";
+        let its = items(src);
+        assert!(!its[0].in_test);
+        assert!(its[1].in_test, "fn inside #[cfg(test)] mod is a test item");
+    }
+
+    #[test]
+    fn where_clauses_and_return_generics_do_not_confuse_body_start() {
+        let src = "fn f<T>(x: T) -> Box<dyn Fn() -> usize> where T: Clone { Box::new(|| 1) }";
+        let its = items(src);
+        let (lo, _) = its[0].body.unwrap();
+        // The body must start after the where clause, not at the
+        // closure's brace… the first `{` at bracket depth 0 IS the body.
+        assert!(lo > 10);
+    }
+
+    #[test]
+    fn struct_and_use_items_are_recorded() {
+        let src = "use std::sync::Arc;\nstruct S { x: u8 }\nstruct T(u8);";
+        let its = items(src);
+        assert_eq!(its[0].kind, ItemKind::Use);
+        assert_eq!(its[0].name, "std");
+        assert_eq!(its[1].kind, ItemKind::Struct);
+        assert!(its[1].body.is_some());
+        assert_eq!(its[2].name, "T");
+        assert!(its[2].body.is_none(), "tuple struct has no brace body");
+    }
+}

@@ -52,6 +52,23 @@ pub struct Token {
     pub line: usize,
 }
 
+/// One `// lint: allow(…)` comment as a unit: where it sits, which
+/// lines it covers, and the rules it names. The per-line [`LexedFile::
+/// allows`] map answers "is line L allowed for rule R?" fast; this
+/// record keeps the comment's identity so the dead-allow rule can ask
+/// the inverse question — "did anything this comment covers actually
+/// fire?".
+#[derive(Clone, Debug)]
+pub struct AllowComment {
+    /// 1-based line the comment itself sits on.
+    pub line: usize,
+    /// Lines the comment covers (its own line, plus the next line when
+    /// it stands alone).
+    pub covered: Vec<usize>,
+    /// Rule names listed inside `allow(…)`, verbatim.
+    pub rules: Vec<String>,
+}
+
 /// The lexed view of one source file.
 #[derive(Debug, Default)]
 pub struct LexedFile {
@@ -59,6 +76,8 @@ pub struct LexedFile {
     pub tokens: Vec<Token>,
     /// Per-line allow sets parsed from `// lint: allow(…)` comments.
     pub allows: BTreeMap<usize, BTreeSet<String>>,
+    /// Every allow comment as a unit, in source order (dead-allow input).
+    pub allow_comments: Vec<AllowComment>,
     /// Lines covered by a `// bounds: …` justification comment.
     pub bounds_ok: BTreeSet<usize>,
 }
@@ -308,19 +327,34 @@ pub fn number_is_float(text: &str) -> bool {
 
 /// Records allow/bounds information from one line comment.
 fn note_comment(out: &mut LexedFile, text: &str, line: usize, line_has_token: bool) {
+    // Doc comments (`///`, `//!`) are rendered documentation, not
+    // directives — a docs mention of the allow syntax must neither
+    // suppress findings nor count as an allow for the dead-allow rule.
+    if text.starts_with("///") || text.starts_with("//!") {
+        return;
+    }
     // A comment with no code before it on its line covers the next
     // line too, so justifications can sit above the flagged statement.
     let covered: &[usize] = if line_has_token { &[line] } else { &[line, line + 1] };
     if let Some(idx) = text.find("lint: allow(") {
         let rest = &text[idx + "lint: allow(".len()..];
         if let Some(end) = rest.find(')') {
+            let mut rules = Vec::new();
             for rule in rest[..end].split(',') {
                 let rule = rule.trim();
                 if !rule.is_empty() {
                     for &l in covered {
                         out.allows.entry(l).or_default().insert(rule.to_string());
                     }
+                    rules.push(rule.to_string());
                 }
+            }
+            if !rules.is_empty() {
+                out.allow_comments.push(AllowComment {
+                    line,
+                    covered: covered.to_vec(),
+                    rules,
+                });
             }
         }
     }

@@ -26,15 +26,25 @@
 
 #![warn(missing_docs)]
 
+pub mod atomics;
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
+pub mod locks;
 pub mod manifest;
 pub mod report;
+pub mod reach;
 pub mod rules;
 
-pub use report::{Finding, Report, REPORT_VERSION};
-pub use rules::{in_clock_scope, in_panic_scope, Analyzer, ALLOWED_FILES, CLOCK_SCOPES, PANIC_SCOPES, RULES};
+pub use report::{Finding, PassTiming, Report, REPORT_VERSION};
+pub use rules::{
+    in_clock_scope, in_panic_scope, Analyzer, RuleOutcome, ScopeSpec, ALLOWED_FILES,
+    CLOCK_SCOPES, PANIC_SCOPES, RULES,
+};
 
+use callgraph::{CallGraph, SourceUnit};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Directories never scanned: build output, VCS internals, and the
 /// lint fixtures (which contain violations *on purpose*).
@@ -99,11 +109,29 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
 /// Runs the full analysis over a workspace tree and assembles the
 /// [`Report`]. IO errors on individual files become findings (a file
 /// the analyzer cannot read cannot be declared clean).
+///
+/// Pass structure (each timed into [`Report::timings`]):
+///
+/// 1. **manifests** — package names (legitimate `use` roots), the root
+///    `[workspace.dependencies]` keys, and the `cargo-dep` rule;
+/// 2. **lex+parse** — every `.rs` file becomes a [`SourceUnit`]
+///    (tokens + items), shared by all later passes;
+/// 3. **rules** — the original token-walk families;
+/// 4. **atomics** — the [`atomics::ATOMIC_SITES`] manifest audit and
+///    `relaxed-publish`;
+/// 5. **locks** — hierarchy + held-across-blocking in
+///    [`locks::LOCK_SCOPE`];
+/// 6. **panic-reach** — call-graph reachability from
+///    [`reach::REQUEST_ENTRY_POINTS`];
+/// 7. **dead-allow** — allow comments none of the above used.
 pub fn run(root: &Path) -> std::io::Result<Report> {
     let files = collect_files(root)?;
+    let mut findings = Vec::new();
+    let mut suppressed = 0;
+    let mut timings = Vec::new();
 
-    // Pass 1 — manifests: package names (the legitimate `use` roots)
-    // and the root [workspace.dependencies] keys.
+    // Pass 1 — manifests.
+    let t0 = Instant::now();
     let mut package_names = Vec::new();
     let mut workspace_dep_keys = std::collections::BTreeSet::new();
     for rel in files.iter().filter(|f| f.ends_with("Cargo.toml")) {
@@ -116,32 +144,153 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
         }
     }
     let analyzer = Analyzer::new(package_names);
-
-    // Pass 2 — rules.
-    let mut findings = Vec::new();
-    let mut suppressed = 0;
-    for rel in &files {
-        let text = match std::fs::read_to_string(root.join(rel)) {
-            Ok(t) => t,
-            Err(e) => {
-                findings.push(Finding {
-                    file: rel.clone(),
-                    line: 0,
-                    rule: "io".to_string(),
-                    message: format!("could not read file: {e}"),
-                });
-                continue;
+    for rel in files.iter().filter(|f| f.ends_with("Cargo.toml")) {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(text) => {
+                let (mut f, s) = manifest::check_manifest(rel, &text, root, &workspace_dep_keys);
+                findings.append(&mut f);
+                suppressed += s;
             }
-        };
-        let (mut f, s) = if rel.ends_with("Cargo.toml") {
-            manifest::check_manifest(rel, &text, root, &workspace_dep_keys)
-        } else {
-            analyzer.analyze_source(rel, &text)
-        };
-        findings.append(&mut f);
-        suppressed += s;
+            Err(e) => findings.push(io_finding(rel, &e)),
+        }
     }
-    Ok(Report::new(files.len(), suppressed, findings))
+    timings.push(pass_timing("manifests", t0));
+
+    // Pass 2 — lex + parse every source file once.
+    let t0 = Instant::now();
+    let mut units: Vec<SourceUnit> = Vec::new();
+    for rel in files.iter().filter(|f| f.ends_with(".rs")) {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(text) => units.push(SourceUnit::build(rel, &text)),
+            Err(e) => findings.push(io_finding(rel, &e)),
+        }
+    }
+    timings.push(pass_timing("lex+parse", t0));
+
+    // Per-file (line, rule) suppression events, pooled across passes
+    // for the dead-allow rule.
+    let mut used_allows: Vec<Vec<(usize, String)>> = vec![Vec::new(); units.len()];
+    fn fold(
+        findings: &mut Vec<Finding>,
+        suppressed: &mut usize,
+        acc: &mut Vec<(usize, String)>,
+        out: RuleOutcome,
+    ) {
+        findings.extend(out.findings);
+        *suppressed += out.suppressed;
+        acc.extend(out.used_allows);
+    }
+
+    // Pass 3 — the original token-walk rule families.
+    let t0 = Instant::now();
+    for (u, unit) in units.iter().enumerate() {
+        let out = analyzer.analyze_lexed(&unit.rel, &unit.lexed);
+        fold(&mut findings, &mut suppressed, &mut used_allows[u], out);
+    }
+    timings.push(pass_timing("rules", t0));
+
+    // Pass 4 — atomics-ordering audit.
+    let t0 = Instant::now();
+    let mut matched = std::collections::BTreeSet::new();
+    for (u, unit) in units.iter().enumerate() {
+        if unit.in_tests_dir {
+            continue;
+        }
+        let (out, file_matched) = atomics::check_file(
+            &unit.rel,
+            &unit.lexed,
+            &unit.items,
+            atomics::ATOMIC_SITES,
+            atomics::PUBLISH_FIELDS,
+        );
+        matched.extend(file_matched);
+        fold(&mut findings, &mut suppressed, &mut used_allows[u], out);
+    }
+    findings.extend(atomics::stale_manifest_findings(atomics::ATOMIC_SITES, &matched));
+    timings.push(pass_timing("atomics", t0));
+
+    // Pass 5 — lock discipline in the serve crate.
+    let t0 = Instant::now();
+    for (u, unit) in units.iter().enumerate() {
+        if unit.in_tests_dir || !locks::LOCK_SCOPE.contains(&unit.rel) {
+            continue;
+        }
+        let out = locks::check_file(&unit.rel, &unit.lexed, &unit.items, locks::LOCK_HIERARCHY);
+        fold(&mut findings, &mut suppressed, &mut used_allows[u], out);
+    }
+    timings.push(pass_timing("locks", t0));
+
+    // Pass 6 — panic reachability from the serve entry points.
+    let t0 = Instant::now();
+    let graph = CallGraph::build(&units);
+    let entries: Vec<(&str, &str)> = reach::REQUEST_ENTRY_POINTS
+        .iter()
+        .map(|(f, s, _)| (*f, *s))
+        .collect();
+    let (out, reach_used) = reach::check(&units, &graph, &entries, &|rel| {
+        in_panic_scope(rel) || analyzer.file_allowed("panic-reach", rel)
+    });
+    for (u, line) in reach_used {
+        used_allows[u].push((line, "panic-reach".to_string()));
+    }
+    findings.extend(out.findings);
+    suppressed += out.suppressed;
+    timings.push(pass_timing("panic-reach", t0));
+
+    // Pass 7 — dead allow comments, judged against every pass above.
+    let t0 = Instant::now();
+    for (u, unit) in units.iter().enumerate() {
+        let out = rules::dead_allow_findings(&unit.rel, &unit.lexed, &used_allows[u]);
+        findings.extend(out.findings);
+        suppressed += out.suppressed;
+    }
+    timings.push(pass_timing("dead-allow", t0));
+
+    Ok(Report::new(files.len(), suppressed, findings).with_timings(timings))
+}
+
+fn io_finding(rel: &str, e: &std::io::Error) -> Finding {
+    Finding {
+        file: rel.to_string(),
+        line: 0,
+        rule: "io".to_string(),
+        message: format!("could not read file: {e}"),
+    }
+}
+
+fn pass_timing(pass: &str, since: Instant) -> PassTiming {
+    PassTiming { pass: pass.to_string(), micros: since.elapsed().as_micros() as u64 }
+}
+
+/// Scans the tree and renders suggested [`atomics::ATOMIC_SITES`] rows
+/// (one per distinct unmanifested `(file, field, op, ordering)`) ready
+/// to paste into `crates/lint/src/atomics.rs` — justification left as
+/// a TODO the `atomic-manifest` rule will reject until written.
+pub fn dump_atomic_suggestions(root: &Path) -> std::io::Result<String> {
+    let files = collect_files(root)?;
+    let mut rows = std::collections::BTreeSet::new();
+    for rel in files.iter().filter(|f| f.ends_with(".rs")) {
+        if rel.contains("/tests/") || rel.starts_with("tests/") {
+            continue;
+        }
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let unit = SourceUnit::build(rel, &text);
+        for site in atomics::find_sites(&unit.lexed, &unit.items) {
+            let manifested = atomics::ATOMIC_SITES.iter().any(|(f, sym, op, ord, _)| {
+                *f == rel.as_str()
+                    && *sym == site.field
+                    && *op == site.op
+                    && *ord == site.ordering
+            });
+            if !manifested {
+                rows.insert(format!(
+                    "    (\"{}\", \"{}\", \"{}\", \"{}\", \"TODO: justify\"),",
+                    rel, site.field, site.op, site.ordering
+                ));
+            }
+        }
+    }
+    Ok(rows.into_iter().collect::<Vec<_>>().join("\n"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,388 @@
+//! Lock-discipline rules for the serve crate.
+//!
+//! The serve crate holds three mutex-protected resources with a
+//! declared acquisition order ([`LOCK_HIERARCHY`]): the job **queue**
+//! (`Mutex<VecDeque<Job>>` in `engine.rs`), the hot-swap model
+//! **slot** (`Mutex<Arc<FrozenModel>>` in `swap.rs`), and any
+//! **metrics** aggregation lock. Two rules check every function body
+//! in [`LOCK_SCOPE`]:
+//!
+//! * `lock-order` — acquiring a lock whose class ranks at or below an
+//!   already-held class violates the hierarchy (equal rank catches
+//!   same-class re-entry, the classic self-deadlock);
+//! * `lock-across-blocking` — calling a blocking operation
+//!   ([`BLOCKING_CALLS`]: channel send/recv, socket accept/connect,
+//!   stream read/write/flush, thread join) while a classified guard
+//!   is live stalls every other thread contending for that lock for
+//!   the duration of the I/O. `Condvar::wait` is deliberately *not*
+//!   blocking here — it releases the guard it is given.
+//!
+//! The analysis is per-function and lexical: a guard bound by `let`
+//! lives until its enclosing brace closes or an explicit
+//! `drop(guard)`; an unbound `.lock()` in a larger expression is
+//! transient, dying at the statement's `;`. Receivers not named in
+//! the hierarchy (`workers`, stdout locks) don't participate —
+//! classifying them would add noise without a declared order to
+//! check. Cross-function holding (calling a helper that locks while
+//! a guard is live) is out of scope for a lexical pass and covered
+//! instead by keeping lock regions small enough to read.
+
+use crate::items::{Item, ItemKind};
+use crate::lexer::{LexedFile, Token, TokenKind};
+use crate::rules::{RuleOutcome, ScopeSpec};
+
+/// The declared serve-crate lock hierarchy, outermost class first:
+/// `(class, receiver field names that acquire it)`. Locks must be
+/// acquired in this order; holding a later class while acquiring an
+/// earlier one is a `lock-order` finding.
+pub const LOCK_HIERARCHY: &[(&str, &[&str])] = &[
+    ("queue", &["queue"]),
+    ("slot", &["current", "model"]),
+    ("metrics", &["metrics"]),
+];
+
+/// Method names treated as blocking while a guard is held.
+pub const BLOCKING_CALLS: &[&str] = &[
+    "accept",
+    "connect",
+    "flush",
+    "join",
+    "read",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "send",
+    "write",
+    "write_all",
+];
+
+/// Files the lock rules apply to: the serve crate's sources.
+pub static LOCK_SCOPE: ScopeSpec = ScopeSpec::new("lock rules", &["crates/serve/src/"]);
+
+/// One live guard during the body walk.
+struct Guard {
+    /// Hierarchy rank of the class (index into the hierarchy).
+    rank: usize,
+    /// Class name, for messages.
+    class: String,
+    /// Binding name when `let`-bound (so `drop(name)` releases it).
+    name: Option<String>,
+    /// Brace depth at the binding statement; the guard dies when the
+    /// walk's depth drops below it.
+    depth: i32,
+    /// Transient guards (no `let`) die at the next `;` at their depth.
+    transient: bool,
+}
+
+/// Runs both lock rules over every non-test fn body in one file.
+/// `hierarchy` is injectable so fixtures can declare their own.
+pub fn check_file(
+    rel: &str,
+    lexed: &LexedFile,
+    items: &[Item],
+    hierarchy: &[(&str, &[&str])],
+) -> RuleOutcome {
+    let mut out = RuleOutcome::default();
+    let class_of = |field: &str| -> Option<(usize, String)> {
+        hierarchy
+            .iter()
+            .enumerate()
+            .find(|(_, (_, fields))| fields.contains(&field))
+            .map(|(rank, (class, _))| (rank, class.to_string()))
+    };
+    for it in items {
+        if it.kind != ItemKind::Fn || it.in_test {
+            continue;
+        }
+        let Some((lo, hi)) = it.body else { continue };
+        check_body(rel, lexed, &lexed.tokens[..=hi.min(lexed.tokens.len() - 1)], lo, hi, &class_of, &it.symbol, &mut out);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_body(
+    rel: &str,
+    lexed: &LexedFile,
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    class_of: &dyn Fn(&str) -> Option<(usize, String)>,
+    symbol: &str,
+    out: &mut RuleOutcome,
+) {
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    for i in lo..=hi {
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                ";" => guards.retain(|g| !(g.transient && g.depth == depth)),
+                _ => {}
+            }
+        }
+        // `drop(name)` releases a named guard early.
+        if t.kind == TokenKind::Ident
+            && t.text == "drop"
+            && punct_at(toks, i + 1, "(")
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+            && punct_at(toks, i + 3, ")")
+        {
+            let victim = &toks[i + 2].text;
+            guards.retain(|g| g.name.as_deref() != Some(victim.as_str()));
+            continue;
+        }
+        // Method calls: `.lock(` acquisitions and `.send(`-family
+        // blocking operations.
+        if t.kind != TokenKind::Punct || t.text != "." {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+            continue;
+        };
+        if !punct_at(toks, i + 2, "(") {
+            continue;
+        }
+        if name_tok.text == "lock" {
+            let field = receiver_ident(toks, i);
+            let Some((rank, class)) = field.as_deref().and_then(class_of) else { continue };
+            for held in &guards {
+                if held.rank >= rank {
+                    let relation = if held.rank == rank {
+                        "re-acquires the already-held".to_string()
+                    } else {
+                        format!("is declared before the held `{}` lock and must be taken first; this", held.class)
+                    };
+                    out.report(
+                        rel,
+                        lexed,
+                        "lock-order",
+                        name_tok.line,
+                        &format!(
+                            "`{symbol}` acquires the `{class}` lock which {relation} `{}` class — \
+                             hierarchy is {}",
+                            held.class,
+                            hierarchy_order(class_of),
+                        ),
+                    );
+                }
+            }
+            // A guard consumed in-expression (`…lock().unwrap().len()`)
+            // is a temporary whatever the `let` binds; only an
+            // unconsumed chain makes the binding a live guard.
+            let binding = if guard_consumed(toks, i + 2) {
+                None
+            } else {
+                let_binding(toks, lo, i)
+            };
+            guards.push(Guard {
+                rank,
+                class,
+                transient: binding.is_none(),
+                name: binding,
+                depth,
+            });
+        } else if BLOCKING_CALLS.contains(&name_tok.text.as_str()) {
+            if let Some(held) = guards.first() {
+                out.report(
+                    rel,
+                    lexed,
+                    "lock-across-blocking",
+                    name_tok.line,
+                    &format!(
+                        "`{symbol}` calls blocking `.{}()` while holding the `{}` lock; \
+                         drop the guard (or narrow its scope) before blocking",
+                        name_tok.text, held.class
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Renders the declared order for messages (`queue → slot → metrics`).
+fn hierarchy_order(class_of: &dyn Fn(&str) -> Option<(usize, String)>) -> String {
+    // The hierarchy is reachable only through `class_of`; probe the
+    // known classes in LOCK_HIERARCHY order as a fallback for custom
+    // fixture hierarchies this just prints less nicely.
+    let mut names: Vec<&str> = Vec::new();
+    for (class, fields) in LOCK_HIERARCHY {
+        if fields.iter().any(|f| class_of(f).is_some()) {
+            names.push(class);
+        }
+    }
+    if names.is_empty() {
+        "the declared LOCK_HIERARCHY".to_string()
+    } else {
+        names.join(" → ")
+    }
+}
+
+/// Whether the chain continues past the `.lock()` call (whose opening
+/// paren is at `open`) with anything other than the poison adapters
+/// (`unwrap` / `expect` / `unwrap_or_else`) — if so, the guard is a
+/// consumed temporary, not something the statement's `let` binds.
+fn guard_consumed(toks: &[Token], open: usize) -> bool {
+    let mut k = match close_paren(toks, open) {
+        Some(c) => c + 1,
+        None => return false,
+    };
+    loop {
+        let chained = toks.get(k).is_some_and(|t| t.kind == TokenKind::Punct && t.text == ".")
+            && toks.get(k + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && toks.get(k + 2).is_some_and(|t| t.kind == TokenKind::Punct && t.text == "(");
+        if !chained {
+            return false;
+        }
+        if !matches!(toks[k + 1].text.as_str(), "unwrap" | "expect" | "unwrap_or_else") {
+            return true;
+        }
+        k = match close_paren(toks, k + 2) {
+            Some(c) => c + 1,
+            None => return false,
+        };
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn close_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, t) in toks[open..].iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(open + off);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// The identifier immediately before the `.` at `dot` (the lock's
+/// receiver field), if any.
+fn receiver_ident(toks: &[Token], dot: usize) -> Option<String> {
+    let prev = dot.checked_sub(1)?;
+    let p = &toks[prev];
+    (p.kind == TokenKind::Ident).then(|| p.text.clone())
+}
+
+/// Walks back from the `.lock` at `dot` to its statement start and
+/// returns the `let` binding name, if the acquisition is `let`-bound.
+/// The statement start is the nearest `;`, `{`, or `}` behind us.
+fn let_binding(toks: &[Token], lo: usize, dot: usize) -> Option<String> {
+    let mut k = dot;
+    while k > lo {
+        k -= 1;
+        let t = &toks[k];
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+    }
+    // Scan forward for `let [mut] name`.
+    for j in k..dot {
+        if toks[j].kind == TokenKind::Ident && toks[j].text == "let" {
+            let mut n = j + 1;
+            if toks.get(n).is_some_and(|t| t.kind == TokenKind::Ident && t.text == "mut") {
+                n += 1;
+            }
+            return toks
+                .get(n)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+        }
+    }
+    None
+}
+
+fn punct_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<(usize, String)> {
+        let lexed = lex(src);
+        let items = parse_items(&lexed);
+        let out = check_file("crates/serve/src/x.rs", &lexed, &items, LOCK_HIERARCHY);
+        out.findings.into_iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn hierarchy_order_is_enforced() {
+        // metrics before queue: out of order.
+        let bad = "fn f(&self) {\n    let m = self.metrics.lock().unwrap();\n    let q = self.queue.lock().unwrap();\n}";
+        assert_eq!(run(bad), vec![(3, "lock-order".to_string())]);
+        // queue before metrics: declared order, clean.
+        let good = "fn f(&self) {\n    let q = self.queue.lock().unwrap();\n    let m = self.metrics.lock().unwrap();\n}";
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn same_class_reentry_is_a_self_deadlock() {
+        let src = "fn f(&self) {\n    let a = self.queue.lock().unwrap();\n    let b = self.queue.lock().unwrap();\n}";
+        assert_eq!(run(src), vec![(3, "lock-order".to_string())]);
+    }
+
+    #[test]
+    fn guard_scope_ends_at_brace_or_drop() {
+        let scoped = "fn f(&self) {\n    { let m = self.metrics.lock().unwrap(); }\n    let q = self.queue.lock().unwrap();\n}";
+        assert!(run(scoped).is_empty(), "brace-scoped guard released before queue");
+        let dropped = "fn f(&self) {\n    let m = self.metrics.lock().unwrap();\n    drop(m);\n    let q = self.queue.lock().unwrap();\n}";
+        assert!(run(dropped).is_empty(), "drop(guard) releases early");
+    }
+
+    #[test]
+    fn blocking_call_under_guard_fires() {
+        let src = "fn f(&self, tx: &Sender<u8>) {\n    let q = self.queue.lock().unwrap();\n    tx.send(1).ok();\n}";
+        assert_eq!(run(src), vec![(3, "lock-across-blocking".to_string())]);
+        let ok = "fn f(&self, tx: &Sender<u8>) {\n    { let q = self.queue.lock().unwrap(); }\n    tx.send(1).ok();\n}";
+        assert!(run(ok).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking() {
+        let src = "fn f(&self) {\n    let mut q = self.queue.lock().unwrap();\n    q = self.available.wait(q).unwrap();\n}";
+        assert!(run(src).is_empty(), "Condvar::wait releases the guard it is given");
+    }
+
+    #[test]
+    fn transient_guard_dies_at_statement_end() {
+        let src = "fn f(&self) -> usize {\n    let n = self.queue.lock().unwrap().len();\n    self.tx.send(n).ok();\n    n\n}";
+        assert!(run(src).is_empty(), "unbound guard is transient: dead at the `;`");
+    }
+
+    #[test]
+    fn unclassified_receivers_do_not_participate() {
+        let src = "fn f(&self) {\n    let w = self.workers.lock().unwrap();\n    self.tx.send(1).ok();\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "fn f(&self, tx: &Sender<u8>) {\n    let q = self.queue.lock().unwrap();\n    tx.send(1).ok(); // lint: allow(lock-across-blocking)\n}";
+        let lexed = lex(src);
+        let items = parse_items(&lexed);
+        let out = check_file("crates/serve/src/x.rs", &lexed, &items, LOCK_HIERARCHY);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.used_allows, vec![(3, "lock-across-blocking".to_string())]);
+    }
+}

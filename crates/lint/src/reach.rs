@@ -1,0 +1,163 @@
+//! Panic-reachability from the serve request entry points.
+//!
+//! The lexical `panic-path` rule covers the files *listed* in
+//! [`crate::rules::PANIC_SCOPES`]; this family extends the guarantee
+//! to everything those files *call*. Starting from the request entry
+//! points ([`REQUEST_ENTRY_POINTS`]: the accept loop, the connection
+//! handler, the submit paths, and the worker-thread body), a BFS over
+//! the [`crate::callgraph`] marks every function a request can reach;
+//! a `.unwrap()` / `.expect()` / `panic!`-family macro in a reached
+//! function fires `panic-reach`, even when that function lives in a
+//! crate the file-scope list never named — the exact gap that let a
+//! helper panic take down a worker thread before PR 5's typed-error
+//! sweep.
+//!
+//! Scope subtleties, all deliberate:
+//!
+//! * files already in the lexical panic scope are skipped — one panic
+//!   site never fires two rules (`panic-path` owns those files, with
+//!   its stricter indexing check);
+//! * unjustified indexing is *not* flagged here — the numeric kernels
+//!   this rule reaches index in hot loops under shapes validated at
+//!   load time, and drowning the signal in thousands of index sites
+//!   would kill the rule's value (the graph over-approximates, so the
+//!   reached set is wide);
+//! * `assert!` is not flagged either: an assert is a contract check
+//!   that names its invariant, which is the documented alternative to
+//!   silent UB for kernel preconditions;
+//! * suppression is the usual `// lint: allow(panic-reach)` plus
+//!   [`crate::rules::ALLOWED_FILES`] entries for files whose panics
+//!   are load-bearing by design.
+
+use crate::callgraph::{CallGraph, SourceUnit};
+use crate::lexer::TokenKind;
+use crate::rules::RuleOutcome;
+
+/// Where requests enter the serve crate: `(file, symbol, role)`.
+/// Reachability roots; anything these can call is request-path code.
+pub const REQUEST_ENTRY_POINTS: &[(&str, &str, &str)] = &[
+    ("crates/serve/src/server.rs", "run", "serve main: bind, export, accept"),
+    ("crates/serve/src/server.rs", "run_with", "TCP accept loop — every connection starts here"),
+    ("crates/serve/src/server.rs", "handle_connection", "per-connection reader + writer threads"),
+    ("crates/serve/src/engine.rs", "Engine::submit", "synchronous request entry"),
+    ("crates/serve/src/engine.rs", "Engine::submit_streamed", "pipelined request entry"),
+    ("crates/serve/src/engine.rs", "worker_loop", "worker-thread body — runs every batch"),
+];
+
+/// Runs the reachability pass. `entries` are `(file, symbol)` roots;
+/// `skip_file` exempts whole files (the lexical panic scope plus
+/// `ALLOWED_FILES` at the workspace level; fixtures inject their
+/// own). Findings carry the reached function and the root that
+/// reaches it. `used_allows` pairs are `(unit index, line)`.
+pub fn check(
+    units: &[SourceUnit],
+    graph: &CallGraph,
+    entries: &[(&str, &str)],
+    skip_file: &dyn Fn(&str) -> bool,
+) -> (RuleOutcome, Vec<(usize, usize)>) {
+    let mut out = RuleOutcome::default();
+    let mut used: Vec<(usize, usize)> = Vec::new();
+    let roots = graph.roots(units, entries);
+    let reached = graph.reachable_from(&roots);
+    for (&node, &root) in &reached {
+        let n = &graph.nodes[node];
+        let unit = &units[n.unit];
+        if n.in_test || unit.in_tests_dir || skip_file(&unit.rel) {
+            continue;
+        }
+        let root_node = &graph.nodes[root];
+        let root_desc = format!(
+            "{} ({})",
+            root_node.symbol,
+            units[root_node.unit].rel
+        );
+        let it = &unit.items[n.item];
+        let Some((lo, hi)) = it.body else { continue };
+        let toks = &unit.lexed.tokens;
+        for i in lo..=hi.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            let fired = if t.kind == TokenKind::Punct
+                && t.text == "."
+                && toks.get(i + 1).is_some_and(|x| {
+                    x.kind == TokenKind::Ident && (x.text == "unwrap" || x.text == "expect")
+                })
+                && toks.get(i + 2).is_some_and(|x| x.kind == TokenKind::Punct && x.text == "(")
+            {
+                Some((toks[i + 1].line, format!(".{}()", toks[i + 1].text)))
+            } else if t.kind == TokenKind::Ident
+                && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                && toks.get(i + 1).is_some_and(|x| x.kind == TokenKind::Punct && x.text == "!")
+            {
+                Some((t.line, format!("{}!", t.text)))
+            } else {
+                None
+            };
+            let Some((line, what)) = fired else { continue };
+            if unit.lexed.is_allowed(line, "panic-reach") {
+                out.suppressed += 1;
+                out.used_allows.push((line, "panic-reach".to_string()));
+                used.push((n.unit, line));
+            } else {
+                out.findings.push(crate::report::Finding {
+                    file: unit.rel.clone(),
+                    line,
+                    rule: "panic-reach".to_string(),
+                    message: format!(
+                        "`{what}` in `{}` is reachable from serve entry `{root_desc}`; \
+                         return a typed error or justify with `// lint: allow(panic-reach)`",
+                        n.symbol
+                    ),
+                });
+            }
+        }
+    }
+    (out, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn run(files: &[(&str, &str)], entries: &[(&str, &str)]) -> Vec<(String, usize, String)> {
+        let units: Vec<SourceUnit> =
+            files.iter().map(|(rel, src)| SourceUnit::build(rel, src)).collect();
+        let graph = CallGraph::build(&units);
+        let (out, _) = check(&units, &graph, entries, &|_| false);
+        out.findings.into_iter().map(|f| (f.file, f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn panic_in_a_reachable_helper_fires_across_files() {
+        let fired = run(
+            &[
+                ("crates/s/src/engine.rs", "fn entry() { helper(); }"),
+                ("crates/h/src/lib.rs", "fn helper() { inner() }\nfn inner() { maybe().unwrap(); }"),
+                ("crates/h/src/other.rs", "fn unrelated() { maybe().unwrap(); }"),
+            ],
+            &[("crates/s/src/engine.rs", "entry")],
+        );
+        assert_eq!(
+            fired,
+            vec![("crates/h/src/lib.rs".to_string(), 2, "panic-reach".to_string())],
+            "the reachable unwrap fires; the unreachable one does not"
+        );
+    }
+
+    #[test]
+    fn skip_file_exempts_the_lexical_panic_scope() {
+        let files = [
+            ("crates/s/src/engine.rs", "fn entry() { x().unwrap(); }"),
+        ];
+        let units: Vec<SourceUnit> =
+            files.iter().map(|(rel, src)| SourceUnit::build(rel, src)).collect();
+        let graph = CallGraph::build(&units);
+        let (out, _) = check(
+            &units,
+            &graph,
+            &[("crates/s/src/engine.rs", "entry")],
+            &|rel| rel == "crates/s/src/engine.rs",
+        );
+        assert!(out.findings.is_empty(), "panic-path owns its own files");
+    }
+}

@@ -3,7 +3,21 @@
 use groupsa_json::impl_json_struct;
 
 /// Current report schema version (bumped on breaking field changes).
-pub const REPORT_VERSION: u32 = 1;
+/// v2 added the per-pass `timings` array.
+pub const REPORT_VERSION: u32 = 2;
+
+/// Wall-clock cost of one analysis pass, for the lint-cost visibility
+/// `scripts/tier1.sh` prints. Timings are measurement, not contract:
+/// [`Report::drift_against`] ignores them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassTiming {
+    /// Pass name (`lex+parse`, `rules`, `atomics`, …).
+    pub pass: String,
+    /// Microseconds spent in the pass across all files.
+    pub micros: u64,
+}
+
+impl_json_struct!(PassTiming { pass, micros });
 
 /// One rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,11 +45,13 @@ pub struct Report {
     /// Findings suppressed by `// lint: allow(…)` comments or the
     /// per-rule allowed-files list.
     pub suppressed: usize,
+    /// Per-pass wall-clock timings (excluded from drift comparison).
+    pub timings: Vec<PassTiming>,
     /// Non-suppressed violations, in (file, line, rule) order.
     pub findings: Vec<Finding>,
 }
 
-impl_json_struct!(Report { version, files_scanned, suppressed, findings });
+impl_json_struct!(Report { version, files_scanned, suppressed, timings, findings });
 
 impl Report {
     /// Assembles a report, sorting findings into (file, line, rule)
@@ -44,7 +60,56 @@ impl Report {
         findings.sort_by(|a, b| {
             (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule))
         });
-        Self { version: REPORT_VERSION, files_scanned, suppressed, findings }
+        Self { version: REPORT_VERSION, files_scanned, suppressed, timings: Vec::new(), findings }
+    }
+
+    /// Attaches pass timings (builder-style, after [`Report::new`]).
+    pub fn with_timings(mut self, timings: Vec<PassTiming>) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// Compares this report against a committed baseline, returning
+    /// human-readable drift lines — empty means no drift. Drift is any
+    /// change to the *lint state*: findings that appeared or resolved,
+    /// a suppression-count change (a new escape hatch is a reviewable
+    /// event even when it keeps the tree "clean"), a file-count
+    /// change, or a schema bump. Timings are measurements and never
+    /// drift.
+    pub fn drift_against(&self, baseline: &Report) -> Vec<String> {
+        let mut drift = Vec::new();
+        if self.version != baseline.version {
+            drift.push(format!(
+                "schema version changed: {} -> {}",
+                baseline.version, self.version
+            ));
+        }
+        for f in &self.findings {
+            if !baseline.findings.contains(f) {
+                drift.push(format!("new finding: {}:{}: [{}] {}", f.file, f.line, f.rule, f.message));
+            }
+        }
+        for f in &baseline.findings {
+            if !self.findings.contains(f) {
+                drift.push(format!(
+                    "finding in baseline no longer present: {}:{}: [{}]",
+                    f.file, f.line, f.rule
+                ));
+            }
+        }
+        if self.suppressed != baseline.suppressed {
+            drift.push(format!(
+                "suppression count changed: {} -> {}",
+                baseline.suppressed, self.suppressed
+            ));
+        }
+        if self.files_scanned != baseline.files_scanned {
+            drift.push(format!(
+                "files scanned changed: {} -> {}",
+                baseline.files_scanned, self.files_scanned
+            ));
+        }
+        drift
     }
 
     /// Whether the tree is clean (no non-suppressed findings).
@@ -65,6 +130,14 @@ impl Report {
             self.suppressed,
             self.files_scanned
         ));
+        if !self.timings.is_empty() {
+            let per_pass: Vec<String> = self
+                .timings
+                .iter()
+                .map(|t| format!("{} {:.1}ms", t.pass, t.micros as f64 / 1000.0))
+                .collect();
+            out.push_str(&format!("pass timings: {}\n", per_pass.join(", ")));
+        }
         out
     }
 

@@ -219,14 +219,19 @@ fn cargo_dep_fires_and_allow_suppresses() {
 fn json_report_schema_is_valid_and_roundtrips() {
     let (findings, suppressed) =
         analyzer().analyze_source("crates/core/src/fixture.rs", &fixture("float_eq.rs"));
-    let report = Report::new(1, suppressed, findings);
+    let report = Report::new(1, suppressed, findings).with_timings(vec![
+        groupsa_lint::PassTiming { pass: "rules".to_string(), micros: 1234 },
+    ]);
     let text = report.to_json_string();
 
     // Well-formed JSON with the documented top-level fields.
     let doc = groupsa_json::Json::parse(&text).expect("report is well-formed JSON");
-    assert_eq!(doc.get("version").and_then(groupsa_json::Json::as_f64), Some(1.0));
+    assert_eq!(doc.get("version").and_then(groupsa_json::Json::as_f64), Some(2.0));
     assert!(doc.get("files_scanned").is_some());
     assert!(doc.get("suppressed").is_some());
+    let timings = doc.get("timings").and_then(groupsa_json::Json::as_array).unwrap();
+    assert_eq!(timings.len(), 1, "v2 reports carry per-pass timings");
+    assert_eq!(timings[0].get("pass").and_then(groupsa_json::Json::as_str), Some("rules"));
     let findings = doc.get("findings").and_then(groupsa_json::Json::as_array).unwrap();
     assert!(!findings.is_empty());
     for f in findings {

@@ -1,0 +1,8 @@
+//! Atomics fixture: one manifested site, one unmanifested, one Relaxed
+fn f(current: &AtomicUsize, counter: &AtomicU64) {
+    let _ = counter.load(Ordering::Relaxed);
+    counter.fetch_add(1, Ordering::Relaxed);
+    current.store(1, Ordering::Relaxed);
+    let _ = current.compare_exchange(1, 2, Ordering::AcqRel, Ordering::Acquire);
+    counter.store(9, Ordering::Relaxed); // lint: allow(atomic-manifest)
+}

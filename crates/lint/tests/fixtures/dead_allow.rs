@@ -1,0 +1,8 @@
+//! Dead-allow fixture: stale and typo'd escape hatches.
+fn f(x: f32) -> i32 {
+    let _live = x == 0.5; // lint: allow(float-eq)
+    let dead = 1; // lint: allow(float-eq)
+    let typo = 2; // lint: allow(no-such-rule)
+    let meta = 3; // lint: allow(float-eq, dead-allow)
+    dead + typo + meta
+}

@@ -1,0 +1,25 @@
+//! Lock-discipline fixture: hierarchy inversion, blocking under guard.
+fn bad_order(s: &Shared) {
+    let m = s.metrics.lock().unwrap();
+    let q = s.queue.lock().unwrap();
+    drop(q);
+    drop(m);
+}
+fn blocking_under_guard(s: &Shared, tx: &Sender<u32>) {
+    let g = s.queue.lock().unwrap();
+    tx.send(1).ok();
+    drop(g);
+    tx.send(2).ok();
+}
+fn correct_order(s: &Shared) {
+    let q = s.queue.lock().unwrap();
+    let c = s.current.lock().unwrap();
+    drop(c);
+    drop(q);
+}
+fn justified(s: &Shared) {
+    let m = s.metrics.lock().unwrap();
+    let q = s.queue.lock().unwrap(); // lint: allow(lock-order)
+    drop(q);
+    drop(m);
+}

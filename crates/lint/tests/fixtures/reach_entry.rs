@@ -1,0 +1,5 @@
+//! Panic-reach fixture: the serve-side entry function.
+fn entry() {
+    helper();
+    safe();
+}

@@ -1,0 +1,11 @@
+//! Panic-reach fixture: the crate the entry reaches into.
+fn helper() {
+    might_fail().unwrap();
+    recover().expect("checked above"); // lint: allow(panic-reach)
+}
+fn safe() -> usize {
+    0
+}
+fn unreached() {
+    boom().unwrap();
+}

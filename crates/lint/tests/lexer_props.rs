@@ -1,0 +1,99 @@
+//! Property tests for the lexer's trickiest token forms: raw strings,
+//! nested block comments, and comment-lookalikes inside string
+//! literals. Every rule family sits on top of this token stream, so a
+//! lexer desync (a string swallowing the rest of the file, a comment
+//! terminating early) would silently blind the whole analyzer — these
+//! properties pin the resynchronization behaviour on generated inputs
+//! rather than a handful of handwritten examples.
+
+use groupsa_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// A string from a fixed alphabet that is safe inside `r#"…"#`: it
+/// never contains the closing `"#` because `#` is not in the alphabet.
+/// Quotes, newlines, and comment-lookalikes are all fair game.
+fn raw_string_body() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &['a', 'z', '0', ' ', '\n', '"', '/', '*', '{', '\\'];
+    prop::collection::vec(0..ALPHABET.len(), 0..40)
+        .prop_map(|ixs| ixs.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// Block-comment interior junk: anything that can't open or close a
+/// nested comment on its own (`*` and `/` excluded).
+fn comment_junk() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &['x', '7', ' ', '\n', '"', '{', ';'];
+    prop::collection::vec(0..ALPHABET.len(), 0..30)
+        .prop_map(|ixs| ixs.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// Plain-string interior: no quote, backslash, or newline, but `//`
+/// and `/*` sequences are allowed — they must NOT start a comment.
+fn plain_string_body() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &['/', '*', 'a', ' ', ';'];
+    prop::collection::vec(0..ALPHABET.len(), 0..24)
+        .prop_map(|ixs| ixs.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_strings_swallow_their_body_and_resync(body in raw_string_body()) {
+        let src = format!("let s = r#\"{body}\"#;\nfn tail() {{}}");
+        let f = lex(&src);
+        let strs: Vec<_> = f.tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1, "exactly one string literal: {:?}", f.tokens);
+        // Nothing inside the raw string leaks out as a token: the only
+        // `{` in the stream is `tail`'s body brace.
+        let braces = f.tokens.iter().filter(|t| t.kind == TokenKind::Punct && t.text == "{").count();
+        prop_assert_eq!(braces, 1, "braces inside the raw string must not tokenize");
+        // …and the lexer resynchronizes: `tail` exists on the right line.
+        let tail = f.tokens.iter().find(|t| t.text == "tail");
+        let expected_line = 2 + body.matches('\n').count();
+        prop_assert!(tail.is_some(), "tokens after the raw string survive");
+        prop_assert_eq!(tail.unwrap().line, expected_line, "newlines in the body count");
+    }
+
+    #[test]
+    fn nested_block_comments_balance_at_any_depth(
+        depth in 1usize..6,
+        junk in comment_junk(),
+    ) {
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("/*");
+        }
+        src.push_str(&junk);
+        for _ in 0..depth {
+            src.push_str("*/");
+        }
+        src.push_str("\ntail");
+        let f = lex(&src);
+        let idents: Vec<&str> =
+            f.tokens.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(
+            idents,
+            vec!["tail"],
+            "the whole nested comment is consumed, nothing more"
+        );
+        let expected_line = 2 + junk.matches('\n').count();
+        prop_assert_eq!(f.tokens[0].line, expected_line, "comment newlines advance the line counter");
+    }
+
+    #[test]
+    fn comment_lookalikes_inside_strings_do_not_comment(body in plain_string_body()) {
+        let src = format!("let a = \"{body}\"; let tail = 1;");
+        let f = lex(&src);
+        let strs: Vec<_> = f.tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1, "one string literal regardless of // or /* inside");
+        prop_assert!(
+            f.tokens.iter().any(|t| t.kind == TokenKind::Ident && t.text == "tail"),
+            "a // inside a string must not swallow the rest of the line: {:?}",
+            f.tokens
+        );
+        prop_assert!(
+            f.allows.is_empty(),
+            "nothing on this line is a lint directive"
+        );
+    }
+}

@@ -24,4 +24,10 @@ fn the_workspace_lints_clean() {
         "workspace has lint findings:\n{}",
         report.to_text()
     );
+    // Cleanliness must come from the full pipeline, not a pass being
+    // silently skipped: every analysis pass reports a timing.
+    let passes: Vec<&str> = report.timings.iter().map(|t| t.pass.as_str()).collect();
+    for expected in ["manifests", "lex+parse", "rules", "atomics", "locks", "panic-reach", "dead-allow"] {
+        assert!(passes.contains(&expected), "pass `{expected}` ran (got {passes:?})");
+    }
 }

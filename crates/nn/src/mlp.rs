@@ -82,6 +82,7 @@ impl Mlp {
     /// no tape and allocates only the per-layer outputs (activations
     /// are applied in place, and the input is never copied).
     pub fn forward_inference(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        // lint: allow(panic-reach) — structural invariant: Mlp::new rejects empty layer lists.
         let (first, rest) = self.layers.split_first().expect("Mlp has at least one layer");
         let mut h = first.forward_inference(store, x);
         if !rest.is_empty() || self.activate_last {

@@ -140,7 +140,7 @@ impl Optimizer for Adam {
             let bc1 = 1.0 - self.beta1.powi(p.step as i32);
             let bc2 = 1.0 - self.beta2.powi(p.step as i32);
             match dirty {
-                Dirty::Clean => unreachable!(),
+                Dirty::Clean => unreachable!(), // lint: allow(panic-reach) — Clean hit `continue` above
                 Dirty::Full => {
                     for r in 0..p.value.rows() {
                         self.update_row(p, r, bc1, bc2);

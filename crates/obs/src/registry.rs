@@ -11,7 +11,7 @@
 
 use groupsa_json::impl_json_struct;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Number of log₂ histogram buckets; bucket `i > 0` covers
@@ -268,7 +268,10 @@ pub struct Registry {
 }
 
 fn get_or_create<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
-    let mut table = table.lock().expect("registry poisoned");
+    // A panic elsewhere must not take metrics down with it: the table
+    // is a grow-only Vec, structurally valid even if a holder panicked,
+    // so recover the guard instead of propagating the poison.
+    let mut table = table.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some((_, v)) = table.iter().find(|(n, _)| n == name) {
         return Arc::clone(v);
     }
@@ -303,21 +306,21 @@ impl Registry {
         let mut counters: Vec<CounterEntry> = self
             .counters
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(n, c)| CounterEntry { name: n.clone(), value: c.get() })
             .collect();
         let mut gauges: Vec<GaugeEntry> = self
             .gauges
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(n, g)| GaugeEntry { name: n.clone(), last: g.last(), max: g.max() })
             .collect();
         let mut histograms: Vec<HistogramEntry> = self
             .histograms
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(n, h)| HistogramEntry { name: n.clone(), histogram: h.snapshot() })
             .collect();

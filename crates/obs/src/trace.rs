@@ -24,7 +24,7 @@ use std::cell::Cell;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// The environment variable that turns tracing on: its value is the
@@ -97,7 +97,9 @@ fn write_event(s: &Sink, kind: &str, fields: &[(&str, Json)]) {
     }
     let mut line = Json::Object(members).to_compact_string();
     line.push('\n');
-    let mut file = s.file.lock().expect("trace sink poisoned");
+    // Tracing is best-effort; recover a poisoned sink rather than let
+    // an unrelated panic cascade into every traced thread.
+    let mut file = s.file.lock().unwrap_or_else(PoisonError::into_inner);
     let _ = file.write_all(line.as_bytes());
 }
 
